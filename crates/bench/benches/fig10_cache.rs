@@ -1,0 +1,31 @@
+//! Fig. 10 bench: kNN latency as the page-cache capacity varies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_spb;
+use spb_bench::Scale;
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::color(scale.color(), scale.seed());
+    let (_dir, tree) = build_spb("bench-f10", &data, dataset::color_metric(), &SpbConfig::default());
+    let mut group = c.benchmark_group("fig10_cache");
+    group.sample_size(20);
+    for cache in [0usize, 8, 32, 128] {
+        tree.set_cache_capacity(cache);
+        group.bench_function(format!("knn8_color_cache{cache}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                tree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                tree.knn_with(q, 8, Traversal::Incremental).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

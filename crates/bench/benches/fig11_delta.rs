@@ -1,0 +1,34 @@
+//! Fig. 11 bench: kNN latency as the δ-approximation granularity varies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_spb;
+use spb_bench::Scale;
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::synthetic(scale.synthetic(), scale.seed());
+    let mut group = c.benchmark_group("fig11_delta");
+    group.sample_size(20);
+    for delta in [0.001f64, 0.005, 0.009] {
+        let cfg = SpbConfig {
+            delta: Some(delta),
+            ..SpbConfig::default()
+        };
+        let (_dir, tree) = build_spb("bench-f11", &data, dataset::synthetic_metric(), &cfg);
+        group.bench_function(format!("knn8_synthetic_delta{delta}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                tree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                tree.knn_with(q, 8, Traversal::Incremental).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

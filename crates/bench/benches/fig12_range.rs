@@ -1,0 +1,64 @@
+//! Fig. 12 bench: range-query latency (r = 8% of d⁺) for all four MAMs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_suite;
+use spb_bench::Scale;
+use spb_metric::{dataset, Distance};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::signature(scale.signature(), scale.seed());
+    let metric = dataset::signature_metric();
+    let r = metric.max_distance() * 0.08;
+    let suite = build_suite("bench-f12", &data, metric);
+    let mut group = c.benchmark_group("fig12_range");
+    group.sample_size(20);
+    {
+        let mut i = 0usize;
+        group.bench_function("range8_mtree", |b| {
+            b.iter(|| {
+                suite.mtree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.mtree.range(q, r).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("range8_omni", |b| {
+            b.iter(|| {
+                suite.omni.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.omni.range(q, r).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("range8_mindex", |b| {
+            b.iter(|| {
+                suite.mindex.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.mindex.range(q, r).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("range8_spb", |b| {
+            b.iter(|| {
+                suite.spb.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.spb.range(q, r).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

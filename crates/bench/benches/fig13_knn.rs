@@ -1,0 +1,62 @@
+//! Fig. 13 bench: kNN latency (k = 8) for all four MAMs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_suite;
+use spb_bench::Scale;
+use spb_metric::dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::color(scale.color(), scale.seed());
+    let suite = build_suite("bench-f13", &data, dataset::color_metric());
+    let mut group = c.benchmark_group("fig13_knn");
+    group.sample_size(20);
+    {
+        let mut i = 0usize;
+        group.bench_function("knn8_mtree", |b| {
+            b.iter(|| {
+                suite.mtree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.mtree.knn(q, 8).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("knn8_omni", |b| {
+            b.iter(|| {
+                suite.omni.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.omni.knn(q, 8).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("knn8_mindex", |b| {
+            b.iter(|| {
+                suite.mindex.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.mindex.knn(q, 8).unwrap().0.len()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("knn8_spb", |b| {
+            b.iter(|| {
+                suite.spb.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                suite.spb.knn(q, 8).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figs. 15–16 bench: cost-model evaluation speed (the point of a cost
+//! model is to be orders of magnitude cheaper than running the query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_spb;
+use spb_bench::Scale;
+use spb_core::SpbConfig;
+use spb_metric::{dataset, Distance};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::color(scale.color(), scale.seed());
+    let metric = dataset::color_metric();
+    let r = metric.max_distance() * 0.08;
+    let (_dir, tree) = build_spb("bench-f15", &data, metric, &SpbConfig::default());
+    let q_phis: Vec<Vec<f64>> = data[..100]
+        .iter()
+        .map(|q| tree.table().phi(tree.metric().inner(), q))
+        .collect();
+
+    let mut group = c.benchmark_group("fig15_16_costmodel");
+    group.sample_size(30);
+    {
+        let mut i = 0usize;
+        group.bench_function("estimate_range", |b| {
+            b.iter(|| {
+                let q = &q_phis[i % q_phis.len()];
+                i += 1;
+                tree.cost_model().estimate_range(q, r)
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("estimate_knn", |b| {
+            b.iter(|| {
+                let q = &q_phis[i % q_phis.len()];
+                i += 1;
+                tree.cost_model().estimate_knn(q, 8)
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("prob_in_rr_incl_excl", |b| {
+            b.iter(|| {
+                let q = &q_phis[i % q_phis.len()];
+                i += 1;
+                tree.cost_model().prob_in_rr_incl_excl(q, r)
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("actual_range_query", |b| {
+            b.iter(|| {
+                tree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                tree.range(q, r).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 17 bench: similarity-join latency — SPB-SJA vs eD-index vs
+//! Quickjoin (ε = 4% of d⁺).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::{build_edindex, build_join_pair};
+use spb_bench::Scale;
+use spb_core::similarity_join;
+use spb_mams::{quickjoin_rs, QuickJoinParams};
+use spb_metric::{dataset, Distance};
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let side = scale.join_side();
+    let all = dataset::color(2 * side, scale.seed());
+    let (q, o) = all.split_at(side);
+    let metric = dataset::color_metric();
+    let eps = metric.max_distance() * 0.04;
+
+    let (_dq, _do, spb_q, spb_o) = build_join_pair("bench-f17", q, o, metric);
+    let (_de, ed) = build_edindex("bench-f17-ed", q, o, dataset::color_metric(), eps);
+
+    let mut group = c.benchmark_group("fig17_join");
+    group.sample_size(10);
+    group.bench_function("sja_spb", |b| {
+        b.iter(|| {
+            spb_q.flush_caches();
+            spb_o.flush_caches();
+            similarity_join(&spb_q, &spb_o, eps).unwrap().0.len()
+        })
+    });
+    group.bench_function("edindex", |b| {
+        b.iter(|| {
+            ed.flush_caches();
+            ed.join(eps).unwrap().0.len()
+        })
+    });
+    group.bench_function("quickjoin", |b| {
+        b.iter(|| {
+            quickjoin_rs(q, o, &dataset::color_metric(), eps, &QuickJoinParams::default())
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

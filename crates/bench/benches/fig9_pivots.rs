@@ -1,0 +1,42 @@
+//! Fig. 9 bench: kNN latency under each pivot-selection algorithm
+//! (|P| = 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_spb;
+use spb_bench::Scale;
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::dataset;
+use spb_pivots::PivotMethod;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::words(scale.words(), scale.seed());
+    let mut group = c.benchmark_group("fig9_pivots");
+    group.sample_size(20);
+    for method in [
+        PivotMethod::Hfi,
+        PivotMethod::Hf,
+        PivotMethod::Fft,
+        PivotMethod::Spacing,
+        PivotMethod::Pca,
+    ] {
+        let cfg = SpbConfig {
+            pivot_method: method,
+            ..SpbConfig::default()
+        };
+        let (_dir, tree) = build_spb("bench-f9", &data, dataset::words_metric(), &cfg);
+        group.bench_function(format!("knn8_words_{}", method.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                tree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                tree.knn_with(q, 8, Traversal::Incremental).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks of the hot primitives underneath every experiment:
+//! curve encode/decode, distance functions, B⁺-tree and RAF operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spb_bptree::{BPlusTree, PointMbb};
+use spb_metric::{dataset, Distance, EditDistance, LpNorm, TrigramAngular};
+use spb_sfc::Sfc;
+use spb_storage::{Raf, TempDir};
+
+fn curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_sfc");
+    for (name, curve) in [
+        ("hilbert_5x10", Sfc::hilbert(5, 10)),
+        ("zorder_5x10", Sfc::z_order(5, 10)),
+    ] {
+        let point: Vec<u32> = vec![513, 12, 1001, 7, 345];
+        group.bench_function(format!("{name}_encode"), |b| {
+            b.iter(|| curve.encode(black_box(&point)))
+        });
+        let v = curve.encode(&point);
+        let mut out = vec![0u32; 5];
+        group.bench_function(format!("{name}_decode"), |b| {
+            b.iter(|| curve.decode_into(black_box(v), &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_distance");
+    let words = dataset::words(100, 1);
+    let ed = EditDistance::default();
+    group.bench_function("edit_distance", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let d = ed.distance(&words[i % 100], &words[(i + 37) % 100]);
+            i += 1;
+            d
+        })
+    });
+    let colors = dataset::color(100, 1);
+    let l5 = LpNorm::l5(16);
+    group.bench_function("l5_norm_16d", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let d = l5.distance(&colors[i % 100], &colors[(i + 37) % 100]);
+            i += 1;
+            d
+        })
+    });
+    let dna = dataset::dna(100, 1);
+    group.bench_function("trigram_angular_108mer", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let d = TrigramAngular.distance(&dna[i % 100], &dna[(i + 37) % 100]);
+            i += 1;
+            d
+        })
+    });
+    group.finish();
+}
+
+fn btree_and_raf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_storage");
+    let dir = TempDir::new("bench-micro");
+    let tree = BPlusTree::create(&dir.path().join("b.bpt"), 64, PointMbb).unwrap();
+    tree.bulk_load((0..100_000u64).map(|i| (i as u128 * 7, i)).collect())
+        .unwrap();
+    group.bench_function("bptree_search_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let hits = tree.search(((i * 131) % 700_000) as u128).unwrap();
+            i += 1;
+            hits.len()
+        })
+    });
+    group.bench_function("bptree_insert", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            tree.insert(i as u128, i).unwrap();
+            i += 1;
+        })
+    });
+    let raf = Raf::create(&dir.path().join("b.raf"), 32).unwrap();
+    let mut ptrs = Vec::new();
+    for i in 0..10_000u32 {
+        ptrs.push(raf.append(i, &[7u8; 64]).unwrap());
+    }
+    raf.flush().unwrap();
+    group.bench_function("raf_get_64B", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let e = raf.get(ptrs[(i * 997) % ptrs.len()]).unwrap();
+            i += 1;
+            e.bytes.len()
+        })
+    });
+    group.bench_function("raf_append_64B", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            raf.append(i, &[9u8; 64]).unwrap();
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, curves, distances, btree_and_raf);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 4 bench: kNN latency under the Hilbert vs the Z-order curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_spb;
+use spb_bench::Scale;
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::dataset;
+use spb_sfc::CurveKind;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::color(scale.color(), scale.seed());
+    let mut group = c.benchmark_group("table4_sfc");
+    group.sample_size(20);
+    for curve in [CurveKind::Hilbert, CurveKind::Z] {
+        let cfg = SpbConfig {
+            curve,
+            ..SpbConfig::default()
+        };
+        let (_dir, tree) = build_spb("bench-t4", &data, dataset::color_metric(), &cfg);
+        group.bench_function(format!("knn8_color_{curve:?}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                tree.flush_caches();
+                let q = &data[i % 100];
+                i += 1;
+                tree.knn_with(q, 8, Traversal::Incremental).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

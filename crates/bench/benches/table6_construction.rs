@@ -1,0 +1,52 @@
+//! Table 6 bench: bulk-construction time of each MAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::Scale;
+use spb_core::{SpbConfig, SpbTree};
+use spb_mams::{MIndex, MIndexParams, MTree, MTreeParams, OmniParams, OmniRTree};
+use spb_metric::dataset;
+use spb_storage::TempDir;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::color(scale.color(), scale.seed());
+    let metric = dataset::color_metric;
+    let mut group = c.benchmark_group("table6_construction");
+    group.sample_size(10);
+    group.bench_function("mtree_color", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-t6-mtree");
+            MTree::build(dir.path(), &data, metric(), &MTreeParams::default())
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("omni_color", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-t6-omni");
+            OmniRTree::build(dir.path(), &data, metric(), &OmniParams::default())
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("mindex_color", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-t6-mindex");
+            MIndex::build(dir.path(), &data, metric(), &MIndexParams::default())
+                .unwrap()
+                .len()
+        })
+    });
+    group.bench_function("spb_color", |b| {
+        b.iter(|| {
+            let dir = TempDir::new("bench-t6-spb");
+            SpbTree::build(dir.path(), &data, metric(), &SpbConfig::default())
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

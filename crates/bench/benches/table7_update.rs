@@ -1,0 +1,59 @@
+//! Table 7 bench: single-object insertion latency per MAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spb_bench::experiments::common::build_suite;
+use spb_bench::Scale;
+use spb_metric::dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let data = dataset::words(scale.words(), scale.seed());
+    let extra = dataset::words(10_000, scale.seed() + 1);
+    let suite = build_suite("bench-t7", &data, dataset::words_metric());
+    let mut group = c.benchmark_group("table7_update");
+    group.sample_size(50);
+    {
+        let mut i = 0usize;
+        group.bench_function("insert_mtree", |b| {
+            b.iter(|| {
+                let o = &extra[i % extra.len()];
+                i += 1;
+                suite.mtree.insert(o).unwrap()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("insert_omni", |b| {
+            b.iter(|| {
+                let o = &extra[i % extra.len()];
+                i += 1;
+                suite.omni.insert(o).unwrap()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("insert_mindex", |b| {
+            b.iter(|| {
+                let o = &extra[i % extra.len()];
+                i += 1;
+                suite.mindex.insert(o).unwrap()
+            })
+        });
+    }
+    {
+        let mut i = 0usize;
+        group.bench_function("insert_spb", |b| {
+            b.iter(|| {
+                let o = &extra[i % extra.len()];
+                i += 1;
+                suite.spb.insert(o).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Extension experiment (beyond the paper): α-approximate kNN.
+//!
+//! Sweeps the approximation factor α and reports cost next to *recall*
+//! (the fraction of the exact kNN result recovered) — the trade-off curve
+//! a user of approximate search needs.
+
+use std::collections::HashSet;
+
+use spb_core::SpbConfig;
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, workload};
+use crate::runner::{average, fmt_num};
+use crate::{Scale, Table};
+
+const ALPHAS: [f64; 4] = [1.0, 1.5, 2.0, 3.0];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let queries = workload(data, &scale);
+    let (_dir, tree) = build_spb(&format!("apx-{name}"), data, metric, &SpbConfig::default());
+    let mut t = Table::new(
+        &format!("Approximate kNN ({name}): alpha sweep (k=8)"),
+        &["alpha", "PA", "compdists", "Time(s)", "recall"],
+    );
+    // Exact results for recall measurement.
+    let exact: Vec<HashSet<u32>> = queries
+        .iter()
+        .map(|q| {
+            tree.knn(q, 8)
+                .expect("knn")
+                .0
+                .into_iter()
+                .map(|(id, _, _)| id)
+                .collect()
+        })
+        .collect();
+    for alpha in ALPHAS {
+        let mut recall_sum = 0.0;
+        let mut idx = 0usize;
+        let avg = average(
+            queries,
+            || tree.flush_caches(),
+            |q| {
+                let (nn, stats) = tree.knn_approx(q, 8, alpha).expect("knn_approx");
+                let hit = nn
+                    .iter()
+                    .filter(|(id, _, _)| exact[idx].contains(id))
+                    .count();
+                recall_sum += hit as f64 / exact[idx].len().max(1) as f64;
+                idx += 1;
+                stats
+            },
+        );
+        t.row(vec![
+            format!("{alpha}"),
+            fmt_num(avg.pa),
+            fmt_num(avg.compdists),
+            format!("{:.4}", avg.time_s),
+            format!("{:.3}", recall_sum / queries.len() as f64),
+        ]);
+    }
+    t.print();
+}
+
+/// Runs the approximate-kNN extension experiment.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    sweep_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+    sweep_for(
+        "DNA",
+        &dataset::dna(scale.dna(), seed),
+        dataset::dna_metric(),
+        scale,
+    );
+}

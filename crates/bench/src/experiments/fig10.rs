@@ -1,0 +1,62 @@
+//! Fig. 10 — effect of the cache size (0–128 pages) on kNN cost.
+//!
+//! Paper's shape: PA and time fall as the cache grows and flatten
+//! quickly — a small cache suffices to absorb duplicated RAF page
+//! accesses within one query (the cache is flushed between queries, so
+//! it only de-duplicates intra-query accesses).
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const CACHE_SIZES: [usize; 6] = [0, 8, 16, 32, 64, 128];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let queries = workload(data, &scale);
+    let (_dir, tree) = build_spb(&format!("f10-{name}"), data, metric, &SpbConfig::default());
+    let mut t = Table::new(
+        &format!("Fig. 10 ({name}): effect of cache size (kNN, k=8)"),
+        &["Cache(pages)", "PA", "Time(s)"],
+    );
+    for cache in CACHE_SIZES {
+        tree.set_cache_capacity(cache);
+        let avg = knn_avg(&tree, queries, 8, Traversal::Incremental);
+        t.row(vec![
+            cache.to_string(),
+            fmt_num(avg.pa),
+            format!("{:.4}", avg.time_s),
+        ]);
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 10 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    sweep_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    sweep_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+    sweep_for(
+        "DNA",
+        &dataset::dna(scale.dna(), seed),
+        dataset::dna_metric(),
+        scale,
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 11 — effect of the δ-approximation granularity, δ ∈
+//! {0.001, …, 0.009}, on the real-valued datasets (Color, Synthetic).
+//!
+//! Paper's shape: compdists grows with δ (coarser cells ⇒ more objects
+//! collide into the same approximated vector ⇒ more verifications), while
+//! PA and time first drop then flatten (finer grids spread the search
+//! space thin).
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const DELTAS: [f64; 5] = [0.001, 0.003, 0.005, 0.007, 0.009];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let queries = workload(data, &scale);
+    let mut t = Table::new(
+        &format!("Fig. 11 ({name}): effect of delta (kNN, k=8)"),
+        &["delta", "compdists", "PA", "Time(s)"],
+    );
+    for delta in DELTAS {
+        let cfg = SpbConfig {
+            delta: Some(delta),
+            ..SpbConfig::default()
+        };
+        let (_dir, tree) = build_spb(&format!("f11-{name}"), data, metric.clone(), &cfg);
+        let avg = knn_avg(&tree, queries, 8, Traversal::Incremental);
+        t.row(vec![
+            format!("{delta}"),
+            fmt_num(avg.compdists),
+            fmt_num(avg.pa),
+            format!("{:.4}", avg.time_s),
+        ]);
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 11 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    sweep_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    sweep_for(
+        "Synthetic",
+        &dataset::synthetic(scale.synthetic(), seed),
+        dataset::synthetic_metric(),
+        scale,
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 12 — range query performance vs the radius `r` (as a percentage
+//! of `d⁺`) for all four MAMs on Signature and the real datasets.
+//!
+//! Paper's shape: the SPB-tree has the fewest page accesses at every
+//! radius (clustered B⁺-tree leaves + clustered RAF) and the
+//! fewest-or-comparable distance computations; costs of every method grow
+//! with `r`.
+
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_suite, suite_range_avg, workload, MAM_NAMES};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const RADII_PCT: [f64; 7] = [2.0, 4.0, 6.0, 8.0, 16.0, 32.0, 64.0];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let d_plus = metric.max_distance();
+    let queries = workload(data, &scale);
+    let suite = build_suite(&format!("f12-{name}"), data, metric);
+    let mut t = Table::new(
+        &format!("Fig. 12 ({name}): range query vs r (% of d+)"),
+        &["r(%)", "MAM", "PA", "compdists", "Time(s)"],
+    );
+    for pct in RADII_PCT {
+        let r = d_plus * pct / 100.0;
+        let avgs = suite_range_avg(&suite, queries, r);
+        for (mam, avg) in MAM_NAMES.iter().zip(avgs) {
+            t.row(vec![
+                format!("{pct}"),
+                (*mam).to_owned(),
+                fmt_num(avg.pa),
+                fmt_num(avg.compdists),
+                format!("{:.4}", avg.time_s),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 12 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    sweep_for(
+        "Signature",
+        &dataset::signature(scale.signature(), seed),
+        dataset::signature_metric(),
+        scale,
+    );
+    sweep_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    sweep_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+}

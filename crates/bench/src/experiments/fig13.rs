@@ -1,0 +1,73 @@
+//! Fig. 13 — kNN performance vs `k` ∈ {1, 2, 4, 8, 16, 32} for all four
+//! MAMs.
+//!
+//! Paper's shape: same ordering as Fig. 12 — the SPB-tree leads on page
+//! accesses across `k`, with distance computations better than or
+//! comparable to the pivot-based OmniR-tree and clearly below the
+//! compact-partitioning M-tree.
+
+use spb_metric::{dataset, Distance, MetricObject};
+
+use spb_core::Traversal;
+
+use crate::experiments::common::{build_suite, suite_knn_avg_with, workload, MAM_NAMES};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const KS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+    spb_traversal: Traversal,
+) {
+    let queries = workload(data, &scale);
+    let suite = build_suite(&format!("f13-{name}"), data, metric);
+    let mut t = Table::new(
+        &format!("Fig. 13 ({name}): kNN query vs k (SPB traversal: {spb_traversal:?})"),
+        &["k", "MAM", "PA", "compdists", "Time(s)"],
+    );
+    for k in KS {
+        let avgs = suite_knn_avg_with(&suite, queries, k, spb_traversal);
+        for (mam, avg) in MAM_NAMES.iter().zip(avgs) {
+            t.row(vec![
+                k.to_string(),
+                (*mam).to_owned(),
+                fmt_num(avg.pa),
+                fmt_num(avg.compdists),
+                format!("{:.4}", avg.time_s),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 13 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    // Signature is our lowest-precision stand-in: the paper's policy
+    // (greedy on low-precision data, Section 6.1) applies to it.
+    sweep_for(
+        "Signature",
+        &dataset::signature(scale.signature(), seed),
+        dataset::signature_metric(),
+        scale,
+        Traversal::Greedy,
+    );
+    sweep_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+        Traversal::Incremental,
+    );
+    sweep_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+        Traversal::Incremental,
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 14 — scalability of SPB-tree similarity search vs dataset
+//! cardinality (Synthetic, range with r = 8% of d⁺ and kNN with k = 8).
+//!
+//! Paper's shape: PA, compdists and time all grow (near-)linearly with
+//! cardinality.
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::dataset;
+
+use crate::experiments::common::{build_spb, knn_avg, range_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+/// Reproduces Fig. 14 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let metric = dataset::synthetic_metric();
+    let d_plus = spb_metric::Distance::<spb_metric::FloatVec>::max_distance(&metric);
+    let mut t = Table::new(
+        "Fig. 14: scalability vs cardinality (Synthetic; range r=8% d+, kNN k=8)",
+        &[
+            "Cardinality",
+            "Range PA",
+            "Range compdists",
+            "Range Time(s)",
+            "kNN PA",
+            "kNN compdists",
+            "kNN Time(s)",
+        ],
+    );
+    for n in scale.cardinality_sweep() {
+        let data = dataset::synthetic(n, seed);
+        let queries = workload(&data, &scale);
+        let (_dir, tree) = build_spb("f14", &data, metric, &SpbConfig::default());
+        let range = range_avg(&tree, queries, d_plus * 0.08);
+        let knn = knn_avg(&tree, queries, 8, Traversal::Incremental);
+        t.row(vec![
+            n.to_string(),
+            fmt_num(range.pa),
+            fmt_num(range.compdists),
+            format!("{:.4}", range.time_s),
+            fmt_num(knn.pa),
+            fmt_num(knn.compdists),
+            format!("{:.4}", knn.time_s),
+        ]);
+    }
+    t.print();
+}

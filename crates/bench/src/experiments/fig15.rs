@@ -1,0 +1,80 @@
+//! Fig. 15 — accuracy of the range-query cost model vs `r`: actual vs
+//! estimated page accesses (eq. 6) and distance computations (eqs. 3–4),
+//! with the paper's accuracy measure `1 − |actual − est| / actual`.
+//!
+//! Paper's shape: average accuracy above 80% across radii.
+
+use spb_core::{CostEstimate, SpbConfig};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, range_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const RADII_PCT: [f64; 5] = [2.0, 4.0, 6.0, 8.0, 16.0];
+
+pub(crate) fn model_rows<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let d_plus = metric.max_distance();
+    let queries = workload(data, &scale);
+    let (_dir, tree) = build_spb(&format!("f15-{name}"), data, metric.clone(), &SpbConfig::default());
+    let mut t = Table::new(
+        &format!("Fig. 15 ({name}): range query cost model vs r"),
+        &[
+            "r(%)",
+            "PA actual",
+            "PA est",
+            "PA acc",
+            "CD actual",
+            "CD est",
+            "CD acc",
+        ],
+    );
+    for pct in RADII_PCT {
+        let r = d_plus * pct / 100.0;
+        let actual = range_avg(&tree, queries, r);
+        // Estimates average the per-query model output (φ(q) computed with
+        // the raw metric — estimation is free of the compdists budget).
+        let mut est_pa = 0.0;
+        let mut est_cd = 0.0;
+        for q in queries {
+            let q_phi = tree.table().phi(tree.metric().inner(), q);
+            let est = tree.cost_model().estimate_range(&q_phi, r);
+            est_pa += est.page_accesses;
+            est_cd += est.compdists;
+        }
+        est_pa /= queries.len() as f64;
+        est_cd /= queries.len() as f64;
+        t.row(vec![
+            format!("{pct}"),
+            fmt_num(actual.pa),
+            fmt_num(est_pa),
+            format!("{:.2}", CostEstimate::accuracy(actual.pa, est_pa)),
+            fmt_num(actual.compdists),
+            fmt_num(est_cd),
+            format!("{:.2}", CostEstimate::accuracy(actual.compdists, est_cd)),
+        ]);
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 15 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    model_rows(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    model_rows(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 16 — accuracy of the kNN cost model vs `k`: the k-th NN distance
+//! is first estimated through the nearest pivot's distance distribution
+//! (eq. 5), then plugged into the range model (eqs. 3–4, 6).
+//!
+//! Paper's shape: slightly noisier than the range model (the `eND_k`
+//! estimate adds error) but still high accuracy on average.
+
+use spb_core::{CostEstimate, SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const KS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn model_rows<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let queries = workload(data, &scale);
+    let (_dir, tree) = build_spb(&format!("f16-{name}"), data, metric, &SpbConfig::default());
+    let mut t = Table::new(
+        &format!("Fig. 16 ({name}): kNN cost model vs k"),
+        &[
+            "k",
+            "PA actual",
+            "PA est",
+            "PA acc",
+            "CD actual",
+            "CD est",
+            "CD acc",
+        ],
+    );
+    for k in KS {
+        let actual = knn_avg(&tree, queries, k, Traversal::Incremental);
+        let mut est_pa = 0.0;
+        let mut est_cd = 0.0;
+        for q in queries {
+            let q_phi = tree.table().phi(tree.metric().inner(), q);
+            let est = tree.cost_model().estimate_knn(&q_phi, k as u64);
+            est_pa += est.page_accesses;
+            est_cd += est.compdists;
+        }
+        est_pa /= queries.len() as f64;
+        est_cd /= queries.len() as f64;
+        t.row(vec![
+            k.to_string(),
+            fmt_num(actual.pa),
+            fmt_num(est_pa),
+            format!("{:.2}", CostEstimate::accuracy(actual.pa, est_pa)),
+            fmt_num(actual.compdists),
+            fmt_num(est_cd),
+            format!("{:.2}", CostEstimate::accuracy(actual.compdists, est_cd)),
+        ]);
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 16 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    model_rows(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    model_rows(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 18 — accuracy of the similarity-join cost model vs ε: actual vs
+//! estimated page accesses (eq. 8) and distance computations (eq. 7).
+//!
+//! Paper's shape: very accurate (> 90% on average) — the join touches
+//! both files exactly once, so EPA is almost deterministic.
+
+use spb_core::{similarity_join, CostEstimate};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::build_join_pair;
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const EPS_PCT: [f64; 5] = [2.0, 4.0, 6.0, 8.0, 10.0];
+
+fn model_rows<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    q_data: &[O],
+    o_data: &[O],
+    metric: D,
+) {
+    let d_plus = metric.max_distance();
+    let (_dq, _do, spb_q, spb_o) = build_join_pair(&format!("f18-{name}"), q_data, o_data, metric);
+    let mut t = Table::new(
+        &format!("Fig. 18 ({name}): similarity join cost model vs eps"),
+        &[
+            "eps(%)",
+            "PA actual",
+            "PA est",
+            "PA acc",
+            "CD actual",
+            "CD est",
+            "CD acc",
+        ],
+    );
+    for pct in EPS_PCT {
+        let eps = d_plus * pct / 100.0;
+        spb_q.flush_caches();
+        spb_o.flush_caches();
+        let (_, stats) = similarity_join(&spb_q, &spb_o, eps).expect("SJA");
+        let est = spb_q.cost_model().estimate_join(spb_o.cost_model(), eps);
+        t.row(vec![
+            format!("{pct}"),
+            fmt_num(stats.page_accesses as f64),
+            fmt_num(est.page_accesses),
+            format!(
+                "{:.2}",
+                CostEstimate::accuracy(stats.page_accesses as f64, est.page_accesses)
+            ),
+            fmt_num(stats.compdists as f64),
+            fmt_num(est.compdists),
+            format!(
+                "{:.2}",
+                CostEstimate::accuracy(stats.compdists as f64, est.compdists)
+            ),
+        ]);
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 18 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let side = scale.join_side();
+    {
+        let all = dataset::words(2 * side, seed);
+        let (q, o) = all.split_at(side);
+        model_rows("Words", q, o, dataset::words_metric());
+    }
+    {
+        let all = dataset::color(2 * side, seed);
+        let (q, o) = all.split_at(side);
+        model_rows("Color", q, o, dataset::color_metric());
+    }
+}

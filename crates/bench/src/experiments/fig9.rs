@@ -1,0 +1,77 @@
+//! Fig. 9 — efficiency of pivot selection methods vs `|P|`:
+//! HFI (the paper's), HF, Spacing and PCA, for |P| ∈ {1, 3, 5, 7, 9},
+//! measured by kNN (k = 8) compdists / PA / time.
+//!
+//! Paper's shape: HFI dominates; compdists falls monotonically with more
+//! pivots, while PA and time bottom out near the intrinsic
+//! dimensionality (≈ 3–6) and then flatten or rise.
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+use spb_pivots::PivotMethod;
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+const METHODS: [PivotMethod; 4] = [
+    PivotMethod::Hfi,
+    PivotMethod::Hf,
+    PivotMethod::Spacing,
+    PivotMethod::Pca,
+];
+
+fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+) {
+    let queries = workload(data, &scale);
+    let mut t = Table::new(
+        &format!("Fig. 9 ({name}): pivot selection methods vs |P| (kNN, k=8)"),
+        &["|P|", "Method", "compdists", "PA", "Time(s)"],
+    );
+    for num_pivots in [1usize, 3, 5, 7, 9] {
+        for method in METHODS {
+            let cfg = SpbConfig {
+                num_pivots,
+                pivot_method: method,
+                ..SpbConfig::default()
+            };
+            let (_dir, tree) = build_spb(&format!("f9-{name}"), data, metric.clone(), &cfg);
+            let avg = knn_avg(&tree, queries, 8, Traversal::Incremental);
+            t.row(vec![
+                num_pivots.to_string(),
+                method.name().to_owned(),
+                fmt_num(avg.compdists),
+                fmt_num(avg.pa),
+                format!("{:.4}", avg.time_s),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Reproduces Fig. 9 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    sweep_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+    );
+    sweep_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+    );
+    sweep_for(
+        "Signature",
+        &dataset::signature(scale.signature(), seed),
+        dataset::signature_metric(),
+        scale,
+    );
+}

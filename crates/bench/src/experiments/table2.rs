@@ -1,0 +1,65 @@
+//! Table 2 — statistics of the datasets: cardinality, intrinsic
+//! dimensionality `ρ = µ²/(2σ²)`, metric, and the precision of 5 HFI
+//! pivots.
+
+use spb_metric::{dataset, Distance, MetricObject};
+use spb_metric::{intrinsic_dimensionality, pairwise_distance_sample};
+use spb_pivots::{precision, select_pivots, PivotConfig, PivotMethod};
+
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+fn stats_row<O: MetricObject, D: Distance<O>>(
+    name: &str,
+    data: &[O],
+    metric: &D,
+    measurement: &str,
+) -> Vec<String> {
+    let sample = pairwise_distance_sample(data, metric, 4000, 7);
+    let rho = intrinsic_dimensionality(&sample);
+    let pivots = select_pivots(
+        PivotMethod::Hfi,
+        data,
+        metric,
+        5,
+        &PivotConfig::default(),
+    );
+    let prec = precision(data, metric, &pivots, 1000, 11);
+    vec![
+        name.to_owned(),
+        data.len().to_string(),
+        fmt_num(rho),
+        measurement.to_owned(),
+        format!("{prec:.3}"),
+    ]
+}
+
+/// Reproduces Table 2 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let mut t = Table::new(
+        "Table 2: statistics of the datasets used (paper: Ins. 4.9 / 2.9 / 6.9 / 14.8 / 4.76)",
+        &["Dataset", "Cardinality", "Ins.", "Measurement", "Prec(5 pivots)"],
+    );
+    {
+        let d = dataset::words(scale.words(), seed);
+        t.row(stats_row("Words", &d, &dataset::words_metric(), "Edit distance"));
+    }
+    {
+        let d = dataset::color(scale.color(), seed);
+        t.row(stats_row("Color", &d, &dataset::color_metric(), "L5-norm"));
+    }
+    {
+        let d = dataset::dna(scale.dna(), seed);
+        t.row(stats_row("DNA", &d, &dataset::dna_metric(), "Angular tri-gram"));
+    }
+    {
+        let d = dataset::signature(scale.signature(), seed);
+        t.row(stats_row("Signature", &d, &dataset::signature_metric(), "Hamming"));
+    }
+    {
+        let d = dataset::synthetic(scale.synthetic(), seed);
+        t.row(stats_row("Synthetic", &d, &dataset::synthetic_metric(), "L2-norm"));
+    }
+    t.print();
+}

@@ -1,0 +1,69 @@
+//! Table 4 — SPB-tree efficiency under different space-filling curves:
+//! Hilbert vs Z-order, kNN (k = 8) on Color / Words / DNA.
+//!
+//! Paper's shape: the Hilbert curve's better clustering yields fewer page
+//! accesses and (on low-precision data) fewer distance computations; the
+//! Z-curve's cheaper value↔vector transformation can win on raw CPU time.
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+use spb_sfc::CurveKind;
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+fn curves_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+    t: &mut Table,
+) {
+    let queries = workload(data, &scale);
+    for curve in [CurveKind::Hilbert, CurveKind::Z] {
+        let cfg = SpbConfig {
+            curve,
+            ..SpbConfig::default()
+        };
+        let (_dir, tree) = build_spb(&format!("t4-{name}"), data, metric.clone(), &cfg);
+        let avg = knn_avg(&tree, queries, 8, Traversal::Incremental);
+        t.row(vec![
+            format!("{name} / {curve:?}"),
+            fmt_num(avg.pa),
+            fmt_num(avg.compdists),
+            format!("{:.4}", avg.time_s),
+        ]);
+    }
+}
+
+/// Reproduces Table 4 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let mut t = Table::new(
+        "Table 4: SPB-tree efficiency under different SFCs (kNN, k=8)",
+        &["Dataset / Curve", "PA", "compdists", "Time(s)"],
+    );
+    curves_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+        &mut t,
+    );
+    curves_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+        &mut t,
+    );
+    curves_for(
+        "DNA",
+        &dataset::dna(scale.dna(), seed),
+        dataset::dna_metric(),
+        scale,
+        &mut t,
+    );
+    t.print();
+}

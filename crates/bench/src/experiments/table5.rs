@@ -1,0 +1,67 @@
+//! Table 5 — kNN search with different traversal strategies: incremental
+//! (optimal in distance computations, Lemma 4) vs greedy (optimal in RAF
+//! page accesses), k = 8.
+//!
+//! Paper's shape: greedy trades a few extra compdists for markedly fewer
+//! page accesses; the gap is largest on low-precision data (DNA).
+
+use spb_core::{SpbConfig, Traversal};
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::{build_spb, knn_avg, workload};
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+fn traversals_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    scale: Scale,
+    t: &mut Table,
+) {
+    let queries = workload(data, &scale);
+    let (_dir, tree) = build_spb(&format!("t5-{name}"), data, metric, &SpbConfig::default());
+    for (label, traversal) in [
+        ("incremental", Traversal::Incremental),
+        ("greedy", Traversal::Greedy),
+    ] {
+        let avg = knn_avg(&tree, queries, 8, traversal);
+        t.row(vec![
+            format!("{name} / {label}"),
+            fmt_num(avg.pa),
+            fmt_num(avg.compdists),
+            format!("{:.4}", avg.time_s),
+        ]);
+    }
+}
+
+/// Reproduces Table 5 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let mut t = Table::new(
+        "Table 5: kNN search with different traversal strategies (k=8)",
+        &["Dataset / Traversal", "PA", "compdists", "Time(s)"],
+    );
+    traversals_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        scale,
+        &mut t,
+    );
+    traversals_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        scale,
+        &mut t,
+    );
+    traversals_for(
+        "DNA",
+        &dataset::dna(scale.dna(), seed),
+        dataset::dna_metric(),
+        scale,
+        &mut t,
+    );
+    t.print();
+}

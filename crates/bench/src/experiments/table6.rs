@@ -1,0 +1,67 @@
+//! Table 6 — construction costs and storage sizes of the four MAMs on
+//! Color / Words / DNA.
+//!
+//! Paper's shape: the SPB-tree builds with the fewest page accesses and
+//! distance computations (its construction maps each object exactly
+//! `|P|` times and bulk-loads a B⁺-tree sequentially) and stores the
+//! smallest index (SFC compression of the pre-computed distances); the
+//! M-Index stores the most (full-resolution keys), the M-tree computes
+//! the most distances (recursive clustering).
+
+use spb_metric::{dataset, Distance, MetricObject};
+
+use crate::experiments::common::build_suite;
+use crate::runner::fmt_num;
+use crate::{Scale, Table};
+
+fn construction_for<O: MetricObject, D: Distance<O> + Clone>(
+    name: &str,
+    data: &[O],
+    metric: D,
+    t: &mut Table,
+) {
+    let suite = build_suite(&format!("t6-{name}"), data, metric);
+    let rows: [(&str, spb_core::BuildStats, u64); 4] = [
+        ("M-tree", suite.mtree.build_stats(), suite.mtree.storage_bytes()),
+        ("OmniR-tree", suite.omni.build_stats(), suite.omni.storage_bytes()),
+        ("M-Index", suite.mindex.build_stats(), suite.mindex.storage_bytes()),
+        ("SPB-tree", suite.spb.build_stats(), suite.spb.storage_bytes()),
+    ];
+    for (mam, s, storage) in rows {
+        t.row(vec![
+            format!("{name} / {mam}"),
+            s.page_accesses.to_string(),
+            s.compdists.to_string(),
+            format!("{:.3}", s.duration.as_secs_f64()),
+            fmt_num(storage as f64 / 1024.0),
+        ]);
+    }
+}
+
+/// Reproduces Table 6 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let mut t = Table::new(
+        "Table 6: construction costs and storage sizes of MAMs",
+        &["Dataset / MAM", "PA", "compdists", "Time(s)", "Storage(KB)"],
+    );
+    construction_for(
+        "Color",
+        &dataset::color(scale.color(), seed),
+        dataset::color_metric(),
+        &mut t,
+    );
+    construction_for(
+        "Words",
+        &dataset::words(scale.words(), seed),
+        dataset::words_metric(),
+        &mut t,
+    );
+    construction_for(
+        "DNA",
+        &dataset::dna(scale.dna(), seed),
+        dataset::dna_metric(),
+        &mut t,
+    );
+    t.print();
+}

@@ -1,0 +1,62 @@
+//! Table 7 — update cost on Words: average cost of inserting 100 random
+//! objects into each MAM.
+//!
+//! Paper's shape: the SPB-tree's insert is the fastest (a B⁺-tree descent
+//! plus an RAF append) and computes the fewest distances (`|P| = 5`,
+//! exactly); the M-tree computes the most (per-level router distances and
+//! occasional mM_RAD splits); its own PA stays moderate but nonzero
+//! because both the B⁺-tree path and the RAF tail are touched.
+
+use spb_metric::dataset;
+
+use crate::experiments::common::build_suite;
+use crate::runner::{average, fmt_num};
+use crate::{Scale, Table};
+
+/// Reproduces Table 7 at the given scale.
+pub fn run(scale: Scale) {
+    let seed = scale.seed();
+    let data = dataset::words(scale.words(), seed);
+    let extra = dataset::words(100, seed + 100); // 100 fresh random words
+    let suite = build_suite("t7-words", &data, dataset::words_metric());
+
+    let mut t = Table::new(
+        "Table 7: update cost (avg over 100 inserts) on Words",
+        &["MAM", "PA", "compdists", "Time(s)"],
+    );
+    let rows = [
+        (
+            "M-tree",
+            average(&extra, || suite.mtree.flush_caches(), |o| {
+                suite.mtree.insert(o).expect("insert")
+            }),
+        ),
+        (
+            "OmniR-tree",
+            average(&extra, || suite.omni.flush_caches(), |o| {
+                suite.omni.insert(o).expect("insert")
+            }),
+        ),
+        (
+            "M-Index",
+            average(&extra, || suite.mindex.flush_caches(), |o| {
+                suite.mindex.insert(o).expect("insert")
+            }),
+        ),
+        (
+            "SPB-tree",
+            average(&extra, || suite.spb.flush_caches(), |o| {
+                suite.spb.insert(o).expect("insert")
+            }),
+        ),
+    ];
+    for (name, avg) in rows {
+        t.row(vec![
+            name.to_owned(),
+            fmt_num(avg.pa),
+            fmt_num(avg.compdists),
+            format!("{:.6}", avg.time_s),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,631 @@
+//! Library half of `spb-cli`: argument parsing, data-file loading and the
+//! command implementations, separated from `main` so everything is unit-
+//! and integration-testable without spawning processes.
+//!
+//! Supported data schemas:
+//!
+//! * `words` — one UTF-8 word per line, edit distance;
+//! * `vectors` — one comma-separated `f32` row per line (coordinates in
+//!   `[0, 1]`), L₂ or L₅ norm.
+//!
+//! The schema is recorded in the index directory (`cli.schema`) at build
+//! time so query commands need only `--index`.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead};
+use std::path::{Path, PathBuf};
+
+use spb_core::{SpbConfig, SpbTree};
+use spb_metric::{EditDistance, FloatVec, LpNorm, Word};
+
+/// Parses the `--curve` flag: `hilbert` / `z`.
+pub fn parse_curve(s: &str) -> Result<spb_sfc::CurveKind, String> {
+    match s {
+        "hilbert" => Ok(spb_sfc::CurveKind::Hilbert),
+        "z" => Ok(spb_sfc::CurveKind::Z),
+        other => Err(format!("unknown curve {other:?} (expected hilbert|z)")),
+    }
+}
+
+/// The dataset schema an index was built over.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Schema {
+    /// One word per line; edit distance with the given maximum length.
+    Words {
+        /// `d⁺` (maximum word length).
+        max_len: usize,
+    },
+    /// One CSV row of `f32` per line; Lᵖ-norm.
+    Vectors {
+        /// The norm exponent (2 or 5).
+        p: u32,
+        /// Dimensionality.
+        dim: usize,
+    },
+}
+
+impl Schema {
+    /// Serialises to the `cli.schema` line format.
+    pub fn to_line(&self) -> String {
+        match self {
+            Schema::Words { max_len } => format!("words {max_len}"),
+            Schema::Vectors { p, dim } => format!("vectors {p} {dim}"),
+        }
+    }
+
+    /// Parses the `cli.schema` line format.
+    pub fn from_line(line: &str) -> Result<Schema, String> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["words", max_len] => Ok(Schema::Words {
+                max_len: max_len.parse().map_err(|_| "bad max_len".to_owned())?,
+            }),
+            ["vectors", p, dim] => Ok(Schema::Vectors {
+                p: p.parse().map_err(|_| "bad p".to_owned())?,
+                dim: dim.parse().map_err(|_| "bad dim".to_owned())?,
+            }),
+            _ => Err(format!("unrecognised schema line {line:?}")),
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Build an index from a data file.
+    Build {
+        /// Data file path.
+        input: PathBuf,
+        /// Index directory to create.
+        index: PathBuf,
+        /// `words` or `vectors:l2` / `vectors:l5`.
+        schema_flag: String,
+        /// Number of pivots.
+        pivots: usize,
+        /// `hilbert` or `z`.
+        curve: String,
+    },
+    /// Range query.
+    Range {
+        /// Index directory.
+        index: PathBuf,
+        /// Query object in the schema's line format.
+        query: String,
+        /// Search radius.
+        radius: f64,
+    },
+    /// Count-only range query.
+    Count {
+        /// Index directory.
+        index: PathBuf,
+        /// Query object in the schema's line format.
+        query: String,
+        /// Search radius.
+        radius: f64,
+    },
+    /// kNN query.
+    Knn {
+        /// Index directory.
+        index: PathBuf,
+        /// Query object in the schema's line format.
+        query: String,
+        /// Number of neighbours.
+        k: usize,
+        /// Approximation factor (1 = exact).
+        alpha: f64,
+    },
+    /// Print index statistics.
+    Stats {
+        /// Index directory.
+        index: PathBuf,
+    },
+}
+
+/// Parses an argument vector (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", rest[i]))?;
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_owned(), (*value).clone());
+        i += 2;
+    }
+    let need = |k: &str| -> Result<String, String> {
+        flags
+            .get(k)
+            .cloned()
+            .ok_or_else(|| format!("missing required --{k}"))
+    };
+    let opt = |k: &str, default: &str| flags.get(k).cloned().unwrap_or_else(|| default.to_owned());
+
+    match cmd.as_str() {
+        "build" => Ok(Command::Build {
+            input: PathBuf::from(need("input")?),
+            index: PathBuf::from(need("index")?),
+            schema_flag: opt("schema", "words"),
+            pivots: opt("pivots", "5")
+                .parse()
+                .map_err(|_| "--pivots must be an integer".to_owned())?,
+            curve: opt("curve", "hilbert"),
+        }),
+        "range" | "count" => {
+            let index = PathBuf::from(need("index")?);
+            let query = need("query")?;
+            let radius: f64 = need("radius")?
+                .parse()
+                .map_err(|_| "--radius must be a number".to_owned())?;
+            Ok(if cmd == "range" {
+                Command::Range {
+                    index,
+                    query,
+                    radius,
+                }
+            } else {
+                Command::Count {
+                    index,
+                    query,
+                    radius,
+                }
+            })
+        }
+        "knn" => Ok(Command::Knn {
+            index: PathBuf::from(need("index")?),
+            query: need("query")?,
+            k: opt("k", "10")
+                .parse()
+                .map_err(|_| "--k must be an integer".to_owned())?,
+            alpha: opt("alpha", "1.0")
+                .parse()
+                .map_err(|_| "--alpha must be a number".to_owned())?,
+        }),
+        "stats" => Ok(Command::Stats {
+            index: PathBuf::from(need("index")?),
+        }),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "usage: spb-cli <command> [--flag value ...]\n\
+     \x20 build --input FILE --index DIR [--schema words|vectors:l2|vectors:l5] [--pivots N] [--curve hilbert|z]\n\
+     \x20 range --index DIR --query Q --radius R\n\
+     \x20 count --index DIR --query Q --radius R\n\
+     \x20 knn   --index DIR --query Q [--k K] [--alpha A]\n\
+     \x20 stats --index DIR"
+        .to_owned()
+}
+
+/// Loads a words file (one word per line, blank lines skipped).
+pub fn load_words(reader: impl BufRead) -> io::Result<Vec<Word>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let w = line.trim();
+        if !w.is_empty() {
+            out.push(Word::new(w));
+        }
+    }
+    Ok(out)
+}
+
+/// Loads a vectors file (one comma-separated f32 row per line).
+pub fn load_vectors(reader: impl BufRead) -> io::Result<(Vec<FloatVec>, usize)> {
+    let mut out: Vec<FloatVec> = Vec::new();
+    let mut dim = 0usize;
+    for (no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let row = line.trim();
+        if row.is_empty() {
+            continue;
+        }
+        let coords: Result<Vec<f32>, _> = row.split(',').map(|c| c.trim().parse()).collect();
+        let coords = coords.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad float: {e}", no + 1),
+            )
+        })?;
+        if dim == 0 {
+            dim = coords.len();
+        } else if coords.len() != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected {dim} coordinates, got {}", no + 1, coords.len()),
+            ));
+        }
+        out.push(FloatVec::new(coords));
+    }
+    Ok((out, dim))
+}
+
+fn schema_path(index: &Path) -> PathBuf {
+    index.join("cli.schema")
+}
+
+/// Executes a parsed command, writing human-readable output into `out`.
+pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
+    match cmd {
+        Command::Build {
+            input,
+            index,
+            schema_flag,
+            pivots,
+            curve,
+        } => {
+            let curve = parse_curve(curve)?;
+            let cfg = SpbConfig {
+                num_pivots: *pivots,
+                curve,
+                ..SpbConfig::default()
+            };
+            let file = std::fs::File::open(input).map_err(|e| format!("open {input:?}: {e}"))?;
+            let reader = io::BufReader::new(file);
+            match schema_flag.as_str() {
+                "words" => {
+                    let words = load_words(reader).map_err(|e| e.to_string())?;
+                    if words.is_empty() {
+                        return Err("input file holds no words".to_owned());
+                    }
+                    let max_len = words.iter().map(Word::len).max().unwrap_or(1);
+                    let metric = EditDistance::new(max_len);
+                    let tree = SpbTree::build(index, &words, metric, &cfg)
+                        .map_err(|e| e.to_string())?;
+                    std::fs::write(schema_path(index), Schema::Words { max_len }.to_line())
+                        .map_err(|e| e.to_string())?;
+                    report_build(out, tree.build_stats(), tree.storage_bytes());
+                }
+                "vectors:l2" | "vectors:l5" => {
+                    let (vecs, dim) = load_vectors(reader).map_err(|e| e.to_string())?;
+                    if vecs.is_empty() {
+                        return Err("input file holds no vectors".to_owned());
+                    }
+                    let p: u32 = if schema_flag.ends_with("l2") { 2 } else { 5 };
+                    let metric = LpNorm::new(p as f64, dim, 1.0);
+                    let tree =
+                        SpbTree::build(index, &vecs, metric, &cfg).map_err(|e| e.to_string())?;
+                    std::fs::write(schema_path(index), Schema::Vectors { p, dim }.to_line())
+                        .map_err(|e| e.to_string())?;
+                    report_build(out, tree.build_stats(), tree.storage_bytes());
+                }
+                other => {
+                    return Err(format!(
+                        "unknown schema {other:?} (expected words|vectors:l2|vectors:l5)"
+                    ))
+                }
+            }
+            Ok(())
+        }
+        Command::Range {
+            index,
+            query,
+            radius,
+        } => with_index(index, |idx| match idx {
+            Index::Words(tree) => {
+                let (hits, stats) = tree
+                    .range(&Word::new(query.clone()), *radius)
+                    .map_err(|e| e.to_string())?;
+                for (id, w) in &hits {
+                    let _ = writeln!(out, "{id}\t{}", w.as_str());
+                }
+                report_query(out, hits.len(), &stats);
+                Ok(())
+            }
+            Index::Vectors(tree, dim) => {
+                let q = parse_vector(query, dim)?;
+                let (hits, stats) = tree.range(&q, *radius).map_err(|e| e.to_string())?;
+                for (id, _) in &hits {
+                    let _ = writeln!(out, "{id}");
+                }
+                report_query(out, hits.len(), &stats);
+                Ok(())
+            }
+        }),
+        Command::Count {
+            index,
+            query,
+            radius,
+        } => with_index(index, |idx| match idx {
+            Index::Words(tree) => {
+                let (count, stats) = tree
+                    .range_count(&Word::new(query.clone()), *radius)
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "{count}");
+                report_query(out, count as usize, &stats);
+                Ok(())
+            }
+            Index::Vectors(tree, dim) => {
+                let q = parse_vector(query, dim)?;
+                let (count, stats) = tree.range_count(&q, *radius).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "{count}");
+                report_query(out, count as usize, &stats);
+                Ok(())
+            }
+        }),
+        Command::Knn {
+            index,
+            query,
+            k,
+            alpha,
+        } => with_index(index, |idx| match idx {
+            Index::Words(tree) => {
+                let (nn, stats) = tree
+                    .knn_approx(&Word::new(query.clone()), *k, *alpha)
+                    .map_err(|e| e.to_string())?;
+                for (id, w, d) in &nn {
+                    let _ = writeln!(out, "{id}\t{d}\t{}", w.as_str());
+                }
+                report_query(out, nn.len(), &stats);
+                Ok(())
+            }
+            Index::Vectors(tree, dim) => {
+                let q = parse_vector(query, dim)?;
+                let (nn, stats) = tree.knn_approx(&q, *k, *alpha).map_err(|e| e.to_string())?;
+                for (id, _, d) in &nn {
+                    let _ = writeln!(out, "{id}\t{d}");
+                }
+                report_query(out, nn.len(), &stats);
+                Ok(())
+            }
+        }),
+        Command::Stats { index } => with_index(index, |idx| {
+            match idx {
+                Index::Words(tree) => {
+                    let _ = writeln!(out, "schema: words");
+                    describe(out, tree.len(), tree.storage_bytes(), tree.table().num_pivots(), tree.table().delta());
+                }
+                Index::Vectors(tree, dim) => {
+                    let _ = writeln!(out, "schema: vectors (dim {dim})");
+                    describe(out, tree.len(), tree.storage_bytes(), tree.table().num_pivots(), tree.table().delta());
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+enum Index {
+    Words(SpbTree<Word, EditDistance>),
+    Vectors(SpbTree<FloatVec, LpNorm>, usize),
+}
+
+fn with_index<F>(index: &Path, f: F) -> Result<(), String>
+where
+    F: FnOnce(&Index) -> Result<(), String>,
+{
+    let line = std::fs::read_to_string(schema_path(index))
+        .map_err(|e| format!("read {:?}: {e} (is this an spb-cli index?)", schema_path(index)))?;
+    let schema = Schema::from_line(line.trim())?;
+    let idx = match schema {
+        Schema::Words { max_len } => Index::Words(
+            SpbTree::open(index, EditDistance::new(max_len), 32).map_err(|e| e.to_string())?,
+        ),
+        Schema::Vectors { p, dim } => Index::Vectors(
+            SpbTree::open(index, LpNorm::new(p as f64, dim, 1.0), 32)
+                .map_err(|e| e.to_string())?,
+            dim,
+        ),
+    };
+    f(&idx)
+}
+
+fn parse_vector(query: &str, dim: &usize) -> Result<FloatVec, String> {
+    let coords: Result<Vec<f32>, _> = query.split(',').map(|c| c.trim().parse()).collect();
+    let coords = coords.map_err(|e| format!("bad query vector: {e}"))?;
+    if coords.len() != *dim {
+        return Err(format!(
+            "query has {} coordinates; the index stores {dim}-dimensional vectors",
+            coords.len()
+        ));
+    }
+    Ok(FloatVec::new(coords))
+}
+
+fn report_build(out: &mut String, b: spb_core::BuildStats, storage: u64) {
+    let _ = writeln!(
+        out,
+        "built: {} objects, {} distance computations, {} page accesses, {:.1} KB, {:.2}s",
+        b.num_objects,
+        b.compdists,
+        b.page_accesses,
+        storage as f64 / 1024.0,
+        b.duration.as_secs_f64()
+    );
+}
+
+fn report_query(out: &mut String, results: usize, stats: &spb_core::QueryStats) {
+    let _ = writeln!(
+        out,
+        "# {results} result(s); {} compdists, {} page accesses, {:.3} ms",
+        stats.compdists,
+        stats.page_accesses,
+        stats.duration.as_secs_f64() * 1e3
+    );
+}
+
+fn describe(out: &mut String, len: u64, storage: u64, pivots: usize, delta: f64) {
+    let _ = writeln!(out, "objects: {len}");
+    let _ = writeln!(out, "storage: {:.1} KB", storage as f64 / 1024.0);
+    let _ = writeln!(out, "pivots:  {pivots}");
+    let _ = writeln!(out, "delta:   {delta}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_build() {
+        let cmd = parse_args(&args(
+            "build --input words.txt --index ./idx --pivots 7 --curve z",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                input: "words.txt".into(),
+                index: "./idx".into(),
+                schema_flag: "words".into(),
+                pivots: 7,
+                curve: "z".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_queries_with_defaults() {
+        let cmd = parse_args(&args("knn --index ./idx --query hello")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Knn {
+                index: "./idx".into(),
+                query: "hello".into(),
+                k: 10,
+                alpha: 1.0,
+            }
+        );
+        assert!(parse_args(&args("range --index ./idx --query hello")).is_err());
+        assert!(parse_args(&args("bogus --x y")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        for s in [
+            Schema::Words { max_len: 34 },
+            Schema::Vectors { p: 5, dim: 16 },
+        ] {
+            assert_eq!(Schema::from_line(&s.to_line()).unwrap(), s);
+        }
+        assert!(Schema::from_line("nonsense").is_err());
+    }
+
+    #[test]
+    fn loads_words_and_vectors() {
+        let words = load_words(io::Cursor::new("alpha\n\n beta \n")).unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[1].as_str(), "beta");
+
+        let (vecs, dim) = load_vectors(io::Cursor::new("0.1, 0.2\n0.3,0.4\n")).unwrap();
+        assert_eq!((vecs.len(), dim), (2, 2));
+        assert!(load_vectors(io::Cursor::new("0.1,0.2\n0.3\n")).is_err());
+        assert!(load_vectors(io::Cursor::new("0.1,zzz\n")).is_err());
+    }
+
+    #[test]
+    fn build_then_query_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spbcli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("words.txt");
+        std::fs::write(&data, "carrot\ncarrots\nparrot\nbanana\napple\n").unwrap();
+        let index = dir.join("idx");
+
+        let mut out = String::new();
+        run(
+            &Command::Build {
+                input: data,
+                index: index.clone(),
+                schema_flag: "words".into(),
+                pivots: 2,
+                curve: "hilbert".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("built: 5 objects"));
+
+        let mut out = String::new();
+        run(
+            &Command::Range {
+                index: index.clone(),
+                query: "carrot".into(),
+                radius: 1.0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("carrot"));
+        assert!(out.contains("carrots"));
+        assert!(!out.contains("banana"));
+
+        let mut out = String::new();
+        run(
+            &Command::Knn {
+                index: index.clone(),
+                query: "parrots".into(),
+                k: 2,
+                alpha: 1.0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("parrot"));
+
+        let mut out = String::new();
+        run(&Command::Stats { index }, &mut out).unwrap();
+        assert!(out.contains("objects: 5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vector_index_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spbcli-vec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("vecs.csv");
+        std::fs::write(&data, "0.1,0.1\n0.12,0.1\n0.9,0.9\n").unwrap();
+        let index = dir.join("idx");
+
+        let mut out = String::new();
+        run(
+            &Command::Build {
+                input: data,
+                index: index.clone(),
+                schema_flag: "vectors:l2".into(),
+                pivots: 2,
+                curve: "hilbert".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        let mut out = String::new();
+        run(
+            &Command::Count {
+                index: index.clone(),
+                query: "0.1,0.1".into(),
+                radius: 0.05,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.starts_with("2\n"), "out = {out}");
+
+        // Wrong dimensionality is a helpful error, not a panic.
+        let mut out = String::new();
+        let err = run(
+            &Command::Range {
+                index,
+                query: "0.1".into(),
+                radius: 0.1,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("2-dimensional"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,30 @@
+//! `spb-cli` — build and query SPB-tree metric indexes from the shell.
+//!
+//! ```text
+//! spb-cli build --input words.txt --index ./idx --schema words
+//! spb-cli knn   --index ./idx --query similarty --k 5
+//! spb-cli range --index ./idx --query similarty --radius 2
+//! spb-cli count --index ./idx --query similarty --radius 2
+//! spb-cli stats --index ./idx
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match spb_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", spb_cli::usage());
+            std::process::exit(2);
+        }
+    };
+    let mut out = String::new();
+    match spb_cli::run(&cmd, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Count-only range queries.
+//!
+//! `range_count(q, r)` returns `|RQ(q, O, r)|` without materialising the
+//! result set. This is where Lemma 2 shows its full power: an object whose
+//! pivot ball lies inside the query ball (`d(o, pᵢ) ≤ r − d(q, pᵢ)`) is
+//! counted **without an RAF access at all** — a regular range query still
+//! has to fetch the object because it belongs to the result. Aggregations
+//! (`COUNT(*) WHERE dist ≤ r`, selectivity probing for query optimisers)
+//! get the cheapest possible plan.
+
+use std::io;
+
+use spb_bptree::Node;
+use spb_metric::{Distance, MetricObject};
+use spb_sfc::GridBox;
+
+use crate::tree::{QueryStats, SpbTree};
+
+impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
+    /// `|RQ(q, O, r)|` — the number of objects within distance `r` of `q`,
+    /// computed with as little I/O as the pruning lemmas allow.
+    pub fn range_count(&self, q: &O, r: f64) -> io::Result<(u64, QueryStats)> {
+        let _guard = self.latch.read().expect("latch poisoned");
+        let snap = self.snapshot();
+        let mut count = 0u64;
+        if !self.is_empty() && r >= 0.0 {
+            let q_phi = self.table.phi(&self.metric, q);
+            if let Some(rr) = self.table.rr_cells(&q_phi, r) {
+                self.count_traverse(q, &q_phi, r, &rr, &mut count)?;
+            }
+        }
+        Ok((count, self.stats_since(snap)))
+    }
+
+    fn count_traverse(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        r: f64,
+        rr: &GridBox,
+        count: &mut u64,
+    ) -> io::Result<()> {
+        let Some(root) = self.btree.root_page() else {
+            return Ok(());
+        };
+        let ops = *self.btree.ops();
+        let root_node = self.btree.read_node(root)?;
+        let Some(root_mbb) = self.btree.node_mbb(&root_node) else {
+            return Ok(());
+        };
+        let mut stack: Vec<(Node, GridBox)> = vec![(root_node, ops.to_box(root_mbb))];
+        let mut cell_buf = vec![0u32; self.table.num_pivots()];
+
+        while let Some((node, mbb)) = stack.pop() {
+            match node {
+                Node::Internal(n) => {
+                    for e in &n.entries {
+                        let child_box = ops.to_box(e.mbb);
+                        if child_box.intersects(rr) {
+                            stack.push((self.btree.read_node(e.child)?, child_box));
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    let contained = rr.contains_box(&mbb);
+                    for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                        self.curve.decode_into(key, &mut cell_buf);
+                        if !contained && !rr.contains_point(&cell_buf) {
+                            continue; // Lemma 1
+                        }
+                        // Lemma 2: count without fetching the object.
+                        let lemma2 = self.use_lemma2
+                            && q_phi
+                                .iter()
+                                .zip(cell_buf.iter())
+                                .any(|(&dq, &c)| self.table.cell_dist_hi(c) <= r - dq);
+                        if lemma2 {
+                            *count += 1;
+                            continue;
+                        }
+                        let (_, o) = self.fetch(off)?;
+                        if self.metric.distance(q, &o) <= r {
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SpbConfig;
+    use crate::tree::SpbTree;
+    use spb_metric::{dataset, Distance};
+    use spb_storage::TempDir;
+
+    #[test]
+    fn count_matches_range_result_size() {
+        let data = dataset::words(600, 121);
+        let metric = dataset::words_metric();
+        let dir = TempDir::new("count-match");
+        let tree = SpbTree::build(dir.path(), &data, metric, &SpbConfig::default()).unwrap();
+        for q in data.iter().take(6) {
+            for r in [0.0, 1.0, 3.0, 8.0] {
+                let (hits, _) = tree.range(q, r).unwrap();
+                let (count, _) = tree.range_count(q, r).unwrap();
+                assert_eq!(count as usize, hits.len(), "r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_never_costs_more_io_than_materialising() {
+        let data = dataset::words(2000, 122);
+        let dir = TempDir::new("count-io");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let q = &data[0];
+        // A generous radius makes Lemma 2 fire for objects near pivots.
+        let r = 20.0;
+        tree.flush_caches();
+        let (_, full) = tree.range(q, r).unwrap();
+        tree.flush_caches();
+        let (_, cnt) = tree.range_count(q, r).unwrap();
+        assert!(cnt.page_accesses <= full.page_accesses);
+        assert!(cnt.compdists <= full.compdists);
+    }
+
+    #[test]
+    fn lemma2_skips_fetches_in_count_queries() {
+        // Query at a pivot with a huge radius: every object within r − 0
+        // of the pivot is Lemma-2-countable without an RAF access.
+        let data = dataset::words(2000, 123);
+        let dir = TempDir::new("count-l2");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let pivot = tree.table().pivots()[0].clone();
+        let r = tree.table().d_plus(); // covers everything
+        tree.flush_caches();
+        let (count, stats) = tree.range_count(&pivot, r).unwrap();
+        assert_eq!(count, 2000);
+        // Everything is accepted by Lemma 2 (d(o,p) <= r - 0): the RAF is
+        // never touched and no object distances are computed.
+        assert_eq!(stats.raf_pa, 0, "Lemma 2 must skip all RAF accesses");
+        assert_eq!(stats.compdists, tree.table().num_pivots() as u64);
+    }
+
+    #[test]
+    fn empty_tree_counts_zero() {
+        let data = dataset::words(1, 124);
+        let dir = TempDir::new("count-one");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let (_, _) = tree.delete(&data[0]).unwrap();
+        let (count, _) = tree.range_count(&data[0], 34.0).unwrap();
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! NNA — the kNN Query Algorithm (Algorithm 2).
+//!
+//! Best-first traversal over the B⁺-tree in ascending `MIND(q, E)` — the
+//! `L∞` lower-bound distance between the mapped query point and an entry's
+//! MBB (node entries) or grid cell (leaf entries). Lemma 3 prunes entries
+//! with `MIND ≥ curND_k`; by Lemma 4 the traversal verifies exactly the
+//! objects inside `RR(q, ND_k)`, making it optimal in distance
+//! computations.
+//!
+//! Two traversal strategies reproduce Table 5:
+//!
+//! * [`Traversal::Incremental`] — objects enter the priority queue
+//!   individually and are verified in globally ascending MIND order
+//!   (fewest distance computations; RAF access order can ping-pong);
+//! * [`Traversal::Greedy`] — when a leaf is visited, its qualifying
+//!   objects are verified immediately (sequential RAF access at the cost
+//!   of some extra distance computations; the paper's default for DNA).
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::io;
+
+use spb_bptree::Node;
+use spb_metric::{Distance, MetricObject};
+
+use crate::tree::{QueryStats, SpbTree};
+
+/// kNN traversal strategy (Section 4.3, Table 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Traversal {
+    /// Verify objects in globally ascending `MIND` order.
+    Incremental,
+    /// Verify each leaf's qualifying objects as the leaf is visited.
+    Greedy,
+}
+
+/// Priority-queue item: a node or a single object, keyed by MIND.
+struct HeapItem {
+    mind: f64,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Node(spb_storage::PageId),
+    Object { offset: u64 },
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.mind == other.mind
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reverse: BinaryHeap is a max-heap, we need min-MIND first.
+        other.mind.total_cmp(&self.mind)
+    }
+}
+
+/// Result-set item for the k-best max-heap.
+struct Best<O> {
+    dist: f64,
+    id: u32,
+    obj: O,
+}
+
+impl<O> PartialEq for Best<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<O> Eq for Best<O> {}
+impl<O> PartialOrd for Best<O> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl<O> Ord for Best<O> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
+    /// `kNN(q, k)` with the default incremental traversal (Definition 3).
+    /// Returns `(id, object, distance)` triples in ascending distance
+    /// order; fewer than `k` only when the index holds fewer objects.
+    pub fn knn(&self, q: &O, k: usize) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+        self.knn_with(q, k, Traversal::Incremental)
+    }
+
+    /// `kNN(q, k)` with an explicit traversal strategy.
+    pub fn knn_with(
+        &self,
+        q: &O,
+        k: usize,
+        traversal: Traversal,
+    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+        self.knn_full(q, k, traversal, 1.0)
+    }
+
+    /// α-approximate `kNN(q, k)` (`alpha ≥ 1`): the traversal terminates
+    /// once `α · MIND(q, E) ≥ curND_k`, so every returned distance is at
+    /// most `α` times the true k-th NN distance. `alpha = 1` is exact
+    /// (Lemma 3); larger values trade accuracy for fewer distance
+    /// computations and page accesses — the standard contract of
+    /// approximate metric search (cf. the M-Index's approximate mode).
+    pub fn knn_approx(
+        &self,
+        q: &O,
+        k: usize,
+        alpha: f64,
+    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+        assert!(alpha >= 1.0, "alpha must be >= 1");
+        self.knn_full(q, k, Traversal::Incremental, alpha)
+    }
+
+    fn knn_full(
+        &self,
+        q: &O,
+        k: usize,
+        traversal: Traversal,
+        alpha: f64,
+    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+        let _guard = self.latch.read().expect("latch poisoned");
+        let snap = self.snapshot();
+        let mut best: BinaryHeap<Best<O>> = BinaryHeap::new();
+        if k > 0 && !self.is_empty() {
+            let q_phi = self.table.phi(&self.metric, q);
+            self.knn_traverse(q, &q_phi, k, traversal, alpha, &mut best)?;
+        }
+        let mut out: Vec<(u32, O, f64)> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|b| (b.id, b.obj, b.dist))
+            .collect();
+        // into_sorted_vec is ascending by dist already; keep ids stable for
+        // ties by distance then id.
+        out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        Ok((out, self.stats_since(snap)))
+    }
+
+    fn knn_traverse(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        k: usize,
+        traversal: Traversal,
+        alpha: f64,
+        best: &mut BinaryHeap<Best<O>>,
+    ) -> io::Result<()> {
+        let Some(root) = self.btree.root_page() else {
+            return Ok(());
+        };
+        let ops = *self.btree.ops();
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        heap.push(HeapItem {
+            mind: 0.0,
+            kind: ItemKind::Node(root),
+        });
+
+        let cur_nd = |best: &BinaryHeap<Best<O>>| {
+            if best.len() < k {
+                f64::INFINITY
+            } else {
+                best.peek().expect("non-empty").dist
+            }
+        };
+        let mut cell_buf = vec![0u32; self.table.num_pivots()];
+
+        while let Some(item) = heap.pop() {
+            // Lemma 3 early termination (α-relaxed): the frontier's lower
+            // bound already reaches the current k-th NN distance.
+            if item.mind * alpha >= cur_nd(best) {
+                break;
+            }
+            match item.kind {
+                ItemKind::Node(page) => match self.btree.read_node(page)? {
+                    Node::Internal(n) => {
+                        for e in &n.entries {
+                            let mind = self.table.mind_box(q_phi, &ops.to_box(e.mbb));
+                            if mind * alpha < cur_nd(best) {
+                                heap.push(HeapItem {
+                                    mind,
+                                    kind: ItemKind::Node(e.child),
+                                });
+                            }
+                        }
+                    }
+                    Node::Leaf(leaf) => {
+                        for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                            self.curve.decode_into(key, &mut cell_buf);
+                            let mind = self.table.mind_cell(q_phi, &cell_buf);
+                            if mind * alpha >= cur_nd(best) {
+                                continue;
+                            }
+                            match traversal {
+                                Traversal::Incremental => heap.push(HeapItem {
+                                    mind,
+                                    kind: ItemKind::Object { offset: off },
+                                }),
+                                Traversal::Greedy => {
+                                    self.verify_knn(q, k, off, best)?;
+                                }
+                            }
+                        }
+                    }
+                },
+                ItemKind::Object { offset } => {
+                    self.verify_knn(q, k, offset, best)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn verify_knn(
+        &self,
+        q: &O,
+        k: usize,
+        offset: u64,
+        best: &mut BinaryHeap<Best<O>>,
+    ) -> io::Result<()> {
+        let (id, o) = self.fetch(offset)?;
+        let d = self.metric.distance(q, &o);
+        if best.len() < k {
+            best.push(Best { dist: d, id, obj: o });
+        } else if d < best.peek().expect("non-empty").dist {
+            best.pop();
+            best.push(Best { dist: d, id, obj: o });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Traversal;
+    use crate::config::SpbConfig;
+    use crate::tree::SpbTree;
+    use spb_metric::{dataset, Distance, MetricObject};
+    use spb_storage::TempDir;
+
+    /// Brute-force k-th NN distance (handles ties: any valid kNN set has
+    /// exactly this multiset of distances).
+    fn brute_knn_dists<O: MetricObject, D: Distance<O>>(
+        data: &[O],
+        metric: &D,
+        q: &O,
+        k: usize,
+    ) -> Vec<f64> {
+        let mut d: Vec<f64> = data.iter().map(|o| metric.distance(q, o)).collect();
+        d.sort_by(f64::total_cmp);
+        d.truncate(k);
+        d
+    }
+
+    fn check<O: MetricObject, D: Distance<O> + Clone>(data: Vec<O>, metric: D, ks: &[usize]) {
+        let dir = TempDir::new("nna");
+        let tree = SpbTree::build(dir.path(), &data, metric.clone(), &SpbConfig::default()).unwrap();
+        for q in data.iter().take(6) {
+            for &k in ks {
+                for traversal in [Traversal::Incremental, Traversal::Greedy] {
+                    let (nn, _) = tree.knn_with(q, k, traversal).unwrap();
+                    let got: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
+                    let want = brute_knn_dists(&data, &metric, q, k);
+                    assert_eq!(got.len(), want.len().min(data.len()));
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g - w).abs() < 1e-9,
+                            "{traversal:?} k={k}: got {got:?} want {want:?}"
+                        );
+                    }
+                    // Distances are self-consistent with the returned objects.
+                    for (_, o, d) in &nn {
+                        assert!((metric.distance(q, o) - d).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nna_matches_bruteforce_words() {
+        check(dataset::words(600, 31), dataset::words_metric(), &[1, 4, 8]);
+    }
+
+    #[test]
+    fn nna_matches_bruteforce_color() {
+        check(dataset::color(500, 32), dataset::color_metric(), &[1, 8, 16]);
+    }
+
+    #[test]
+    fn nna_matches_bruteforce_signature() {
+        check(dataset::signature(400, 33), dataset::signature_metric(), &[2, 8]);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_all() {
+        let data = dataset::words(50, 34);
+        let dir = TempDir::new("nna-all");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+                .unwrap();
+        let (nn, _) = tree.knn(&data[0], 100).unwrap();
+        assert_eq!(nn.len(), 50);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let data = dataset::words(50, 35);
+        let dir = TempDir::new("nna-zero");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+                .unwrap();
+        let (nn, stats) = tree.knn(&data[0], 0).unwrap();
+        assert!(nn.is_empty());
+        assert_eq!(stats.compdists, 0);
+    }
+
+    #[test]
+    fn first_neighbour_of_indexed_query_is_itself() {
+        let data = dataset::color(300, 36);
+        let dir = TempDir::new("nna-self");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::color_metric(), &SpbConfig::default())
+                .unwrap();
+        let (nn, _) = tree.knn(&data[7], 1).unwrap();
+        assert_eq!(nn[0].2, 0.0);
+    }
+
+    #[test]
+    fn approx_knn_respects_alpha_contract() {
+        let data = dataset::color(1500, 38);
+        let dir = TempDir::new("nna-approx");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::color_metric(), &SpbConfig::default())
+                .unwrap();
+        for q in data.iter().take(6) {
+            let (exact, _) = tree.knn(q, 8).unwrap();
+            let true_ndk = exact.last().unwrap().2;
+            for alpha in [1.0, 1.5, 3.0] {
+                let (approx, _) = tree.knn_approx(q, 8, alpha).unwrap();
+                assert_eq!(approx.len(), 8);
+                for &(_, _, d) in &approx {
+                    assert!(
+                        d <= alpha * true_ndk + 1e-9,
+                        "alpha={alpha}: {d} > {alpha} * {true_ndk}"
+                    );
+                }
+            }
+            // alpha = 1 must be exact.
+            let (a1, _) = tree.knn_approx(q, 8, 1.0).unwrap();
+            for (x, y) in a1.iter().zip(&exact) {
+                assert!((x.2 - y.2).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_knn_reduces_work() {
+        let data = dataset::words(2000, 39);
+        let dir = TempDir::new("nna-approx-cost");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+                .unwrap();
+        let mut exact_cd = 0u64;
+        let mut approx_cd = 0u64;
+        for q in data.iter().take(10) {
+            tree.flush_caches();
+            let (_, e) = tree.knn(q, 8).unwrap();
+            tree.flush_caches();
+            let (_, a) = tree.knn_approx(q, 8, 2.0).unwrap();
+            exact_cd += e.compdists;
+            approx_cd += a.compdists;
+        }
+        assert!(
+            approx_cd < exact_cd,
+            "alpha=2 must compute fewer distances: {approx_cd} vs {exact_cd}"
+        );
+    }
+
+    #[test]
+    fn incremental_never_computes_more_distances_than_greedy() {
+        // Lemma 4: the incremental strategy is optimal in compdists.
+        let data = dataset::words(800, 37);
+        let dir = TempDir::new("nna-cmp");
+        let tree =
+            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+                .unwrap();
+        for q in data.iter().take(5) {
+            tree.flush_caches();
+            let (_, inc) = tree.knn_with(q, 8, Traversal::Incremental).unwrap();
+            tree.flush_caches();
+            let (_, gre) = tree.knn_with(q, 8, Traversal::Greedy).unwrap();
+            assert!(
+                inc.compdists <= gre.compdists,
+                "incremental {} > greedy {}",
+                inc.compdists,
+                gre.compdists
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # The SPB-tree
+//!
+//! The **S**pace-filling curve and **P**ivot-based **B**⁺-tree (Chen, Gao,
+//! Li, Jensen, Chen: *Efficient Metric Indexing for Similarity Search*,
+//! ICDE 2015, and its similarity-join extension) — a disk-based metric
+//! access method built from three parts (Fig. 4):
+//!
+//! 1. a **pivot table** mapping objects `o` of a generic metric space to
+//!    vectors `φ(o) = ⟨d(o, p₁), …, d(o, p_|P|)⟩`, whose `L∞` distance
+//!    lower-bounds the metric distance;
+//! 2. a **B⁺-tree** over the space-filling-curve values of the
+//!    δ-discretised vectors, with per-subtree MBBs in its internal entries;
+//! 3. a **random access file (RAF)** storing the objects themselves in
+//!    ascending SFC order.
+//!
+//! Supported operations, each matching a numbered algorithm of the paper:
+//!
+//! | Operation | Paper | Entry point |
+//! |---|---|---|
+//! | Bulk-loading | Appendix B | [`SpbTree::build`] |
+//! | Insertion / deletion | Appendix C | [`SpbTree::insert`], [`SpbTree::delete`] |
+//! | Range query (RQA) | Algorithm 1 | [`SpbTree::range`] |
+//! | kNN query (NNA) | Algorithm 2 | [`SpbTree::knn`] |
+//! | Similarity join (SJA) | Algorithm 3 | [`similarity_join`] |
+//! | Cost models | eqs. 1–8 | [`CostModel`] |
+//! | Count-only range query | extension | [`SpbTree::range_count`] |
+//! | α-approximate kNN | extension | [`SpbTree::knn_approx`] |
+//! | Persistence | — | [`SpbTree::open`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use spb_core::{SpbConfig, SpbTree};
+//! use spb_metric::{dataset, EditDistance};
+//! use spb_storage::TempDir;
+//!
+//! let dir = TempDir::new("spb-doc");
+//! let words = dataset::words(1000, 42);
+//! let tree = SpbTree::build(dir.path(), &words, EditDistance::default(),
+//!                           &SpbConfig::default()).unwrap();
+//!
+//! // All words within edit distance 2 of a query word:
+//! let (hits, stats) = tree.range(&words[0], 2.0).unwrap();
+//! assert!(hits.iter().any(|(_, w)| w == &words[0]));
+//! assert!(stats.compdists < 1000, "pivots must prune most comparisons");
+//!
+//! // The 5 most similar words:
+//! let (nn, _) = tree.knn(&words[0], 5).unwrap();
+//! assert_eq!(nn.len(), 5);
+//! assert_eq!(nn[0].2, 0.0); // the word itself
+//! ```
+
+mod config;
+mod cost;
+mod count;
+mod join;
+mod knn;
+mod mapping;
+mod range;
+mod tree;
+
+pub use config::SpbConfig;
+pub use cost::{CostEstimate, CostModel};
+pub use join::{similarity_join, JoinPair};
+pub use knn::Traversal;
+pub use mapping::{PivotTable, SfcMbbOps};
+pub use tree::{BuildStats, QueryStats, SpbTree};

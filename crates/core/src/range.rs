@@ -1,0 +1,289 @@
+//! RQA — the Range Query Algorithm (Algorithm 1).
+//!
+//! A range query `RQ(q, O, r)` maps to the *mapped range region*
+//! `RR(q, r)` (Lemma 1): only objects whose mapped vectors fall inside it
+//! can qualify. The traversal prunes B⁺-tree subtrees whose MBBs miss
+//! `RR`, and per-object verification uses three tiers, cheapest first:
+//!
+//! 1. **Lemma 1** — discard when `φ(o) ∉ RR(q, r)` (decode the key; no
+//!    distance computation, no RAF access);
+//! 2. **Lemma 2** — accept without computing `d(q, o)` when some pivot
+//!    `pᵢ` has `d(o, pᵢ) ≤ r − d(q, pᵢ)` (the object's whole pivot ball
+//!    lies inside the query ball);
+//! 3. otherwise fetch the object and compute `d(q, o)`.
+//!
+//! Leaf processing follows the paper's three-way split (lines 11–23): if
+//! the leaf's MBB is contained in `RR` the Lemma-1 check is skipped; if the
+//! intersected region holds fewer cells than the leaf has entries, the
+//! cells' SFC values are enumerated and merge-joined against the leaf
+//! (avoiding per-entry decode); otherwise every entry is checked.
+
+use std::io;
+
+use spb_bptree::Node;
+use spb_metric::{Distance, MetricObject};
+use spb_sfc::GridBox;
+
+use crate::tree::{QueryStats, SpbTree};
+
+impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
+    /// `RQ(q, O, r)`: all indexed objects within distance `r` of `q`
+    /// (Definition 2), with the query's cost metrics.
+    pub fn range(&self, q: &O, r: f64) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
+        let _guard = self.latch.read().expect("latch poisoned");
+        let snap = self.snapshot();
+        let mut result = Vec::new();
+        if !self.is_empty() && r >= 0.0 {
+            let q_phi = self.table.phi(&self.metric, q);
+            if let Some(rr) = self.table.rr_cells(&q_phi, r) {
+                self.range_traverse(q, &q_phi, r, &rr, &mut result)?;
+            }
+        }
+        Ok((result, self.stats_since(snap)))
+    }
+
+    fn range_traverse(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        r: f64,
+        rr: &GridBox,
+        result: &mut Vec<(u32, O)>,
+    ) -> io::Result<()> {
+        let Some(root) = self.btree.root_page() else {
+            return Ok(());
+        };
+        let ops = *self.btree.ops();
+        // The root has no parent entry carrying its MBB; compute it lazily.
+        let root_node = self.btree.read_node(root)?;
+        let Some(root_mbb) = self.btree.node_mbb(&root_node) else {
+            return Ok(());
+        };
+        let mut stack: Vec<(Node, GridBox)> = vec![(root_node, ops.to_box(root_mbb))];
+
+        let mut cell_buf = vec![0u32; self.table.num_pivots()];
+        while let Some((node, mbb)) = stack.pop() {
+            match node {
+                Node::Internal(n) => {
+                    for e in &n.entries {
+                        let child_box = ops.to_box(e.mbb);
+                        if child_box.intersects(rr) {
+                            stack.push((self.btree.read_node(e.child)?, child_box));
+                        }
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    if rr.contains_box(&mbb) {
+                        // MBB(N) ⊆ RR: Lemma 1 holds for every entry.
+                        for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                            self.verify_rq(q, q_phi, r, rr, key, off, false, &mut cell_buf, result)?;
+                        }
+                    } else {
+                        let inter = mbb
+                            .intersection(rr)
+                            .expect("pushed nodes intersect RR");
+                        if self.use_cell_merge && inter.cell_count() < leaf.keys.len() as u128 {
+                            // Enumerate the intersected region's SFC values
+                            // and merge with the (sorted) leaf entries.
+                            let svals = inter.sfc_values_sorted(&self.curve);
+                            let mut si = 0usize;
+                            let mut ei = 0usize;
+                            while si < svals.len() && ei < leaf.keys.len() {
+                                if leaf.keys[ei] == svals[si] {
+                                    self.verify_rq(
+                                        q, q_phi, r, rr, leaf.keys[ei], leaf.values[ei], false,
+                                        &mut cell_buf, result,
+                                    )?;
+                                    ei += 1; // same SFC value may repeat in the leaf
+                                } else if leaf.keys[ei] > svals[si] {
+                                    si += 1;
+                                } else {
+                                    ei += 1;
+                                }
+                            }
+                        } else {
+                            for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                                self.verify_rq(
+                                    q, q_phi, r, rr, key, off, true, &mut cell_buf, result,
+                                )?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's `VerifyRQ(e, flag)` (Algorithm 1 lines 25–29).
+    #[allow(clippy::too_many_arguments)]
+    fn verify_rq(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        r: f64,
+        rr: &GridBox,
+        key: u128,
+        offset: u64,
+        check_rr: bool,
+        cell_buf: &mut [u32],
+        result: &mut Vec<(u32, O)>,
+    ) -> io::Result<()> {
+        self.curve.decode_into(key, cell_buf);
+        // Lemma 1 (only when the caller could not already guarantee it).
+        if check_rr && !rr.contains_point(cell_buf) {
+            return Ok(());
+        }
+        // Lemma 2: accept without a distance computation when the object's
+        // ball around some pivot is inside the query ball. The object still
+        // has to be fetched — it is part of the result.
+        let lemma2 = self.use_lemma2
+            && q_phi
+                .iter()
+                .zip(cell_buf.iter())
+                .any(|(&dq, &c)| self.table.cell_dist_hi(c) <= r - dq);
+        let (id, o) = self.fetch(offset)?;
+        if lemma2 {
+            result.push((id, o));
+            return Ok(());
+        }
+        if self.metric.distance(q, &o) <= r {
+            result.push((id, o));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SpbConfig;
+    use crate::tree::SpbTree;
+    use spb_metric::{dataset, Distance, MetricObject};
+    use spb_sfc::CurveKind;
+    use spb_storage::TempDir;
+
+    fn brute_range<O: MetricObject, D: Distance<O>>(
+        data: &[O],
+        metric: &D,
+        q: &O,
+        r: f64,
+    ) -> Vec<u32> {
+        let mut ids: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| metric.distance(q, o) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn check_against_bruteforce<O: MetricObject, D: Distance<O> + Clone>(
+        data: Vec<O>,
+        metric: D,
+        radii: &[f64],
+        curve: CurveKind,
+    ) {
+        let dir = TempDir::new("rqa");
+        let cfg = SpbConfig {
+            curve,
+            ..SpbConfig::default()
+        };
+        let tree = SpbTree::build(dir.path(), &data, metric.clone(), &cfg).unwrap();
+        for (qi, q) in data.iter().take(8).enumerate() {
+            for &r in radii {
+                let (hits, stats) = tree.range(q, r).unwrap();
+                let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+                got.sort_unstable();
+                let want = brute_range(&data, &metric, q, r);
+                assert_eq!(got, want, "query {qi}, r={r}");
+                assert!(stats.compdists <= data.len() as u64 + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn rqa_matches_bruteforce_words() {
+        check_against_bruteforce(
+            dataset::words(600, 21),
+            dataset::words_metric(),
+            &[0.0, 1.0, 2.0, 4.0],
+            CurveKind::Hilbert,
+        );
+    }
+
+    #[test]
+    fn rqa_matches_bruteforce_color() {
+        check_against_bruteforce(
+            dataset::color(500, 22),
+            dataset::color_metric(),
+            &[0.05, 0.15, 0.4],
+            CurveKind::Hilbert,
+        );
+    }
+
+    #[test]
+    fn rqa_matches_bruteforce_signature() {
+        check_against_bruteforce(
+            dataset::signature(400, 23),
+            dataset::signature_metric(),
+            &[5.0, 15.0, 30.0],
+            CurveKind::Hilbert,
+        );
+    }
+
+    #[test]
+    fn rqa_matches_bruteforce_on_z_curve() {
+        check_against_bruteforce(
+            dataset::words(400, 24),
+            dataset::words_metric(),
+            &[1.0, 3.0],
+            CurveKind::Z,
+        );
+    }
+
+    #[test]
+    fn rqa_matches_bruteforce_dna() {
+        check_against_bruteforce(
+            dataset::dna(300, 25),
+            dataset::dna_metric(),
+            &[0.05, 0.2],
+            CurveKind::Hilbert,
+        );
+    }
+
+    #[test]
+    fn whole_space_radius_returns_everything() {
+        let data = dataset::words(200, 26);
+        let dir = TempDir::new("rqa-all");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let (hits, _) = tree.range(&data[0], 34.0).unwrap();
+        assert_eq!(hits.len(), 200);
+    }
+
+    #[test]
+    fn pivots_prune_distance_computations() {
+        // The index exists to compute far fewer distances than a scan.
+        let data = dataset::color(2000, 27);
+        let dir = TempDir::new("rqa-prune");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::color_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let (_, stats) = tree.range(&data[0], 0.05).unwrap();
+        assert!(
+            stats.compdists < 400,
+            "expected strong pruning, got {} compdists",
+            stats.compdists
+        );
+    }
+}

@@ -1,0 +1,694 @@
+//! The SPB-tree structure: construction (Appendix B), updates (Appendix C)
+//! and bookkeeping. Query algorithms live in `range`, `knn` and `join`.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+use spb_bptree::BPlusTree;
+use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
+use spb_pivots::select_pivots;
+use spb_sfc::Sfc;
+use spb_storage::{IoStats, Raf, RafPtr};
+
+use crate::config::SpbConfig;
+use crate::cost::CostModel;
+use crate::mapping::{PivotTable, SfcMbbOps};
+
+/// Costs of building the index (one row of Table 6).
+#[derive(Clone, Copy, Debug)]
+pub struct BuildStats {
+    /// Distance computations for mapping every object (`|O| · |P|`).
+    pub compdists: u64,
+    /// Distance computations spent selecting pivots (reported separately,
+    /// as the paper's construction counts reflect the mapping only).
+    pub pivot_compdists: u64,
+    /// Page accesses (reads + writes) during construction.
+    pub page_accesses: u64,
+    /// Wall-clock construction time.
+    pub duration: Duration,
+    /// Total storage (B⁺-tree + RAF) in bytes.
+    pub storage_bytes: u64,
+    /// Number of indexed objects.
+    pub num_objects: u64,
+}
+
+/// Per-query cost metrics — the paper's three performance measures.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// Number of distance computations (*compdists*).
+    pub compdists: u64,
+    /// Number of page accesses (*PA*): B⁺-tree plus RAF.
+    pub page_accesses: u64,
+    /// B⁺-tree share of the page accesses.
+    pub btree_pa: u64,
+    /// RAF share of the page accesses.
+    pub raf_pa: u64,
+    /// Wall-clock time.
+    pub duration: Duration,
+}
+
+impl QueryStats {
+    /// Element-wise sum (for averaging workloads).
+    pub fn add(&mut self, other: &QueryStats) {
+        self.compdists += other.compdists;
+        self.page_accesses += other.page_accesses;
+        self.btree_pa += other.btree_pa;
+        self.raf_pa += other.raf_pa;
+        self.duration += other.duration;
+    }
+}
+
+/// The SPB-tree (see the crate docs for the big picture).
+pub struct SpbTree<O: MetricObject, D: Distance<O>> {
+    pub(crate) metric: CountingDistance<D>,
+    pub(crate) counter: DistCounter,
+    pub(crate) table: PivotTable<O>,
+    pub(crate) curve: Sfc,
+    pub(crate) btree: BPlusTree<SfcMbbOps>,
+    pub(crate) raf: Raf,
+    pub(crate) cost: CostModel,
+    len: AtomicU64,
+    next_id: AtomicU32,
+    build_stats: BuildStats,
+    dir: std::path::PathBuf,
+    pub(crate) use_lemma2: bool,
+    pub(crate) use_cell_merge: bool,
+    /// Structure latch: queries take it shared, updates exclusively, so a
+    /// reader never observes a half-applied B⁺-tree split (node pages are
+    /// written one at a time). Queries are fully concurrent with each
+    /// other; updates serialise with everything.
+    pub(crate) latch: RwLock<()>,
+}
+
+impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
+    /// Builds an SPB-tree over `objects` in directory `dir` (three files:
+    /// `index.bpt`, `objects.raf`, `pivots.tbl`).
+    ///
+    /// Pivots are selected with `config.pivot_method` (HFI by default),
+    /// every object is mapped (`|O| · |P|` distance computations), objects
+    /// are sorted by SFC value, written to the RAF in that order, and the
+    /// B⁺-tree is bulk-loaded bottom-up — Appendix B.
+    pub fn build(dir: &Path, objects: &[O], metric: D, config: &SpbConfig) -> io::Result<Self> {
+        // Pivot selection runs on the raw metric with its own counter so the
+        // construction compdists match the paper's accounting (mapping only).
+        let pivot_counter = DistCounter::new();
+        let selection_metric = CountingDistance::with_counter(&metric, pivot_counter.clone());
+        let pivot_idx = select_pivots(
+            config.pivot_method,
+            objects,
+            &selection_metric,
+            config.num_pivots,
+            &config.pivot_config,
+        );
+        let pivots: Vec<O> = pivot_idx.iter().map(|&i| objects[i].clone()).collect();
+        Self::build_with_pivots(dir, objects, metric, pivots, config, pivot_counter.get())
+    }
+
+    /// Builds with an explicitly provided pivot set. The similarity join
+    /// requires both joined trees to share one pivot table (their SFC
+    /// values must be comparable), so the second tree is built with the
+    /// first tree's pivots.
+    pub fn build_with_pivots(
+        dir: &Path,
+        objects: &[O],
+        metric: D,
+        pivots: Vec<O>,
+        config: &SpbConfig,
+        pivot_compdists: u64,
+    ) -> io::Result<Self> {
+        let start = Instant::now();
+        std::fs::create_dir_all(dir)?;
+        let counter = DistCounter::new();
+        let metric = CountingDistance::with_counter(metric, counter.clone());
+
+        let table = PivotTable::new(pivots, &metric, config.delta);
+        table.save(&dir.join("pivots.tbl"))?;
+        let curve = table.curve(config.curve);
+
+        // Map every object: |O| · |P| counted distance computations.
+        let mut mapped: Vec<(u128, usize, Vec<f64>)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let phi = table.phi(&metric, o);
+                let cell = table.cell_of_phi(&phi);
+                (curve.encode(&cell), i, phi)
+            })
+            .collect();
+        mapped.sort_unstable_by_key(|&(sfc, idx, _)| (sfc, idx));
+
+        // RAF in ascending SFC order.
+        let raf = Raf::create(&dir.join("objects.raf"), config.cache_pages)?;
+        let mut entries: Vec<(u128, u64)> = Vec::with_capacity(mapped.len());
+        let mut buf = Vec::new();
+        for &(sfc, idx, _) in &mapped {
+            buf.clear();
+            objects[idx].encode(&mut buf);
+            let ptr = raf.append(idx as u32, &buf)?;
+            entries.push((sfc, ptr.offset));
+        }
+        raf.flush()?;
+
+        // Bulk-load the B+-tree bottom-up.
+        let btree = BPlusTree::create(
+            &dir.join("index.bpt"),
+            config.cache_pages,
+            SfcMbbOps::new(curve),
+        )?;
+        btree.bulk_load(entries)?;
+
+        // Cost model: per-pivot histograms + mapped-vector sample come for
+        // free from the φ values computed above; the node-MBB mirror is
+        // read back from the finished tree. A 200-pair precision probe
+        // calibrates the kNN radius estimator — its distances run on the
+        // raw metric so construction compdists stay the paper's |O| · |P|.
+        let precision = Self::measure_precision(
+            objects,
+            metric.inner(),
+            &mapped
+                .iter()
+                .map(|(_, idx, phi)| (*idx, phi.as_slice()))
+                .collect::<Vec<_>>(),
+        );
+        let cost = CostModel::from_build(
+            &table,
+            mapped.iter().map(|(_, _, phi)| phi.as_slice()),
+            &btree,
+            &raf,
+            config,
+            precision,
+        )?;
+
+        let build_pa =
+            btree.io_stats().page_accesses() + raf.io_stats().page_accesses();
+        let storage_bytes = (btree.num_pages() + raf.num_pages()) * spb_storage::PAGE_SIZE as u64;
+        let build_stats = BuildStats {
+            compdists: counter.get(),
+            pivot_compdists,
+            page_accesses: build_pa,
+            duration: start.elapsed(),
+            storage_bytes,
+            num_objects: objects.len() as u64,
+        };
+
+        btree.pool().reset_stats();
+        raf.reset_stats();
+        counter.reset();
+
+        let tree = SpbTree {
+            metric,
+            counter,
+            table,
+            curve,
+            btree,
+            raf,
+            cost,
+            len: AtomicU64::new(objects.len() as u64),
+            next_id: AtomicU32::new(objects.len() as u32),
+            build_stats,
+            dir: dir.to_path_buf(),
+            use_lemma2: config.use_lemma2,
+            use_cell_merge: config.use_cell_merge,
+            latch: RwLock::new(()),
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Re-opens an SPB-tree previously written to `dir`.
+    ///
+    /// The pivot table, B⁺-tree and RAF are memory-mapped from their
+    /// files; the cost model is reconstructed from the B⁺-tree keys alone
+    /// (each key decodes to the object's grid cell, a δ-accurate proxy for
+    /// `φ(o)`), so reopening computes **no** distances.
+    pub fn open(dir: &Path, metric: D, cache_pages: usize) -> io::Result<Self> {
+        let counter = DistCounter::new();
+        let metric = CountingDistance::with_counter(metric, counter.clone());
+        let table: PivotTable<O> = PivotTable::load(&dir.join("pivots.tbl"))?;
+        let meta = std::fs::read_to_string(dir.join("spb.meta"))?;
+        let mut curve_kind = spb_sfc::CurveKind::Hilbert;
+        let mut len: u64 = 0;
+        let mut next_id: u32 = 0;
+        for line in meta.lines() {
+            match line.split_once('=') {
+                Some(("curve", "z")) => curve_kind = spb_sfc::CurveKind::Z,
+                Some(("curve", _)) => curve_kind = spb_sfc::CurveKind::Hilbert,
+                Some(("len", v)) => {
+                    len = v.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "corrupt spb.meta: len")
+                    })?;
+                }
+                Some(("next_id", v)) => {
+                    next_id = v.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "corrupt spb.meta: next_id")
+                    })?;
+                }
+                _ => {}
+            }
+        }
+        let curve = table.curve(curve_kind);
+        let btree = BPlusTree::open(&dir.join("index.bpt"), cache_pages, SfcMbbOps::new(curve))?;
+        let raf = Raf::open(&dir.join("objects.raf"), cache_pages)?;
+
+        // δ-accurate φ proxies from the stored keys.
+        let half = if table.is_discrete() {
+            0.0
+        } else {
+            table.delta() / 2.0
+        };
+        let phis: Vec<Vec<f64>> = btree
+            .scan_all()?
+            .into_iter()
+            .map(|(key, _)| {
+                curve
+                    .decode(key)
+                    .into_iter()
+                    .map(|c| table.cell_dist_lo(c) + half)
+                    .collect()
+            })
+            .collect();
+        let config = crate::config::SpbConfig {
+            curve: curve_kind,
+            cache_pages,
+            ..crate::config::SpbConfig::default()
+        };
+        // Calibration probe: fetch a slice of objects back from the RAF
+        // and measure pivot precision against their stored cells.
+        let probe: Vec<(u32, O)> = btree
+            .scan_all()?
+            .into_iter()
+            .step_by((len as usize / 200).max(1))
+            .take(200)
+            .map(|(_, off)| -> io::Result<(u32, O)> {
+                let e = raf.get(spb_storage::RafPtr { offset: off })?;
+                Ok((e.id, O::decode(&e.bytes)))
+            })
+            .collect::<io::Result<_>>()?;
+        let probe_mapped: Vec<(usize, Vec<f64>)> = probe
+            .iter()
+            .enumerate()
+            .map(|(i, (_, o))| (i, table.phi(metric.inner(), o)))
+            .collect();
+        let probe_objects: Vec<O> = probe.into_iter().map(|(_, o)| o).collect();
+        let precision = Self::measure_precision(
+            &probe_objects,
+            metric.inner(),
+            &probe_mapped
+                .iter()
+                .map(|(i, phi)| (*i, phi.as_slice()))
+                .collect::<Vec<_>>(),
+        );
+        let cost = CostModel::from_build(
+            &table,
+            phis.iter().map(|p| p.as_slice()),
+            &btree,
+            &raf,
+            &config,
+            precision,
+        )?;
+        btree.pool().reset_stats();
+        raf.reset_stats();
+
+        Ok(SpbTree {
+            metric,
+            counter,
+            table,
+            curve,
+            btree,
+            raf,
+            cost,
+            len: AtomicU64::new(len),
+            next_id: AtomicU32::new(next_id),
+            build_stats: BuildStats {
+                compdists: 0,
+                pivot_compdists: 0,
+                page_accesses: 0,
+                duration: std::time::Duration::ZERO,
+                storage_bytes: 0,
+                num_objects: len,
+            },
+            dir: dir.to_path_buf(),
+            use_lemma2: true,
+            use_cell_merge: true,
+            latch: RwLock::new(()),
+        })
+    }
+
+    /// Definition 1's precision over a deterministic pair sample, reusing
+    /// the already-computed mapped vectors (only the true pairwise
+    /// distances are new work).
+    fn measure_precision(objects: &[O], metric: &D, mapped: &[(usize, &[f64])]) -> f64 {
+        if mapped.len() < 2 {
+            return 1.0;
+        }
+        let mut state: u64 = 0x70c1;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 17) % m) as usize
+        };
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for _ in 0..600 {
+            if n >= 200 {
+                break;
+            }
+            let a = next(mapped.len() as u64);
+            let b = next(mapped.len() as u64);
+            if a == b {
+                continue;
+            }
+            let (ia, pa) = mapped[a];
+            let (ib, pb) = mapped[b];
+            let d = metric.distance(&objects[ia], &objects[ib]);
+            if d <= 0.0 {
+                continue;
+            }
+            let lb = pa
+                .iter()
+                .zip(pb)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f64, f64::max);
+            total += (lb / d).min(1.0);
+            n += 1;
+        }
+        if n == 0 {
+            1.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// Persists the small out-of-band metadata (`spb.meta`). Updates call
+    /// this; it is a plain file write, outside the paged I/O accounting.
+    fn write_meta(&self) -> io::Result<()> {
+        let curve = match self.curve.kind() {
+            spb_sfc::CurveKind::Hilbert => "hilbert",
+            spb_sfc::CurveKind::Z => "z",
+        };
+        std::fs::write(
+            self.dir.join("spb.meta"),
+            format!(
+                "curve={curve}\nlen={}\nnext_id={}\n",
+                self.len.load(Ordering::SeqCst),
+                self.next_id.load(Ordering::SeqCst)
+            ),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (Appendix C).
+    // ------------------------------------------------------------------
+
+    /// Inserts one object: map it (`|P|` distance computations), append to
+    /// the RAF, insert `(SFC, ptr)` into the B⁺-tree, extending MBBs along
+    /// the path.
+    pub fn insert(&self, o: &O) -> io::Result<QueryStats> {
+        let _guard = self.latch.write().expect("latch poisoned");
+        let snap = self.snapshot();
+        let phi = self.table.phi(&self.metric, o);
+        let cell = self.table.cell_of_phi(&phi);
+        let sfc = self.curve.encode(&cell);
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut buf = Vec::new();
+        o.encode(&mut buf);
+        let ptr = self.raf.append(id, &buf)?;
+        self.raf.flush()?;
+        self.btree.insert(sfc, ptr.offset)?;
+        self.len.fetch_add(1, Ordering::SeqCst);
+        self.cost.record_insert(&phi);
+        self.write_meta()?;
+        Ok(self.stats_since(snap))
+    }
+
+    /// Deletes one object equal to `o`. Returns query stats and whether an
+    /// object was removed. The B⁺-tree entry is removed; the RAF record is
+    /// only marked freed (reclaimed by rebuilding, as in the paper).
+    pub fn delete(&self, o: &O) -> io::Result<(bool, QueryStats)> {
+        let _guard = self.latch.write().expect("latch poisoned");
+        let snap = self.snapshot();
+        let phi = self.table.phi(&self.metric, o);
+        let cell = self.table.cell_of_phi(&phi);
+        let sfc = self.curve.encode(&cell);
+        for offset in self.btree.search(sfc)? {
+            let entry = self.raf.get(RafPtr { offset })?;
+            if O::decode(&entry.bytes) == *o {
+                self.btree.delete(sfc, offset)?;
+                self.raf.free(RafPtr { offset })?;
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                self.cost.record_delete();
+                self.write_meta()?;
+                return Ok((true, self.stats_since(snap)));
+            }
+        }
+        Ok((false, self.stats_since(snap)))
+    }
+
+    /// Fetches and decodes the object behind a RAF offset.
+    pub(crate) fn fetch(&self, offset: u64) -> io::Result<(u32, O)> {
+        let entry = self.raf.get(RafPtr { offset })?;
+        Ok((entry.id, O::decode(&entry.bytes)))
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors & accounting.
+    // ------------------------------------------------------------------
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::SeqCst)
+    }
+
+    /// True iff no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Construction costs.
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+
+    /// The pivot table.
+    pub fn table(&self) -> &PivotTable<O> {
+        &self.table
+    }
+
+    /// The space-filling curve in use.
+    pub fn curve(&self) -> &Sfc {
+        &self.curve
+    }
+
+    /// The cost model (eqs. 1–8).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The underlying B⁺-tree.
+    pub fn btree(&self) -> &BPlusTree<SfcMbbOps> {
+        &self.btree
+    }
+
+    /// The underlying RAF.
+    pub fn raf(&self) -> &Raf {
+        &self.raf
+    }
+
+    /// The counting metric (distance computations counted per call).
+    pub fn metric(&self) -> &CountingDistance<D> {
+        &self.metric
+    }
+
+    /// Total storage in bytes (Table 6's "Storage" column).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.btree.num_pages() + self.raf.num_pages()) * spb_storage::PAGE_SIZE as u64
+    }
+
+    /// Flushes both page caches — the paper's per-query cache flush.
+    pub fn flush_caches(&self) {
+        self.btree.pool().flush_cache();
+        self.raf.flush_cache();
+    }
+
+    /// Sets both caches' capacities (Fig. 10's parameter).
+    pub fn set_cache_capacity(&self, pages: usize) {
+        self.btree.pool().set_capacity(pages);
+        self.raf.set_cache_capacity(pages);
+    }
+
+    /// Counter/IO snapshot for differential query accounting.
+    pub(crate) fn snapshot(&self) -> (u64, IoStats, IoStats, Instant) {
+        (
+            self.counter.get(),
+            self.btree.io_stats(),
+            self.raf.io_stats(),
+            Instant::now(),
+        )
+    }
+
+    /// Stats accumulated since `snap`.
+    pub(crate) fn stats_since(&self, snap: (u64, IoStats, IoStats, Instant)) -> QueryStats {
+        let (c0, b0, r0, t0) = snap;
+        let b1 = self.btree.io_stats();
+        let r1 = self.raf.io_stats();
+        let btree_pa = b1.page_accesses() - b0.page_accesses();
+        let raf_pa = r1.page_accesses() - r0.page_accesses();
+        QueryStats {
+            compdists: self.counter.since(c0),
+            page_accesses: btree_pa + raf_pa,
+            btree_pa,
+            raf_pa,
+            duration: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpbConfig;
+    use spb_metric::{dataset, EditDistance, Word};
+    use spb_storage::TempDir;
+
+    fn build_words(n: usize) -> (TempDir, Vec<Word>, SpbTree<Word, EditDistance>) {
+        let dir = TempDir::new("spb-tree");
+        let words = dataset::words(n, 11);
+        let tree = SpbTree::build(
+            dir.path(),
+            &words,
+            EditDistance::default(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        (dir, words, tree)
+    }
+
+    #[test]
+    fn build_accounts_mapping_distances() {
+        let (_d, words, tree) = build_words(500);
+        let s = tree.build_stats();
+        assert_eq!(s.num_objects, 500);
+        // Construction compdists = |O| · |P| exactly (the paper's Table 6
+        // pattern: 5 × |O|).
+        assert_eq!(s.compdists, 500 * tree.table().num_pivots() as u64);
+        assert!(s.pivot_compdists > 0);
+        assert!(s.page_accesses > 0);
+        assert!(s.storage_bytes > 0);
+        assert_eq!(tree.len(), words.len() as u64);
+    }
+
+    #[test]
+    fn raf_holds_objects_in_sfc_order() {
+        let (_d, _words, tree) = build_words(300);
+        // Walking the B+-tree leaves in key order must touch RAF offsets in
+        // ascending order (objects were appended in SFC order).
+        let entries = tree.btree().scan_all().unwrap();
+        assert_eq!(entries.len(), 300);
+        assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        let offsets: Vec<u64> = entries.iter().map(|&(_, v)| v).collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted, "RAF order must follow SFC order");
+    }
+
+    #[test]
+    fn insert_then_delete_roundtrip() {
+        let (_d, _words, tree) = build_words(200);
+        let novel = Word::new("zzzzqqqzzz");
+        let stats = tree.insert(&novel).unwrap();
+        assert_eq!(stats.compdists, tree.table().num_pivots() as u64);
+        assert!(stats.page_accesses > 0);
+        assert_eq!(tree.len(), 201);
+
+        let (found, _) = tree.delete(&novel).unwrap();
+        assert!(found);
+        assert_eq!(tree.len(), 200);
+        let (found_again, _) = tree.delete(&novel).unwrap();
+        assert!(!found_again);
+    }
+
+    #[test]
+    fn delete_distinguishes_same_cell_objects() {
+        // Two different words can share an SFC value (same cell); delete
+        // must remove exactly the requested one.
+        let (_d, words, tree) = build_words(200);
+        let target = words[42].clone();
+        let (found, _) = tree.delete(&target).unwrap();
+        assert!(found);
+        // The others are still all findable by exact range query r=0.
+        let (hits, _) = tree.range(&words[43], 0.0).unwrap();
+        assert!(hits.iter().any(|(_, w)| w == &words[43]));
+        let (gone, _) = tree.range(&target, 0.0).unwrap();
+        assert!(!gone.iter().any(|(_, w)| w == &target));
+    }
+
+    #[test]
+    fn empty_dataset_builds() {
+        let dir = TempDir::new("spb-empty");
+        let words: Vec<Word> = vec![Word::new("solo")];
+        let tree = SpbTree::build(
+            dir.path(),
+            &words,
+            EditDistance::default(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(tree.len(), 1);
+        let (hits, _) = tree.range(&Word::new("solo"), 0.0).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn reopen_preserves_index_and_computes_no_distances() {
+        let dir = TempDir::new("spb-reopen");
+        let words = dataset::words(400, 12);
+        let q = words[5].clone();
+        let expected: Vec<u32>;
+        {
+            let tree = SpbTree::build(
+                dir.path(),
+                &words,
+                EditDistance::default(),
+                &SpbConfig::default(),
+            )
+            .unwrap();
+            let (hits, _) = tree.range(&q, 2.0).unwrap();
+            let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            expected = ids;
+        }
+        let tree = SpbTree::open(dir.path(), EditDistance::default(), 32).unwrap();
+        assert_eq!(tree.len(), 400);
+        // Reopening itself computed no distances.
+        assert_eq!(tree.metric().counter().get(), 0);
+        let (hits, _) = tree.range(&q, 2.0).unwrap();
+        let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, expected);
+        // The reopened tree accepts updates.
+        let novel = Word::new("reopenedword");
+        tree.insert(&novel).unwrap();
+        let (found, _) = tree.delete(&novel).unwrap();
+        assert!(found);
+        // Cost model was rebuilt from the stored keys.
+        assert_eq!(tree.cost_model().num_objects(), 400);
+    }
+
+    #[test]
+    fn stats_reset_between_queries() {
+        let (_d, words, tree) = build_words(300);
+        tree.flush_caches(); // drop pages cached by construction
+        let (_, s1) = tree.range(&words[0], 2.0).unwrap();
+        let (_, s2) = tree.range(&words[0], 2.0).unwrap();
+        // Same query, warm cache: PA can only shrink; compdists identical.
+        assert_eq!(s1.compdists, s2.compdists);
+        assert!(s2.page_accesses <= s1.page_accesses);
+        tree.flush_caches();
+        let (_, s3) = tree.range(&words[0], 2.0).unwrap();
+        assert_eq!(s3.page_accesses, s1.page_accesses);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: on arbitrary small datasets, every SPB-tree
+//! query must agree with brute force, for both curves and all ablation
+//! variants — the pruning lemmas (1–7) as executable properties.
+
+use proptest::prelude::*;
+use spb_core::{similarity_join, SpbConfig, SpbTree, Traversal};
+use spb_metric::{Distance, EditDistance, FloatVec, LpNorm, Word};
+use spb_sfc::CurveKind;
+use spb_storage::TempDir;
+
+fn word_set() -> impl Strategy<Value = Vec<Word>> {
+    proptest::collection::vec("[a-e]{1,8}", 2..60)
+        .prop_map(|ws| ws.into_iter().map(Word::new).collect())
+}
+
+fn vec_set(dim: usize) -> impl Strategy<Value = Vec<FloatVec>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f32..1.0, dim), 2..60)
+        .prop_map(|vs| vs.into_iter().map(FloatVec::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn range_matches_bruteforce_on_random_words(
+        data in word_set(),
+        qi in 0usize..100,
+        r in 0.0f64..6.0,
+        hilbert in any::<bool>(),
+    ) {
+        let dir = TempDir::new("prop-range");
+        let metric = EditDistance::default();
+        let cfg = SpbConfig {
+            curve: if hilbert { CurveKind::Hilbert } else { CurveKind::Z },
+            ..SpbConfig::default()
+        };
+        let tree = SpbTree::build(dir.path(), &data, metric, &cfg).unwrap();
+        let q = &data[qi % data.len()];
+        let (hits, _) = tree.range(q, r).unwrap();
+        let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| metric.distance(q, o) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_bruteforce_on_random_vectors(
+        data in vec_set(3),
+        qi in 0usize..100,
+        k in 1usize..10,
+        greedy in any::<bool>(),
+    ) {
+        let dir = TempDir::new("prop-knn");
+        let metric = LpNorm::l2(3);
+        let tree = SpbTree::build(dir.path(), &data, metric, &SpbConfig::default()).unwrap();
+        let q = &data[qi % data.len()];
+        let traversal = if greedy { Traversal::Greedy } else { Traversal::Incremental };
+        let (nn, _) = tree.knn_with(q, k, traversal).unwrap();
+        let mut want: Vec<f64> = data.iter().map(|o| metric.distance(q, o)).collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(nn.len(), want.len());
+        for (got, want) in nn.iter().map(|&(_, _, d)| d).zip(want) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ablations_never_change_results(
+        data in word_set(),
+        qi in 0usize..100,
+        r in 0.0f64..5.0,
+    ) {
+        let metric = EditDistance::default();
+        let q_idx = qi % data.len();
+        let mut reference: Option<Vec<u32>> = None;
+        for (lemma2, merge) in [(true, true), (false, true), (true, false), (false, false)] {
+            let dir = TempDir::new("prop-abl");
+            let cfg = SpbConfig {
+                use_lemma2: lemma2,
+                use_cell_merge: merge,
+                ..SpbConfig::default()
+            };
+            let tree = SpbTree::build(dir.path(), &data, metric, &cfg).unwrap();
+            let (hits, _) = tree.range(&data[q_idx], r).unwrap();
+            let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            match &reference {
+                None => reference = Some(ids),
+                Some(r0) => prop_assert_eq!(r0, &ids),
+            }
+        }
+    }
+
+    #[test]
+    fn join_matches_bruteforce_on_random_words(
+        q_data in word_set(),
+        o_data in word_set(),
+        eps in 0.0f64..4.0,
+    ) {
+        let metric = EditDistance::default();
+        let (dq, do_) = (TempDir::new("prop-jq"), TempDir::new("prop-jo"));
+        let cfg = SpbConfig::for_join();
+        let spb_o = SpbTree::build(do_.path(), &o_data, metric, &cfg).unwrap();
+        let spb_q = SpbTree::build_with_pivots(
+            dq.path(),
+            &q_data,
+            metric,
+            spb_o.table().pivots().to_vec(),
+            &cfg,
+            0,
+        )
+        .unwrap();
+        let (pairs, _) = similarity_join(&spb_q, &spb_o, eps).unwrap();
+        let mut got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.q_id, p.o_id)).collect();
+        got.sort_unstable();
+        let before = got.len();
+        got.dedup();
+        prop_assert_eq!(before, got.len(), "no duplicate pairs (Lemma 7)");
+        let mut want = Vec::new();
+        for (i, a) in q_data.iter().enumerate() {
+            for (j, b) in o_data.iter().enumerate() {
+                if metric.distance(a, b) <= eps {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insert_equals_bulk_build(
+        data in word_set(),
+        split in 0usize..100,
+    ) {
+        // A tree bulk-loaded on a prefix then fed the rest by insert()
+        // answers exactly like a tree bulk-loaded on everything.
+        let metric = EditDistance::default();
+        let cut = 1 + split % data.len().max(1);
+        let cut = cut.min(data.len());
+        let (d1, d2) = (TempDir::new("prop-ins1"), TempDir::new("prop-ins2"));
+        let full = SpbTree::build(d1.path(), &data, metric, &SpbConfig::default()).unwrap();
+        let incr = SpbTree::build(d2.path(), &data[..cut], metric, &SpbConfig::default()).unwrap();
+        for o in &data[cut..] {
+            incr.insert(o).unwrap();
+        }
+        prop_assert_eq!(full.len(), incr.len());
+        let q = &data[0];
+        for r in [1.0, 3.0] {
+            let (a, _) = full.range(q, r).unwrap();
+            let (b, _) = incr.range(q, r).unwrap();
+            let mut xs: Vec<&str> = a.iter().map(|(_, w)| w.as_str()).collect();
+            let mut ys: Vec<&str> = b.iter().map(|(_, w)| w.as_str()).collect();
+            xs.sort_unstable();
+            ys.sort_unstable();
+            prop_assert_eq!(xs, ys);
+        }
+    }
+}

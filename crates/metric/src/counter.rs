@@ -1,0 +1,133 @@
+//! Distance-computation counting.
+//!
+//! The paper's primary CPU-cost metric is *compdists* — the number of
+//! distance-function evaluations performed by an operation. [`DistCounter`]
+//! is a cheap shared atomic counter and [`CountingDistance`] a transparent
+//! wrapper that increments it on every call, so indexes never have to thread
+//! bookkeeping through their algorithms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::distance::Distance;
+
+/// A shared counter of distance computations.
+///
+/// Cloning is cheap and all clones observe the same count, so an index can
+/// keep one clone while the experiment harness keeps another.
+#[derive(Clone, Debug, Default)]
+pub struct DistCounter(Arc<AtomicU64>);
+
+impl DistCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one computation.
+    #[inline]
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current number of computations.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero (e.g. between queries).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns the count accumulated since `start` (wrapping-safe for the
+    /// realistic case `now >= start`).
+    pub fn since(&self, start: u64) -> u64 {
+        self.get().saturating_sub(start)
+    }
+}
+
+/// A distance function that counts every evaluation in a [`DistCounter`].
+#[derive(Clone, Debug)]
+pub struct CountingDistance<D> {
+    inner: D,
+    counter: DistCounter,
+}
+
+impl<D> CountingDistance<D> {
+    /// Wraps `inner`, counting into a fresh counter.
+    pub fn new(inner: D) -> Self {
+        CountingDistance {
+            inner,
+            counter: DistCounter::new(),
+        }
+    }
+
+    /// Wraps `inner`, counting into an existing shared counter.
+    pub fn with_counter(inner: D, counter: DistCounter) -> Self {
+        CountingDistance { inner, counter }
+    }
+
+    /// A clone of the shared counter.
+    pub fn counter(&self) -> DistCounter {
+        self.counter.clone()
+    }
+
+    /// The wrapped distance function.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<O, D: Distance<O>> Distance<O> for CountingDistance<D> {
+    #[inline]
+    fn distance(&self, a: &O, b: &O) -> f64 {
+        self.counter.bump();
+        self.inner.distance(a, b)
+    }
+
+    fn max_distance(&self) -> f64 {
+        self.inner.max_distance()
+    }
+
+    fn is_discrete(&self) -> bool {
+        self.inner.is_discrete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::EditDistance;
+    use crate::object::Word;
+
+    #[test]
+    fn counts_every_call() {
+        let d = CountingDistance::new(EditDistance::default());
+        let c = d.counter();
+        assert_eq!(c.get(), 0);
+        let a = Word::new("abc");
+        let b = Word::new("abd");
+        assert_eq!(d.distance(&a, &b), 1.0);
+        let _ = d.distance(&a, &a);
+        assert_eq!(c.get(), 2);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_count() {
+        let c = DistCounter::new();
+        let d = CountingDistance::with_counter(EditDistance::default(), c.clone());
+        let start = c.get();
+        let _ = d.distance(&Word::new("x"), &Word::new("y"));
+        assert_eq!(c.since(start), 1);
+    }
+
+    #[test]
+    fn forwards_metadata() {
+        let d = CountingDistance::new(EditDistance::default());
+        assert!(d.is_discrete());
+        assert_eq!(d.max_distance(), 34.0);
+    }
+}

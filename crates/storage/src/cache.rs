@@ -1,0 +1,290 @@
+//! LRU buffer pool and the paper's page-access accounting.
+//!
+//! The paper measures I/O cost as the number of page accesses (*PA*). Its
+//! query experiments put a small LRU cache in front of the index files and
+//! flush it before every query, so *PA* counts pages actually fetched
+//! (duplicates within one query are absorbed by the cache — Fig. 10 sweeps
+//! the cache capacity from 0 to 128 pages). [`BufferPool`] reproduces that
+//! protocol: logical reads, physical reads (misses) and writes are counted
+//! separately, and [`BufferPool::page_accesses`] = misses + writes is the
+//! paper's metric.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+
+/// A snapshot of I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page reads requested by the index code.
+    pub logical_reads: u64,
+    /// Reads that missed the cache and touched the pager.
+    pub physical_reads: u64,
+    /// Page writes (write-through: every write touches the pager).
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// The paper's *PA*: physical reads plus writes.
+    pub fn page_accesses(&self) -> u64 {
+        self.physical_reads + self.writes
+    }
+}
+
+struct PoolInner {
+    capacity: usize,
+    tick: u64,
+    /// PageId → (cached page, last-use tick).
+    map: HashMap<PageId, (Arc<Page>, u64)>,
+}
+
+impl PoolInner {
+    fn touch(&mut self, id: PageId) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&id) {
+            e.1 = tick;
+        }
+    }
+
+    fn insert(&mut self, id: PageId, page: Arc<Page>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(id, (page, self.tick));
+        while self.map.len() > self.capacity {
+            // Evict the least recently used entry. Capacities here are tiny
+            // (≤ 128 pages in the paper), so a linear scan is cheaper than
+            // maintaining an intrusive list.
+            let victim = *self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .expect("map is non-empty");
+            self.map.remove(&victim);
+        }
+    }
+}
+
+/// A write-through LRU buffer pool over a [`Pager`].
+pub struct BufferPool {
+    pager: Pager,
+    inner: Mutex<PoolInner>,
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl BufferPool {
+    /// Wraps `pager` with a cache of `capacity` pages (0 disables caching).
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        BufferPool {
+            pager,
+            inner: Mutex::new(PoolInner {
+                capacity,
+                tick: 0,
+                map: HashMap::new(),
+            }),
+            logical_reads: AtomicU64::new(0),
+            physical_reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates a fresh page. Allocation writes the zeroed page and is
+    /// counted as a write (construction cost includes it, as in Table 6).
+    pub fn allocate(&self) -> io::Result<PageId> {
+        let id = self.pager.allocate()?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Reads a page, serving repeats from the cache.
+    pub fn read(&self, id: PageId) -> io::Result<Arc<Page>> {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock();
+            if let Some((page, _)) = inner.map.get(&id).map(|e| (Arc::clone(&e.0), e.1)) {
+                inner.touch(id);
+                return Ok(page);
+            }
+        }
+        let page = Arc::new(self.pager.read_page(id)?);
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().insert(id, Arc::clone(&page));
+        Ok(page)
+    }
+
+    /// Writes a page through to disk and refreshes the cached copy.
+    pub fn write(&self, id: PageId, page: Page) -> io::Result<()> {
+        self.pager.write_page(id, &page)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if inner.capacity > 0 {
+            inner.insert(id, Arc::new(page));
+        }
+        Ok(())
+    }
+
+    /// Drops every cached page. The paper flushes the cache before each of
+    /// its 500 workload queries so measurements are cold.
+    pub fn flush_cache(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// Changes the cache capacity (Fig. 10's parameter), evicting as needed.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        if capacity == 0 {
+            inner.map.clear();
+        } else {
+            while inner.map.len() > capacity {
+                let victim = *inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(k, _)| k)
+                    .expect("non-empty");
+                inner.map.remove(&victim);
+            }
+        }
+    }
+
+    /// Current cache capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the I/O counters (between construction and queries, and
+    /// between individual queries).
+    pub fn reset_stats(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// The paper's *PA* since the last reset.
+    pub fn page_accesses(&self) -> u64 {
+        self.stats().page_accesses()
+    }
+
+    /// Number of allocated pages (storage size).
+    pub fn num_pages(&self) -> u64 {
+        self.pager.num_pages()
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn pool(capacity: usize) -> (TempDir, BufferPool) {
+        let dir = TempDir::new("pool");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        (dir, BufferPool::new(pager, capacity))
+    }
+
+    #[test]
+    fn cache_absorbs_repeated_reads() {
+        let (_d, pool) = pool(4);
+        let id = pool.allocate().unwrap();
+        pool.reset_stats();
+        for _ in 0..10 {
+            pool.read(id).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.page_accesses(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let (_d, pool) = pool(0);
+        let id = pool.allocate().unwrap();
+        pool.reset_stats();
+        for _ in 0..5 {
+            pool.read(id).unwrap();
+        }
+        assert_eq!(pool.stats().physical_reads, 5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (_d, pool) = pool(2);
+        let ids: Vec<PageId> = (0..3).map(|_| pool.allocate().unwrap()).collect();
+        pool.flush_cache();
+        pool.reset_stats();
+        pool.read(ids[0]).unwrap(); // miss, cache {0}
+        pool.read(ids[1]).unwrap(); // miss, cache {0,1}
+        pool.read(ids[0]).unwrap(); // hit, 0 most recent
+        pool.read(ids[2]).unwrap(); // miss, evicts 1
+        pool.read(ids[0]).unwrap(); // hit
+        pool.read(ids[1]).unwrap(); // miss again
+        assert_eq!(pool.stats().physical_reads, 4);
+    }
+
+    #[test]
+    fn writes_are_write_through_and_visible() {
+        let (_d, pool) = pool(4);
+        let id = pool.allocate().unwrap();
+        let mut p = Page::new();
+        p.write_u32(0, 7);
+        pool.write(id, p).unwrap();
+        assert_eq!(pool.read(id).unwrap().read_u32(0), 7);
+        // On disk too, not just in cache:
+        assert_eq!(pool.pager().read_page(id).unwrap().read_u32(0), 7);
+    }
+
+    #[test]
+    fn flush_cache_forces_refetch() {
+        let (_d, pool) = pool(4);
+        let id = pool.allocate().unwrap();
+        pool.reset_stats();
+        pool.read(id).unwrap();
+        pool.flush_cache();
+        pool.read(id).unwrap();
+        assert_eq!(pool.stats().physical_reads, 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let (_d, pool) = pool(8);
+        let ids: Vec<PageId> = (0..6).map(|_| pool.allocate().unwrap()).collect();
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        pool.set_capacity(2);
+        assert_eq!(pool.capacity(), 2);
+        pool.reset_stats();
+        // At most 2 of the 6 can still be cached.
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        assert!(pool.stats().physical_reads >= 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Disk substrate for every index in the workspace.
+//!
+//! The paper's performance model is explicitly disk-based: all metric access
+//! methods use a fixed page size of 4 KB, and the I/O cost of an operation
+//! is its number of **page accesses** (*PA*). This crate provides that
+//! substrate so each index measures I/O identically:
+//!
+//! * [`Page`] / [`Pager`] — a file of fixed 4 KB pages with raw read/write
+//!   counters;
+//! * [`BufferPool`] — an LRU cache in front of a pager; the paper's cache
+//!   experiments (Fig. 10) vary its capacity, and queries flush it so each
+//!   of the 500 workload queries is measured cold;
+//! * [`Raf`] — the *random access file* holding variable-length object
+//!   records `(id, len, obj)` separately from the index (Fig. 4);
+//! * [`TempDir`] — a tiny self-cleaning scratch-directory helper used by
+//!   tests, examples and benchmarks.
+
+mod cache;
+mod page;
+mod pager;
+mod raf;
+mod tempdir;
+
+pub use cache::{BufferPool, IoStats};
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use pager::Pager;
+pub use raf::{Raf, RafEntry, RafPtr};
+pub use tempdir::TempDir;

@@ -1,0 +1,177 @@
+//! Fixed-size disk pages with little-endian scalar accessors.
+
+/// Disk page size in bytes. The paper fixes this at 4 KB for every metric
+/// access method it evaluates ("All MAMs to index the datasets use a fixed
+/// disk page size of 4KB", Section 6).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within one pager file (page number, not a byte
+/// offset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of the page inside its file.
+    pub fn byte_offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+/// One in-memory 4 KB page.
+///
+/// Accessors read and write little-endian scalars at byte offsets; node
+/// codecs in the B⁺-tree and baseline indexes are built on these. All
+/// accessors panic on out-of-bounds offsets — a codec bug, never a runtime
+/// condition.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn new() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("exact size"),
+        }
+    }
+
+    /// A page from raw bytes.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page {
+            data: Box::new(bytes),
+        }
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// The raw bytes, mutably.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Reads `len` bytes at `off`.
+    pub fn read_slice(&self, off: usize, len: usize) -> &[u8] {
+        &self.data[off..off + len]
+    }
+
+    /// Writes `src` at `off`.
+    pub fn write_slice(&mut self, off: usize, src: &[u8]) {
+        self.data[off..off + src.len()].copy_from_slice(src);
+    }
+
+    /// Reads a `u8` at `off`.
+    pub fn read_u8(&self, off: usize) -> u8 {
+        self.data[off]
+    }
+
+    /// Writes a `u8` at `off`.
+    pub fn write_u8(&mut self, off: usize, v: u8) {
+        self.data[off] = v;
+    }
+
+    /// Reads a little-endian `u16` at `off`.
+    pub fn read_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().expect("2 bytes"))
+    }
+
+    /// Writes a little-endian `u16` at `off`.
+    pub fn write_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32` at `off`.
+    pub fn read_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes a little-endian `u32` at `off`.
+    pub fn write_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `u64` at `off`.
+    pub fn write_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u128` at `off` (SFC values, MBB corners).
+    pub fn read_u128(&self, off: usize) -> u128 {
+        u128::from_le_bytes(self.data[off..off + 16].try_into().expect("16 bytes"))
+    }
+
+    /// Writes a little-endian `u128` at `off`.
+    pub fn write_u128(&mut self, off: usize, v: u128) {
+        self.data[off..off + 16].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `f64` at `off` (covering radii, distances).
+    pub fn read_f64(&self, off: usize) -> f64 {
+        f64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes a little-endian `f64` at `off`.
+    pub fn write_f64(&mut self, off: usize, v: f64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page(4096 bytes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut p = Page::new();
+        p.write_u8(0, 0xab);
+        p.write_u16(1, 0x1234);
+        p.write_u32(3, 0xdead_beef);
+        p.write_u64(7, u64::MAX - 1);
+        p.write_u128(15, u128::MAX / 3);
+        p.write_f64(40, -1.5e300);
+        assert_eq!(p.read_u8(0), 0xab);
+        assert_eq!(p.read_u16(1), 0x1234);
+        assert_eq!(p.read_u32(3), 0xdead_beef);
+        assert_eq!(p.read_u64(7), u64::MAX - 1);
+        assert_eq!(p.read_u128(15), u128::MAX / 3);
+        assert_eq!(p.read_f64(40), -1.5e300);
+    }
+
+    #[test]
+    fn slices_and_ids() {
+        let mut p = Page::new();
+        p.write_slice(100, b"hello");
+        assert_eq!(p.read_slice(100, 5), b"hello");
+        assert_eq!(PageId(3).byte_offset(), 3 * 4096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut p = Page::new();
+        p.write_u32(PAGE_SIZE - 2, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! A file of fixed-size pages.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// A pager over one file: allocates, reads and writes 4 KB pages and counts
+/// raw disk operations. Higher layers access it through a [`BufferPool`]
+/// (which turns the raw counts into the paper's *PA* metric).
+///
+/// [`BufferPool`]: crate::BufferPool
+pub struct Pager {
+    file: Mutex<File>,
+    num_pages: AtomicU64,
+    disk_reads: AtomicU64,
+    disk_writes: AtomicU64,
+}
+
+impl Pager {
+    /// Creates (truncating) a pager file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Pager {
+            file: Mutex::new(file),
+            num_pages: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing pager file.
+    ///
+    /// # Errors
+    /// Fails if the file does not exist or its size is not a multiple of
+    /// [`PAGE_SIZE`].
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of the page size"),
+            ));
+        }
+        Ok(Pager {
+            file: Mutex::new(file),
+            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            disk_reads: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Allocates a fresh zeroed page at the end of the file.
+    pub fn allocate(&self) -> io::Result<PageId> {
+        let id = PageId(self.num_pages.fetch_add(1, Ordering::SeqCst));
+        // Materialise the page so the file length stays consistent.
+        self.write_page(id, &Page::new())?;
+        Ok(id)
+    }
+
+    /// Reads a page from disk.
+    pub fn read_page(&self, id: PageId) -> io::Result<Page> {
+        assert!(
+            id.0 < self.num_pages.load(Ordering::SeqCst),
+            "read of unallocated page {id:?}"
+        );
+        let mut page = Page::new();
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.read_exact(page.bytes_mut())?;
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        Ok(page)
+    }
+
+    /// Writes a page to disk.
+    pub fn write_page(&self, id: PageId, page: &Page) -> io::Result<()> {
+        assert!(
+            id.0 < self.num_pages.load(Ordering::SeqCst),
+            "write of unallocated page {id:?}"
+        );
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id.byte_offset()))?;
+        file.write_all(page.bytes())?;
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of allocated pages — the index's storage size in pages
+    /// (Table 6 reports `pages · 4 KB`).
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages.load(Ordering::SeqCst)
+    }
+
+    /// Raw disk reads performed so far.
+    pub fn disk_reads(&self) -> u64 {
+        self.disk_reads.load(Ordering::Relaxed)
+    }
+
+    /// Raw disk writes performed so far.
+    pub fn disk_writes(&self) -> u64 {
+        self.disk_writes.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the OS file buffer.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.lock().sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let dir = TempDir::new("pager-roundtrip");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_eq!((a, b), (PageId(0), PageId(1)));
+        assert_eq!(pager.num_pages(), 2);
+
+        let mut p = Page::new();
+        p.write_u64(0, 42);
+        pager.write_page(b, &p).unwrap();
+        assert_eq!(pager.read_page(b).unwrap().read_u64(0), 42);
+        assert_eq!(pager.read_page(a).unwrap().read_u64(0), 0);
+        assert!(pager.disk_reads() >= 2);
+        assert!(pager.disk_writes() >= 3); // two allocs + one write
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let dir = TempDir::new("pager-reopen");
+        let path = dir.path().join("p.db");
+        {
+            let pager = Pager::create(&path).unwrap();
+            let id = pager.allocate().unwrap();
+            let mut p = Page::new();
+            p.write_slice(10, b"persisted");
+            pager.write_page(id, &p).unwrap();
+            pager.sync().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.num_pages(), 1);
+        assert_eq!(pager.read_page(PageId(0)).unwrap().read_slice(10, 9), b"persisted");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn reading_unallocated_page_panics() {
+        let dir = TempDir::new("pager-unalloc");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        let _ = pager.read_page(PageId(0));
+    }
+
+    #[test]
+    fn open_rejects_corrupt_length() {
+        let dir = TempDir::new("pager-corrupt");
+        let path = dir.path().join("p.db");
+        std::fs::write(&path, b"not a page").unwrap();
+        assert!(Pager::open(&path).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Spell-checker scenario from the paper's introduction: classify query
+//! words by their nearest dictionary entries, comparing the SPB-tree
+//! against a linear scan and against the M-tree baseline.
+//!
+//! Demonstrates: choosing the pivot count from the intrinsic
+//! dimensionality (Section 3.2), kNN with both traversal strategies
+//! (Table 5), and the compdists/PA trade-off the paper measures.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dictionary_search
+//! ```
+
+use spb::metric::{
+    dataset, intrinsic_dimensionality, pairwise_distance_sample, Distance, EditDistance, Word,
+};
+use spb::storage::TempDir;
+use spb::{SpbConfig, SpbTree, Traversal};
+use spb_mams::{MTree, MTreeParams};
+
+fn main() -> std::io::Result<()> {
+    let dictionary = dataset::words(40_000, 1);
+    let metric = EditDistance::default();
+
+    // Size the pivot set from the dataset's intrinsic dimensionality, as
+    // the paper recommends (Section 3.2).
+    let sample = pairwise_distance_sample(&dictionary, &metric, 2_000, 3);
+    let rho = intrinsic_dimensionality(&sample);
+    let num_pivots = (rho.round() as usize).clamp(3, 9);
+    println!("intrinsic dimensionality = {rho:.2} -> using {num_pivots} pivots");
+
+    let dir = TempDir::new("dict-spb");
+    let cfg = SpbConfig::with_pivots(num_pivots);
+    let spb = SpbTree::build(dir.path(), &dictionary, metric, &cfg)?;
+
+    let mdir = TempDir::new("dict-mtree");
+    let mtree = MTree::build(mdir.path(), &dictionary, metric, &MTreeParams::default())?;
+
+    // Misspelled queries: mutate dictionary words.
+    let queries: Vec<Word> = dictionary
+        .iter()
+        .take(20)
+        .map(|w| {
+            let mut s = w.as_str().to_owned();
+            s.push('x'); // a one-edit typo
+            Word::new(s)
+        })
+        .collect();
+
+    println!("\n{:<22} {:>10} {:>8}   suggestions", "query", "compdists", "PA");
+    let mut spb_cd = 0u64;
+    let mut scan_cd = 0u64;
+    for q in &queries {
+        spb.flush_caches();
+        let (nn, stats) = spb.knn_with(q, 3, Traversal::Incremental)?;
+        spb_cd += stats.compdists;
+        scan_cd += dictionary.len() as u64;
+        let suggestions: Vec<&str> = nn.iter().map(|(_, w, _)| w.as_str()).collect();
+        println!(
+            "{:<22} {:>10} {:>8}   {:?}",
+            q.as_str(),
+            stats.compdists,
+            stats.page_accesses,
+            suggestions
+        );
+    }
+    println!(
+        "\nSPB-tree answered with {spb_cd} total distance computations; a linear scan would need {scan_cd} ({}x more).",
+        scan_cd / spb_cd.max(1)
+    );
+
+    // Compare against the M-tree and the greedy traversal on one query.
+    let q = &queries[0];
+    spb.flush_caches();
+    let (_, inc) = spb.knn_with(q, 3, Traversal::Incremental)?;
+    spb.flush_caches();
+    let (_, gre) = spb.knn_with(q, 3, Traversal::Greedy)?;
+    mtree.flush_caches();
+    let (_, mt) = mtree.knn(q, 3)?;
+    println!("\none-query comparison (k=3):");
+    println!("  SPB incremental: {:>6} compdists, {:>4} PA", inc.compdists, inc.page_accesses);
+    println!("  SPB greedy     : {:>6} compdists, {:>4} PA", gre.compdists, gre.page_accesses);
+    println!("  M-tree         : {:>6} compdists, {:>4} PA", mt.compdists, mt.page_accesses);
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build an SPB-tree over a word dictionary and run the three
+//! query types the paper supports — range query, kNN query and similarity
+//! join — printing the cost metrics the paper reports (page accesses and
+//! distance computations).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spb::metric::{dataset, EditDistance, Word};
+use spb::storage::TempDir;
+use spb::{similarity_join, SpbConfig, SpbTree};
+
+fn main() -> std::io::Result<()> {
+    // A 50k-word dictionary stand-in (deterministic; see spb::metric::dataset).
+    let words = dataset::words(50_000, 42);
+    let dir = TempDir::new("quickstart");
+
+    println!("building SPB-tree over {} words...", words.len());
+    let index = SpbTree::build(dir.path(), &words, EditDistance::default(), &SpbConfig::default())?;
+    let b = index.build_stats();
+    println!(
+        "  built in {:.2}s: {} distance computations, {} page accesses, {:.1} KB on disk",
+        b.duration.as_secs_f64(),
+        b.compdists,
+        b.page_accesses,
+        b.storage_bytes as f64 / 1024.0
+    );
+    println!(
+        "  pivots: {:?}",
+        index.table().pivots().iter().map(Word::as_str).collect::<Vec<_>>()
+    );
+
+    // Range query: all words within edit distance 1 of a dictionary word.
+    let q = &words[17];
+    index.flush_caches();
+    let (hits, stats) = index.range(q, 1.0)?;
+    println!("\nrange query RQ({:?}, 1):", q.as_str());
+    for (_, w) in hits.iter().take(8) {
+        println!("  {}", w.as_str());
+    }
+    println!(
+        "  -> {} results with {} compdists and {} page accesses (a linear scan would cost {})",
+        hits.len(),
+        stats.compdists,
+        stats.page_accesses,
+        words.len()
+    );
+
+    // kNN query: the 5 most similar words.
+    index.flush_caches();
+    let (nn, stats) = index.knn(q, 5)?;
+    println!("\nkNN query kNN({:?}, 5):", q.as_str());
+    for (_, w, d) in &nn {
+        println!("  {} (distance {d})", w.as_str());
+    }
+    println!("  -> {} compdists, {} page accesses", stats.compdists, stats.page_accesses);
+
+    // Similarity join between two small dictionaries (Z-curve trees with a
+    // shared pivot table — Lemma 6).
+    let left = dataset::words(3_000, 7);
+    let right = dataset::words(3_000, 8);
+    let (dq, do_) = (TempDir::new("quickstart-q"), TempDir::new("quickstart-o"));
+    let cfg = SpbConfig::for_join();
+    let spb_o = SpbTree::build(do_.path(), &right, EditDistance::default(), &cfg)?;
+    let spb_q = SpbTree::build_with_pivots(
+        dq.path(),
+        &left,
+        EditDistance::default(),
+        spb_o.table().pivots().to_vec(),
+        &cfg,
+        0,
+    )?;
+    spb_q.flush_caches();
+    spb_o.flush_caches();
+    let (pairs, stats) = similarity_join(&spb_q, &spb_o, 1.0)?;
+    println!("\nsimilarity join SJ(Q, O, 1) over 3k x 3k words:");
+    println!(
+        "  -> {} pairs with {} compdists ({}x fewer than nested loops) and {} page accesses",
+        pairs.len(),
+        stats.compdists,
+        (left.len() * right.len()) as u64 / stats.compdists.max(1),
+        stats.page_accesses
+    );
+    Ok(())
+}

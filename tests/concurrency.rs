@@ -1,0 +1,145 @@
+//! Concurrent-query tests: every index answers queries through `&self`,
+//! so a single index must serve parallel readers correctly (the buffer
+//! pool and counters are the only shared mutable state).
+
+use std::sync::Arc;
+use std::thread;
+
+use spb::metric::{dataset, Distance};
+use spb::storage::TempDir;
+use spb::{SpbConfig, SpbTree};
+
+#[test]
+fn parallel_range_queries_agree_with_serial() {
+    let data = dataset::color(3_000, 1001);
+    let metric = dataset::color_metric();
+    let dir = TempDir::new("conc-range");
+    let tree = Arc::new(SpbTree::build(dir.path(), &data, metric, &SpbConfig::default()).unwrap());
+    let r = metric.max_distance() * 0.06;
+
+    // Serial reference answers.
+    let expected: Vec<Vec<u32>> = data[..32]
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u32> = tree
+                .range(q, r)
+                .unwrap()
+                .0
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    // The same queries from 8 threads at once.
+    let data = Arc::new(data);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let data = Arc::clone(&data);
+            let expected = expected.clone();
+            thread::spawn(move || {
+                for (i, q) in data[..32].iter().enumerate() {
+                    if i % 8 != t {
+                        continue;
+                    }
+                    let mut ids: Vec<u32> = tree
+                        .range(q, r)
+                        .unwrap()
+                        .0
+                        .into_iter()
+                        .map(|(id, _)| id)
+                        .collect();
+                    ids.sort_unstable();
+                    assert_eq!(ids, expected[i], "thread {t}, query {i}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics in reader threads");
+    }
+}
+
+#[test]
+fn queries_race_cache_flushes_safely() {
+    // Readers racing with cache flushes and capacity changes must never
+    // produce wrong answers (the cache is write-through, so it only
+    // affects cost, not content).
+    let data = dataset::words(2_000, 1002);
+    let dir = TempDir::new("conc-flush");
+    let tree = Arc::new(
+        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+            .unwrap(),
+    );
+    let data = Arc::new(data);
+
+    let flusher = {
+        let tree = Arc::clone(&tree);
+        thread::spawn(move || {
+            for i in 0..200 {
+                tree.flush_caches();
+                tree.set_cache_capacity(if i % 2 == 0 { 0 } else { 32 });
+            }
+        })
+    };
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let data = Arc::clone(&data);
+            thread::spawn(move || {
+                for q in data.iter().skip(t).step_by(97).take(20) {
+                    let (nn, _) = tree.knn(q, 3).unwrap();
+                    assert_eq!(nn.len(), 3);
+                    assert_eq!(nn[0].2, 0.0, "an indexed query object is its own 1-NN");
+                }
+            })
+        })
+        .collect();
+    flusher.join().expect("flusher");
+    for h in readers {
+        h.join().expect("reader");
+    }
+}
+
+#[test]
+fn concurrent_inserts_then_queries_see_everything() {
+    // Inserts are serialised by the caller here (one writer thread), with
+    // readers querying concurrently — the supported usage for updates.
+    let data = dataset::words(1_000, 1003);
+    let extra = dataset::words(200, 1004);
+    let dir = TempDir::new("conc-ins");
+    let tree = Arc::new(
+        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+            .unwrap(),
+    );
+    let writer = {
+        let tree = Arc::clone(&tree);
+        let extra = extra.clone();
+        thread::spawn(move || {
+            for o in &extra {
+                tree.insert(o).unwrap();
+            }
+        })
+    };
+    // Readers keep the index busy while the writer runs.
+    let reader = {
+        let tree = Arc::clone(&tree);
+        let data = data.clone();
+        thread::spawn(move || {
+            for q in data.iter().take(50) {
+                let (hits, _) = tree.range(q, 1.0).unwrap();
+                assert!(hits.iter().any(|(_, w)| w == q));
+            }
+        })
+    };
+    writer.join().expect("writer");
+    reader.join().expect("reader");
+    assert_eq!(tree.len(), 1_200);
+    for o in extra.iter().take(20) {
+        let (hits, _) = tree.range(o, 0.0).unwrap();
+        assert!(hits.iter().any(|(_, w)| w == o), "inserted object must be findable");
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration-scale validation of the cost models (Figs. 15, 16, 18):
+//! average accuracy must clear conservative thresholds (the paper reports
+//! > 80% for similarity queries and > 90% for joins; integration scale is
+//! smaller, so the thresholds here are looser but still meaningful).
+
+use spb::metric::{dataset, Distance};
+use spb::storage::TempDir;
+use spb::{similarity_join, CostEstimate, SpbConfig, SpbTree};
+
+#[test]
+fn range_model_tracks_actuals_on_color() {
+    let data = dataset::color(5_000, 801);
+    let metric = dataset::color_metric();
+    let dir = TempDir::new("cma-range");
+    let tree = SpbTree::build(dir.path(), &data, metric, &SpbConfig::default()).unwrap();
+    let d_plus = metric.max_distance();
+    let mut acc_cd = 0.0;
+    let mut acc_pa = 0.0;
+    let mut n = 0usize;
+    for q in data.iter().take(30) {
+        let q_phi = tree.table().phi(tree.metric().inner(), q);
+        for pct in [4.0, 8.0] {
+            let r = d_plus * pct / 100.0;
+            let est = tree.cost_model().estimate_range(&q_phi, r);
+            tree.flush_caches();
+            let (_, actual) = tree.range(q, r).unwrap();
+            acc_cd += CostEstimate::accuracy(actual.compdists as f64, est.compdists);
+            acc_pa += CostEstimate::accuracy(actual.page_accesses as f64, est.page_accesses);
+            n += 1;
+        }
+    }
+    let (acc_cd, acc_pa) = (acc_cd / n as f64, acc_pa / n as f64);
+    assert!(acc_cd > 0.6, "range EDC accuracy too low: {acc_cd}");
+    assert!(acc_pa > 0.4, "range EPA accuracy too low: {acc_pa}");
+}
+
+#[test]
+fn knn_model_radius_is_usable() {
+    let data = dataset::words(5_000, 802);
+    let dir = TempDir::new("cma-knn");
+    let tree =
+        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default()).unwrap();
+    // The estimated k-th NN radius should bracket the true one within a
+    // small factor, averaged over queries.
+    let mut ratio_sum = 0.0;
+    let mut n = 0usize;
+    for q in data.iter().take(25) {
+        let q_phi = tree.table().phi(tree.metric().inner(), q);
+        let est_r = tree.cost_model().estimate_nd_k(&q_phi, 8);
+        let (nn, _) = tree.knn(q, 8).unwrap();
+        let true_r = nn.last().unwrap().2;
+        if true_r > 0.0 {
+            ratio_sum += est_r / true_r;
+            n += 1;
+        }
+    }
+    let mean_ratio = ratio_sum / n as f64;
+    assert!(
+        mean_ratio > 0.3 && mean_ratio < 5.0,
+        "eND_k wildly off: mean ratio {mean_ratio}"
+    );
+}
+
+#[test]
+fn join_model_is_accurate() {
+    let all = dataset::color(4_000, 803);
+    let (q, o) = all.split_at(2_000);
+    let metric = dataset::color_metric();
+    let (dq, do_) = (TempDir::new("cma-jq"), TempDir::new("cma-jo"));
+    let cfg = SpbConfig::for_join();
+    let spb_o = SpbTree::build(do_.path(), o, metric, &cfg).unwrap();
+    let spb_q = SpbTree::build_with_pivots(
+        dq.path(),
+        q,
+        metric,
+        spb_o.table().pivots().to_vec(),
+        &cfg,
+        0,
+    )
+    .unwrap();
+    let eps = metric.max_distance() * 0.06;
+    spb_q.flush_caches();
+    spb_o.flush_caches();
+    let (_, stats) = similarity_join(&spb_q, &spb_o, eps).unwrap();
+    let est = spb_q.cost_model().estimate_join(spb_o.cost_model(), eps);
+    let pa_acc = CostEstimate::accuracy(stats.page_accesses as f64, est.page_accesses);
+    let cd_acc = CostEstimate::accuracy(stats.compdists as f64, est.compdists);
+    assert!(pa_acc > 0.7, "join EPA accuracy too low: {pa_acc}");
+    assert!(cd_acc > 0.5, "join EDC accuracy too low: {cd_acc}");
+}

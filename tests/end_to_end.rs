@@ -1,0 +1,213 @@
+//! End-to-end integration tests: build → query → update → reopen flows
+//! across every dataset type of the paper, validated against brute force.
+
+use spb::metric::{dataset, Distance, MetricObject};
+use spb::storage::TempDir;
+use spb::{SpbConfig, SpbTree, Traversal};
+
+fn brute_range<O: MetricObject, D: Distance<O>>(data: &[O], m: &D, q: &O, r: f64) -> Vec<u32> {
+    let mut ids: Vec<u32> = data
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| m.distance(q, o) <= r)
+        .map(|(i, _)| i as u32)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn brute_knn_dists<O: MetricObject, D: Distance<O>>(data: &[O], m: &D, q: &O, k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = data.iter().map(|o| m.distance(q, o)).collect();
+    d.sort_by(f64::total_cmp);
+    d.truncate(k);
+    d
+}
+
+fn full_flow<O: MetricObject, D: Distance<O> + Clone>(
+    label: &str,
+    data: Vec<O>,
+    metric: D,
+    radii_pct: &[f64],
+) {
+    let dir = TempDir::new(label);
+    let tree = SpbTree::build(dir.path(), &data, metric.clone(), &SpbConfig::default()).unwrap();
+    assert_eq!(tree.len(), data.len() as u64);
+    let d_plus = metric.max_distance();
+
+    for q in data.iter().take(5) {
+        // Range queries at several radii.
+        for &pct in radii_pct {
+            let r = d_plus * pct / 100.0;
+            let (hits, _) = tree.range(q, r).unwrap();
+            let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_range(&data, &metric, q, r), "{label} range r={r}");
+        }
+        // kNN under both traversals.
+        for traversal in [Traversal::Incremental, Traversal::Greedy] {
+            let (nn, _) = tree.knn_with(q, 8, traversal).unwrap();
+            let want = brute_knn_dists(&data, &metric, q, 8);
+            let got: Vec<f64> = nn.iter().map(|&(_, _, d)| d).collect();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-9, "{label} knn {traversal:?}");
+            }
+        }
+    }
+
+    // Delete a third of the objects and re-check a range query.
+    for o in data.iter().skip(1).step_by(3) {
+        let (found, _) = tree.delete(o).unwrap();
+        assert!(found, "{label}: delete must find an indexed object");
+    }
+    let survivors: Vec<(usize, &O)> = data
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || (i - 1) % 3 != 0)
+        .collect();
+    let q = &data[0];
+    let r = d_plus * radii_pct[radii_pct.len() - 1] / 100.0;
+    let (hits, _) = tree.range(q, r).unwrap();
+    // Datasets may contain exact duplicates, and deleting one of two
+    // indistinguishable copies may remove either id — compare the result
+    // as a multiset of object encodings, not ids.
+    let mut got: Vec<Vec<u8>> = hits.iter().map(|(_, o)| o.encoded()).collect();
+    got.sort_unstable();
+    let mut want: Vec<Vec<u8>> = survivors
+        .iter()
+        .filter(|(_, o)| metric.distance(q, o) <= r)
+        .map(|(_, o)| o.encoded())
+        .collect();
+    want.sort_unstable();
+    assert_eq!(got, want, "{label}: range after deletions");
+
+    // Re-insert everything deleted; results must return to the original.
+    for o in data.iter().skip(1).step_by(3) {
+        tree.insert(o).unwrap();
+    }
+    assert_eq!(tree.len(), data.len() as u64);
+    let (hits, _) = tree.range(q, r).unwrap();
+    assert_eq!(hits.len(), brute_range(&data, &metric, q, r).len());
+}
+
+#[test]
+fn words_flow() {
+    full_flow(
+        "e2e-words",
+        dataset::words(800, 501),
+        dataset::words_metric(),
+        &[2.0, 8.0, 16.0],
+    );
+}
+
+#[test]
+fn color_flow() {
+    full_flow(
+        "e2e-color",
+        dataset::color(800, 502),
+        dataset::color_metric(),
+        &[2.0, 8.0, 16.0],
+    );
+}
+
+#[test]
+fn signature_flow() {
+    full_flow(
+        "e2e-sig",
+        dataset::signature(600, 503),
+        dataset::signature_metric(),
+        &[8.0, 16.0, 32.0],
+    );
+}
+
+#[test]
+fn dna_flow() {
+    full_flow(
+        "e2e-dna",
+        dataset::dna(400, 504),
+        dataset::dna_metric(),
+        &[8.0, 20.0],
+    );
+}
+
+#[test]
+fn synthetic_flow() {
+    full_flow(
+        "e2e-syn",
+        dataset::synthetic(800, 505),
+        dataset::synthetic_metric(),
+        &[2.0, 8.0],
+    );
+}
+
+#[test]
+fn persistence_across_reopen() {
+    let dir = TempDir::new("e2e-reopen");
+    let data = dataset::color(1000, 506);
+    let metric = dataset::color_metric();
+    {
+        let tree = SpbTree::build(dir.path(), &data, metric, &SpbConfig::default()).unwrap();
+        assert_eq!(tree.len(), 1000);
+    }
+    let tree = SpbTree::open(dir.path(), metric, 32).unwrap();
+    assert_eq!(tree.len(), 1000);
+    let q = &data[9];
+    let r = metric.max_distance() * 0.08;
+    let (hits, _) = tree.range(q, r).unwrap();
+    let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+    got.sort_unstable();
+    assert_eq!(got, brute_range(&data, &metric, q, r));
+    // Cost models survive the round trip well enough to estimate.
+    let q_phi = tree.table().phi(tree.metric().inner(), q);
+    let est = tree.cost_model().estimate_range(&q_phi, r);
+    assert!(est.compdists > 0.0);
+}
+
+#[test]
+fn duplicate_objects_are_all_returned() {
+    let dir = TempDir::new("e2e-dup");
+    let mut data = dataset::words(50, 507);
+    // Insert several exact duplicates (distance ties + same SFC cell).
+    for _ in 0..5 {
+        data.push(data[0].clone());
+    }
+    let tree = SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
+        .unwrap();
+    let (hits, _) = tree.range(&data[0], 0.0).unwrap();
+    assert_eq!(hits.len(), 6, "all six copies must be found");
+    let (nn, _) = tree.knn(&data[0], 6).unwrap();
+    assert!(nn.iter().all(|&(_, _, d)| d == 0.0));
+}
+
+#[test]
+fn custom_metric_jaccard_sets_work_end_to_end() {
+    // The index is generic over any metric: exercise it with a type the
+    // paper never evaluated — integer sets under Jaccard distance.
+    use spb::metric::{IntSet, Jaccard};
+    let mut seed = 0xdadau64;
+    let mut next = |m: u64| {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 16) % m
+    };
+    let data: Vec<IntSet> = (0..500)
+        .map(|_| {
+            let base = next(40) * 10;
+            IntSet::new((0..8).map(|_| (base + next(30)) as u32).collect())
+        })
+        .collect();
+    let dir = TempDir::new("e2e-jaccard");
+    let tree = SpbTree::build(dir.path(), &data, Jaccard, &SpbConfig::default()).unwrap();
+    for q in data.iter().take(5) {
+        for r in [0.2, 0.5, 0.9] {
+            let (hits, _) = tree.range(q, r).unwrap();
+            let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_range(&data, &Jaccard, q, r), "r={r}");
+        }
+        let (nn, _) = tree.knn(q, 5).unwrap();
+        let want = brute_knn_dists(&data, &Jaccard, q, 5);
+        for (g, w) in nn.iter().map(|&(_, _, d)| d).zip(want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+}

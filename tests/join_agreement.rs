@@ -1,0 +1,121 @@
+//! Join-algorithm agreement: SJA, Quickjoin, the eD-index and brute force
+//! must all produce exactly the same pair set (Lemma 7 end-to-end).
+
+use spb::metric::{dataset, Distance, MetricObject};
+use spb::storage::TempDir;
+use spb::{similarity_join, SpbConfig, SpbTree};
+use spb_mams::{quickjoin_rs, EdIndex, EdIndexParams, QuickJoinParams};
+
+fn brute<O: MetricObject, D: Distance<O>>(q: &[O], o: &[O], m: &D, eps: f64) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (i, a) in q.iter().enumerate() {
+        for (j, b) in o.iter().enumerate() {
+            if m.distance(a, b) <= eps {
+                pairs.push((i as u32, j as u32));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+fn joins_agree<O: MetricObject, D: Distance<O> + Clone>(
+    label: &str,
+    q_data: Vec<O>,
+    o_data: Vec<O>,
+    metric: D,
+    eps_pcts: &[f64],
+) {
+    let d_plus = metric.max_distance();
+    let (dq, do_) = (
+        TempDir::new(&format!("{label}-q")),
+        TempDir::new(&format!("{label}-o")),
+    );
+    let cfg = SpbConfig::for_join();
+    let spb_o = SpbTree::build(do_.path(), &o_data, metric.clone(), &cfg).unwrap();
+    let spb_q = SpbTree::build_with_pivots(
+        dq.path(),
+        &q_data,
+        metric.clone(),
+        spb_o.table().pivots().to_vec(),
+        &cfg,
+        0,
+    )
+    .unwrap();
+
+    for &pct in eps_pcts {
+        let eps = d_plus * pct / 100.0;
+        let want = brute(&q_data, &o_data, &metric, eps);
+
+        let (sja, _) = similarity_join(&spb_q, &spb_o, eps).unwrap();
+        let mut got: Vec<(u32, u32)> = sja.iter().map(|p| (p.q_id, p.o_id)).collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "{label}: SJA vs brute (eps={eps})");
+
+        let (qj, _) = quickjoin_rs(&q_data, &o_data, &metric, eps, &QuickJoinParams::default());
+        let mut got: Vec<(u32, u32)> = qj.iter().map(|&(a, b, _)| (a, b)).collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "{label}: Quickjoin vs brute (eps={eps})");
+
+        let ed_dir = TempDir::new(&format!("{label}-ed"));
+        let ed = EdIndex::build(
+            ed_dir.path(),
+            &q_data,
+            &o_data,
+            metric.clone(),
+            &EdIndexParams::for_eps(eps.max(1e-9)),
+        )
+        .unwrap();
+        let (edp, _) = ed.join(eps).unwrap();
+        let mut got: Vec<(u32, u32)> = edp.iter().map(|&(a, b, _)| (a, b)).collect();
+        got.sort_unstable();
+        assert_eq!(got, want, "{label}: eD-index vs brute (eps={eps})");
+    }
+}
+
+#[test]
+fn words_joins_agree() {
+    joins_agree(
+        "jagree-words",
+        dataset::words(300, 701),
+        dataset::words(350, 702),
+        dataset::words_metric(),
+        &[3.0, 6.0],
+    );
+}
+
+#[test]
+fn color_joins_agree() {
+    joins_agree(
+        "jagree-color",
+        dataset::color(300, 703),
+        dataset::color(300, 704),
+        dataset::color_metric(),
+        &[2.0, 6.0],
+    );
+}
+
+#[test]
+fn dna_joins_agree() {
+    joins_agree(
+        "jagree-dna",
+        dataset::dna(150, 705),
+        dataset::dna(150, 706),
+        dataset::dna_metric(),
+        &[10.0],
+    );
+}
+
+#[test]
+fn self_join_halves() {
+    // The paper's Fig. 17 protocol: one dataset split into Q and O.
+    let all = dataset::signature(400, 707);
+    let (q, o) = all.split_at(200);
+    joins_agree(
+        "jagree-selfsig",
+        q.to_vec(),
+        o.to_vec(),
+        dataset::signature_metric(),
+        &[8.0],
+    );
+}

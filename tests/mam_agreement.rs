@@ -1,0 +1,96 @@
+//! Cross-index agreement: every metric access method must return exactly
+//! the same query answers — they differ only in cost, never in results.
+
+use spb::metric::{dataset, Distance, MetricObject};
+use spb::storage::TempDir;
+use spb::{SpbConfig, SpbTree};
+use spb_mams::{MIndex, MIndexParams, MTree, MTreeParams, OmniParams, OmniRTree};
+
+fn agreement_for<O: MetricObject, D: Distance<O> + Clone>(
+    label: &str,
+    data: Vec<O>,
+    metric: D,
+    radii_pct: &[f64],
+    ks: &[usize],
+) {
+    let d1 = TempDir::new(&format!("{label}-mtree"));
+    let d2 = TempDir::new(&format!("{label}-omni"));
+    let d3 = TempDir::new(&format!("{label}-mindex"));
+    let d4 = TempDir::new(&format!("{label}-spb"));
+    let mtree = MTree::build(d1.path(), &data, metric.clone(), &MTreeParams::default()).unwrap();
+    let omni = OmniRTree::build(d2.path(), &data, metric.clone(), &OmniParams::default()).unwrap();
+    let mindex = MIndex::build(d3.path(), &data, metric.clone(), &MIndexParams::default()).unwrap();
+    let spb = SpbTree::build(d4.path(), &data, metric.clone(), &SpbConfig::default()).unwrap();
+    let d_plus = metric.max_distance();
+
+    for q in data.iter().take(4) {
+        for &pct in radii_pct {
+            let r = d_plus * pct / 100.0;
+            let collect = |hits: Vec<(u32, O)>| {
+                let mut ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+                ids.sort_unstable();
+                ids
+            };
+            let a = collect(spb.range(q, r).unwrap().0);
+            let b = collect(mtree.range(q, r).unwrap().0);
+            let c = collect(omni.range(q, r).unwrap().0);
+            let d = collect(mindex.range(q, r).unwrap().0);
+            assert_eq!(a, b, "{label}: SPB vs M-tree (r={r})");
+            assert_eq!(a, c, "{label}: SPB vs OmniR-tree (r={r})");
+            assert_eq!(a, d, "{label}: SPB vs M-Index (r={r})");
+        }
+        for &k in ks {
+            // kNN sets may differ on distance ties; the distance multisets
+            // must agree exactly.
+            let dists = |nn: Vec<(u32, O, f64)>| -> Vec<f64> {
+                nn.into_iter().map(|(_, _, d)| d).collect()
+            };
+            let a = dists(spb.knn(q, k).unwrap().0);
+            let b = dists(mtree.knn(q, k).unwrap().0);
+            let c = dists(omni.knn(q, k).unwrap().0);
+            let d = dists(mindex.knn(q, k).unwrap().0);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "{label}: SPB vs M-tree knn");
+            }
+            for (x, y) in a.iter().zip(&c) {
+                assert!((x - y).abs() < 1e-9, "{label}: SPB vs Omni knn");
+            }
+            for (x, y) in a.iter().zip(&d) {
+                assert!((x - y).abs() < 1e-9, "{label}: SPB vs M-Index knn");
+            }
+        }
+    }
+}
+
+#[test]
+fn words_agreement() {
+    agreement_for(
+        "agree-words",
+        dataset::words(700, 601),
+        dataset::words_metric(),
+        &[4.0, 10.0],
+        &[1, 8],
+    );
+}
+
+#[test]
+fn color_agreement() {
+    agreement_for(
+        "agree-color",
+        dataset::color(700, 602),
+        dataset::color_metric(),
+        &[4.0, 10.0],
+        &[1, 8],
+    );
+}
+
+#[test]
+fn signature_agreement() {
+    agreement_for(
+        "agree-sig",
+        dataset::signature(500, 603),
+        dataset::signature_metric(),
+        &[10.0, 25.0],
+        &[4],
+    );
+}

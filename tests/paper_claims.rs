@@ -1,0 +1,185 @@
+//! Directional tests of the paper's headline claims, at integration
+//! scale: the *shape* of the evaluation (who wins, and roughly how) must
+//! hold in this reproduction.
+
+use spb::metric::{dataset, Distance};
+use spb::storage::TempDir;
+use spb::{similarity_join, SpbConfig, SpbTree, Traversal};
+use spb_mams::{
+    quickjoin_rs, EdIndex, EdIndexParams, MIndex, MIndexParams, MTree, MTreeParams, OmniParams,
+    OmniRTree, QuickJoinParams,
+};
+
+/// "The SPB-tree has much lower construction cost [and] smaller storage
+/// size" (abstract; Table 6).
+#[test]
+fn spb_has_smallest_construction_and_storage() {
+    let data = dataset::color(4_000, 901);
+    let metric = dataset::color_metric();
+    let (d1, d2, d3, d4) = (
+        TempDir::new("pc-mtree"),
+        TempDir::new("pc-omni"),
+        TempDir::new("pc-mindex"),
+        TempDir::new("pc-spb"),
+    );
+    let mtree = MTree::build(d1.path(), &data, metric, &MTreeParams::default()).unwrap();
+    let omni = OmniRTree::build(d2.path(), &data, metric, &OmniParams::default()).unwrap();
+    let mindex = MIndex::build(d3.path(), &data, metric, &MIndexParams::default()).unwrap();
+    let spb = SpbTree::build(d4.path(), &data, metric, &SpbConfig::default()).unwrap();
+
+    let spb_b = spb.build_stats();
+    // Construction distance computations: SPB maps each object |P| = 5
+    // times; every competitor computes more.
+    assert_eq!(spb_b.compdists, 5 * 4_000);
+    assert!(mtree.build_stats().compdists > spb_b.compdists);
+    assert!(omni.build_stats().compdists >= spb_b.compdists);
+    assert!(mindex.build_stats().compdists > spb_b.compdists);
+    // Storage: SPB is the smallest (SFC-compressed pre-computed distances).
+    assert!(spb.storage_bytes() <= mindex.storage_bytes());
+    assert!(spb.storage_bytes() <= omni.storage_bytes());
+    assert!(spb.storage_bytes() < mtree.storage_bytes());
+    // Construction I/O: SPB below the M-tree.
+    assert!(spb_b.page_accesses < mtree.build_stats().page_accesses);
+}
+
+/// "Supports more efficient similarity search" — PA ordering of Fig. 12.
+#[test]
+fn spb_range_queries_use_fewest_page_accesses() {
+    let data = dataset::color(4_000, 902);
+    let metric = dataset::color_metric();
+    let (d1, d4) = (TempDir::new("pr-mtree"), TempDir::new("pr-spb"));
+    let mtree = MTree::build(d1.path(), &data, metric, &MTreeParams::default()).unwrap();
+    let spb = SpbTree::build(d4.path(), &data, metric, &SpbConfig::default()).unwrap();
+    let r = metric.max_distance() * 0.08;
+    let mut spb_pa = 0u64;
+    let mut mtree_pa = 0u64;
+    let mut spb_cd = 0u64;
+    let mut mtree_cd = 0u64;
+    for q in data.iter().take(30) {
+        spb.flush_caches();
+        mtree.flush_caches();
+        let (_, s) = spb.range(q, r).unwrap();
+        let (_, m) = mtree.range(q, r).unwrap();
+        spb_pa += s.page_accesses;
+        mtree_pa += m.page_accesses;
+        spb_cd += s.compdists;
+        mtree_cd += m.compdists;
+    }
+    assert!(
+        spb_pa < mtree_pa,
+        "SPB PA {spb_pa} must be below M-tree PA {mtree_pa}"
+    );
+    assert!(
+        spb_cd < mtree_cd,
+        "SPB compdists {spb_cd} must be below M-tree compdists {mtree_cd}"
+    );
+}
+
+/// Table 5's claim: greedy kNN traversal trades a few compdists for fewer
+/// RAF page accesses on low-precision data (DNA).
+#[test]
+fn greedy_traversal_cuts_raf_page_accesses_on_dna() {
+    // The greedy advantage appears once the candidate set spans more RAF
+    // pages than the (32-page) cache holds — use a dataset large enough
+    // for that regime, as in the paper's DNA runs.
+    let data = dataset::dna(6_000, 903);
+    let dir = TempDir::new("pg-dna");
+    let tree =
+        SpbTree::build(dir.path(), &data, dataset::dna_metric(), &SpbConfig::default()).unwrap();
+    let mut inc_pa = 0u64;
+    let mut gre_pa = 0u64;
+    for q in data.iter().take(15) {
+        tree.flush_caches();
+        let (_, i) = tree.knn_with(q, 8, Traversal::Incremental).unwrap();
+        tree.flush_caches();
+        let (_, g) = tree.knn_with(q, 8, Traversal::Greedy).unwrap();
+        inc_pa += i.page_accesses;
+        gre_pa += g.page_accesses;
+    }
+    assert!(
+        gre_pa < inc_pa,
+        "greedy PA {gre_pa} must be below incremental PA {inc_pa} on DNA"
+    );
+}
+
+/// Fig. 17's claim: SJA beats the eD-index join by a wide margin and
+/// Quickjoin on distance computations.
+#[test]
+fn sja_outperforms_join_baselines() {
+    let all = dataset::color(3_000, 904);
+    let (q, o) = all.split_at(1_500);
+    let metric = dataset::color_metric();
+    let eps = metric.max_distance() * 0.06;
+
+    let (dq, do_) = (TempDir::new("pj-q"), TempDir::new("pj-o"));
+    let cfg = SpbConfig::for_join();
+    let spb_o = SpbTree::build(do_.path(), o, metric, &cfg).unwrap();
+    let spb_q = SpbTree::build_with_pivots(
+        dq.path(),
+        q,
+        metric,
+        spb_o.table().pivots().to_vec(),
+        &cfg,
+        0,
+    )
+    .unwrap();
+    spb_q.flush_caches();
+    spb_o.flush_caches();
+    let (pairs, sja) = similarity_join(&spb_q, &spb_o, eps).unwrap();
+
+    let ed_dir = TempDir::new("pj-ed");
+    let ed = EdIndex::build(ed_dir.path(), q, o, metric, &EdIndexParams::for_eps(eps)).unwrap();
+    ed.flush_caches();
+    let (ed_pairs, ed_stats) = ed.join(eps).unwrap();
+
+    let (qj_pairs, qj_cd) = quickjoin_rs(q, o, &metric, eps, &QuickJoinParams::default());
+
+    assert_eq!(pairs.len(), ed_pairs.len());
+    assert_eq!(pairs.len(), qj_pairs.len());
+    assert!(
+        sja.compdists < ed_stats.compdists,
+        "SJA compdists {} must beat eD-index {}",
+        sja.compdists,
+        ed_stats.compdists
+    );
+    assert!(
+        sja.compdists < qj_cd,
+        "SJA compdists {} must beat Quickjoin {}",
+        sja.compdists,
+        qj_cd
+    );
+    assert!(
+        sja.page_accesses < ed_stats.page_accesses,
+        "SJA PA {} must beat eD-index PA {}",
+        sja.page_accesses,
+        ed_stats.page_accesses
+    );
+}
+
+/// Fig. 9's claim: more pivots ⇒ fewer distance computations, and the
+/// HFI selection is competitive with every alternative.
+#[test]
+fn more_pivots_reduce_compdists() {
+    let data = dataset::color(3_000, 905);
+    let metric = dataset::color_metric();
+    let mut cd = Vec::new();
+    for p in [1usize, 5, 9] {
+        let dir = TempDir::new("pp-pivots");
+        let tree = SpbTree::build(dir.path(), &data, metric, &SpbConfig::with_pivots(p)).unwrap();
+        let mut total = 0u64;
+        for q in data.iter().take(20) {
+            tree.flush_caches();
+            let (_, s) = tree.knn(q, 8).unwrap();
+            total += s.compdists;
+        }
+        cd.push(total);
+    }
+    assert!(cd[0] > cd[1], "5 pivots must beat 1: {cd:?}");
+    // Past the intrinsic dimensionality extra pivots saturate: 9 pivots may
+    // pay their own φ(q) overhead without pruning more (the paper's own
+    // observation in Fig. 9) — allow that overhead, nothing more.
+    assert!(
+        cd[2] as f64 <= cd[1] as f64 * 1.2,
+        "9 pivots must stay within overhead of 5: {cd:?}"
+    );
+}
