@@ -9,7 +9,12 @@ use spb_metric::dataset;
 fn bench(c: &mut Criterion) {
     let scale = Scale::Smoke;
     let data = dataset::color(scale.color(), scale.seed());
-    let (_dir, tree) = build_spb("bench-f10", &data, dataset::color_metric(), &SpbConfig::default());
+    let (_dir, tree) = build_spb(
+        "bench-f10",
+        &data,
+        dataset::color_metric(),
+        &SpbConfig::default(),
+    );
     let mut group = c.benchmark_group("fig10_cache");
     group.sample_size(20);
     for cache in [0usize, 8, 32, 128] {

@@ -36,9 +36,15 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("quickjoin", |b| {
         b.iter(|| {
-            quickjoin_rs(q, o, &dataset::color_metric(), eps, &QuickJoinParams::default())
-                .0
-                .len()
+            quickjoin_rs(
+                q,
+                o,
+                &dataset::color_metric(),
+                eps,
+                &QuickJoinParams::default(),
+            )
+            .0
+            .len()
         })
     });
     group.finish();

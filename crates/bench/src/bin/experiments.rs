@@ -71,8 +71,8 @@ fn main() {
     };
     if which == "all" {
         for name in [
-            "table2", "table4", "table5", "table6", "table7", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "approx",
+            "table2", "table4", "table5", "table6", "table7", "fig9", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "approx",
         ] {
             eprintln!("[experiments] running {name} ({scale:?})...");
             run_one(name);

@@ -4,7 +4,9 @@
 use std::path::Path;
 
 use spb_core::{QueryStats, SpbConfig, SpbTree, Traversal};
-use spb_mams::{EdIndex, EdIndexParams, MIndex, MIndexParams, MTree, MTreeParams, OmniRTree, OmniParams};
+use spb_mams::{
+    EdIndex, EdIndexParams, MIndex, MIndexParams, MTree, MTreeParams, OmniParams, OmniRTree,
+};
 use spb_metric::{Distance, MetricObject};
 use spb_storage::TempDir;
 
@@ -80,8 +82,7 @@ pub fn build_suite<O: MetricObject, D: Distance<O> + Clone>(
         .expect("OmniR-tree build");
     let mindex = MIndex::build(d3.path(), data, metric.clone(), &MIndexParams::default())
         .expect("M-Index build");
-    let spb =
-        SpbTree::build(d4.path(), data, metric, &SpbConfig::default()).expect("SPB build");
+    let spb = SpbTree::build(d4.path(), data, metric, &SpbConfig::default()).expect("SPB build");
     MamSuite {
         dirs: vec![d1, d2, d3, d4],
         mtree,
@@ -98,18 +99,26 @@ pub fn suite_range_avg<O: MetricObject, D: Distance<O>>(
     r: f64,
 ) -> [AvgStats; 4] {
     [
-        average(queries, || suite.mtree.flush_caches(), |q| {
-            suite.mtree.range(q, r).expect("mtree range").1
-        }),
-        average(queries, || suite.omni.flush_caches(), |q| {
-            suite.omni.range(q, r).expect("omni range").1
-        }),
-        average(queries, || suite.mindex.flush_caches(), |q| {
-            suite.mindex.range(q, r).expect("mindex range").1
-        }),
-        average(queries, || suite.spb.flush_caches(), |q| {
-            suite.spb.range(q, r).expect("spb range").1
-        }),
+        average(
+            queries,
+            || suite.mtree.flush_caches(),
+            |q| suite.mtree.range(q, r).expect("mtree range").1,
+        ),
+        average(
+            queries,
+            || suite.omni.flush_caches(),
+            |q| suite.omni.range(q, r).expect("omni range").1,
+        ),
+        average(
+            queries,
+            || suite.mindex.flush_caches(),
+            |q| suite.mindex.range(q, r).expect("mindex range").1,
+        ),
+        average(
+            queries,
+            || suite.spb.flush_caches(),
+            |q| suite.spb.range(q, r).expect("spb range").1,
+        ),
     ]
 }
 
@@ -133,18 +142,26 @@ pub fn suite_knn_avg_with<O: MetricObject, D: Distance<O>>(
     spb_traversal: Traversal,
 ) -> [AvgStats; 4] {
     [
-        average(queries, || suite.mtree.flush_caches(), |q| {
-            suite.mtree.knn(q, k).expect("mtree knn").1
-        }),
-        average(queries, || suite.omni.flush_caches(), |q| {
-            suite.omni.knn(q, k).expect("omni knn").1
-        }),
-        average(queries, || suite.mindex.flush_caches(), |q| {
-            suite.mindex.knn(q, k).expect("mindex knn").1
-        }),
-        average(queries, || suite.spb.flush_caches(), |q| {
-            suite.spb.knn_with(q, k, spb_traversal).expect("spb knn").1
-        }),
+        average(
+            queries,
+            || suite.mtree.flush_caches(),
+            |q| suite.mtree.knn(q, k).expect("mtree knn").1,
+        ),
+        average(
+            queries,
+            || suite.omni.flush_caches(),
+            |q| suite.omni.knn(q, k).expect("omni knn").1,
+        ),
+        average(
+            queries,
+            || suite.mindex.flush_caches(),
+            |q| suite.mindex.knn(q, k).expect("mindex knn").1,
+        ),
+        average(
+            queries,
+            || suite.spb.flush_caches(),
+            |q| suite.spb.knn_with(q, k, spb_traversal).expect("spb knn").1,
+        ),
     ]
 }
 
@@ -192,8 +209,14 @@ pub fn build_edindex<O: MetricObject, D: Distance<O>>(
     eps: f64,
 ) -> (TempDir, EdIndex<O, D>) {
     let dir = TempDir::new(label);
-    let idx = EdIndex::build(dir.path(), q_data, o_data, metric, &EdIndexParams::for_eps(eps))
-        .expect("eD-index build");
+    let idx = EdIndex::build(
+        dir.path(),
+        q_data,
+        o_data,
+        metric,
+        &EdIndexParams::for_eps(eps),
+    )
+    .expect("eD-index build");
     (dir, idx)
 }
 

@@ -21,7 +21,12 @@ pub(crate) fn model_rows<O: MetricObject, D: Distance<O> + Clone>(
 ) {
     let d_plus = metric.max_distance();
     let queries = workload(data, &scale);
-    let (_dir, tree) = build_spb(&format!("f15-{name}"), data, metric.clone(), &SpbConfig::default());
+    let (_dir, tree) = build_spb(
+        &format!("f15-{name}"),
+        data,
+        metric.clone(),
+        &SpbConfig::default(),
+    );
     let mut t = Table::new(
         &format!("Fig. 15 ({name}): range query cost model vs r"),
         &[

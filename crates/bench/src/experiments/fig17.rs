@@ -25,7 +25,8 @@ fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
     metric: D,
 ) {
     let d_plus = metric.max_distance();
-    let (_dq, _do, spb_q, spb_o) = build_join_pair(&format!("f17-{name}"), q_data, o_data, metric.clone());
+    let (_dq, _do, spb_q, spb_o) =
+        build_join_pair(&format!("f17-{name}"), q_data, o_data, metric.clone());
     let mut t = Table::new(
         &format!("Fig. 17 ({name}): similarity join vs eps (% of d+)"),
         &["eps(%)", "Algorithm", "PA", "compdists", "Time(s)", "pairs"],
@@ -46,7 +47,13 @@ fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
             pairs.len().to_string(),
         ]);
         // eD-index (rebuilt per ε — its build-time limitation).
-        let (_dir, ed) = build_edindex(&format!("f17-ed-{name}"), q_data, o_data, metric.clone(), eps);
+        let (_dir, ed) = build_edindex(
+            &format!("f17-ed-{name}"),
+            q_data,
+            o_data,
+            metric.clone(),
+            eps,
+        );
         ed.flush_caches();
         let (ed_pairs, ed_stats) = ed.join(eps).expect("eD-index join");
         let ed_avg = single(ed_stats);
@@ -60,7 +67,8 @@ fn sweep_for<O: MetricObject, D: Distance<O> + Clone>(
         ]);
         // Quickjoin (in-memory: the paper reports no PA for it).
         let t0 = std::time::Instant::now();
-        let (qj_pairs, qj_cd) = quickjoin_rs(q_data, o_data, &metric, eps, &QuickJoinParams::default());
+        let (qj_pairs, qj_cd) =
+            quickjoin_rs(q_data, o_data, &metric, eps, &QuickJoinParams::default());
         t.row(vec![
             format!("{pct}"),
             "QJA".into(),

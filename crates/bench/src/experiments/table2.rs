@@ -17,13 +17,7 @@ fn stats_row<O: MetricObject, D: Distance<O>>(
 ) -> Vec<String> {
     let sample = pairwise_distance_sample(data, metric, 4000, 7);
     let rho = intrinsic_dimensionality(&sample);
-    let pivots = select_pivots(
-        PivotMethod::Hfi,
-        data,
-        metric,
-        5,
-        &PivotConfig::default(),
-    );
+    let pivots = select_pivots(PivotMethod::Hfi, data, metric, 5, &PivotConfig::default());
     let prec = precision(data, metric, &pivots, 1000, 11);
     vec![
         name.to_owned(),
@@ -39,11 +33,22 @@ pub fn run(scale: Scale) {
     let seed = scale.seed();
     let mut t = Table::new(
         "Table 2: statistics of the datasets used (paper: Ins. 4.9 / 2.9 / 6.9 / 14.8 / 4.76)",
-        &["Dataset", "Cardinality", "Ins.", "Measurement", "Prec(5 pivots)"],
+        &[
+            "Dataset",
+            "Cardinality",
+            "Ins.",
+            "Measurement",
+            "Prec(5 pivots)",
+        ],
     );
     {
         let d = dataset::words(scale.words(), seed);
-        t.row(stats_row("Words", &d, &dataset::words_metric(), "Edit distance"));
+        t.row(stats_row(
+            "Words",
+            &d,
+            &dataset::words_metric(),
+            "Edit distance",
+        ));
     }
     {
         let d = dataset::color(scale.color(), seed);
@@ -51,15 +56,30 @@ pub fn run(scale: Scale) {
     }
     {
         let d = dataset::dna(scale.dna(), seed);
-        t.row(stats_row("DNA", &d, &dataset::dna_metric(), "Angular tri-gram"));
+        t.row(stats_row(
+            "DNA",
+            &d,
+            &dataset::dna_metric(),
+            "Angular tri-gram",
+        ));
     }
     {
         let d = dataset::signature(scale.signature(), seed);
-        t.row(stats_row("Signature", &d, &dataset::signature_metric(), "Hamming"));
+        t.row(stats_row(
+            "Signature",
+            &d,
+            &dataset::signature_metric(),
+            "Hamming",
+        ));
     }
     {
         let d = dataset::synthetic(scale.synthetic(), seed);
-        t.row(stats_row("Synthetic", &d, &dataset::synthetic_metric(), "L2-norm"));
+        t.row(stats_row(
+            "Synthetic",
+            &d,
+            &dataset::synthetic_metric(),
+            "L2-norm",
+        ));
     }
     t.print();
 }

@@ -22,10 +22,26 @@ fn construction_for<O: MetricObject, D: Distance<O> + Clone>(
 ) {
     let suite = build_suite(&format!("t6-{name}"), data, metric);
     let rows: [(&str, spb_core::BuildStats, u64); 4] = [
-        ("M-tree", suite.mtree.build_stats(), suite.mtree.storage_bytes()),
-        ("OmniR-tree", suite.omni.build_stats(), suite.omni.storage_bytes()),
-        ("M-Index", suite.mindex.build_stats(), suite.mindex.storage_bytes()),
-        ("SPB-tree", suite.spb.build_stats(), suite.spb.storage_bytes()),
+        (
+            "M-tree",
+            suite.mtree.build_stats(),
+            suite.mtree.storage_bytes(),
+        ),
+        (
+            "OmniR-tree",
+            suite.omni.build_stats(),
+            suite.omni.storage_bytes(),
+        ),
+        (
+            "M-Index",
+            suite.mindex.build_stats(),
+            suite.mindex.storage_bytes(),
+        ),
+        (
+            "SPB-tree",
+            suite.spb.build_stats(),
+            suite.spb.storage_bytes(),
+        ),
     ];
     for (mam, s, storage) in rows {
         t.row(vec![

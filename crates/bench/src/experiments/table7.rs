@@ -6,8 +6,16 @@
 //! exactly); the M-tree computes the most (per-level router distances and
 //! occasional mM_RAD splits); its own PA stays moderate but nonzero
 //! because both the B⁺-tree path and the RAF tail are touched.
+//!
+//! A durability column extends the paper's table: the SPB-tree is
+//! measured with its write-ahead log on (every insert group-commits with
+//! one fsync) and off, isolating what crash safety costs. PA and
+//! compdists are identical in both rows by construction — the WAL writes
+//! no index pages — so the delta shows up purely in fsyncs and time.
 
+use spb_core::{SpbConfig, SpbTree};
 use spb_metric::dataset;
+use spb_storage::TempDir;
 
 use crate::experiments::common::build_suite;
 use crate::runner::{average, fmt_num};
@@ -22,33 +30,56 @@ pub fn run(scale: Scale) {
 
     let mut t = Table::new(
         "Table 7: update cost (avg over 100 inserts) on Words",
-        &["MAM", "PA", "compdists", "Time(s)"],
+        &["MAM", "PA", "compdists", "Time(s)", "fsyncs"],
     );
     let rows = [
         (
             "M-tree",
-            average(&extra, || suite.mtree.flush_caches(), |o| {
-                suite.mtree.insert(o).expect("insert")
-            }),
+            average(
+                &extra,
+                || suite.mtree.flush_caches(),
+                |o| suite.mtree.insert(o).expect("insert"),
+            ),
         ),
         (
             "OmniR-tree",
-            average(&extra, || suite.omni.flush_caches(), |o| {
-                suite.omni.insert(o).expect("insert")
-            }),
+            average(
+                &extra,
+                || suite.omni.flush_caches(),
+                |o| suite.omni.insert(o).expect("insert"),
+            ),
         ),
         (
             "M-Index",
-            average(&extra, || suite.mindex.flush_caches(), |o| {
-                suite.mindex.insert(o).expect("insert")
-            }),
+            average(
+                &extra,
+                || suite.mindex.flush_caches(),
+                |o| suite.mindex.insert(o).expect("insert"),
+            ),
         ),
         (
-            "SPB-tree",
-            average(&extra, || suite.spb.flush_caches(), |o| {
-                suite.spb.insert(o).expect("insert")
-            }),
+            "SPB-tree (WAL)",
+            average(
+                &extra,
+                || suite.spb.flush_caches(),
+                |o| suite.spb.insert(o).expect("insert"),
+            ),
         ),
+        ("SPB-tree (no WAL)", {
+            // Same tree, durability off: measures the WAL's cost.
+            let dir = TempDir::new("t7-spb-nowal");
+            let cfg = SpbConfig {
+                durability: false,
+                ..SpbConfig::default()
+            };
+            let spb = SpbTree::build(dir.path(), &data, dataset::words_metric(), &cfg)
+                .expect("SPB build (no WAL)");
+            average(
+                &extra,
+                || spb.flush_caches(),
+                |o| spb.insert(o).expect("insert"),
+            )
+        }),
     ];
     for (name, avg) in rows {
         t.row(vec![
@@ -56,6 +87,7 @@ pub fn run(scale: Scale) {
             fmt_num(avg.pa),
             fmt_num(avg.compdists),
             format!("{:.6}", avg.time_s),
+            fmt_num(avg.fsyncs),
         ]);
     }
     t.print();

@@ -11,6 +11,9 @@ pub struct AvgStats {
     pub compdists: f64,
     /// Mean wall-clock seconds.
     pub time_s: f64,
+    /// Mean fsyncs (durability cost; zero for queries and non-durable
+    /// updates).
+    pub fsyncs: f64,
     /// Queries averaged.
     pub n: usize,
 }
@@ -21,6 +24,7 @@ impl AvgStats {
         self.pa += s.page_accesses as f64;
         self.compdists += s.compdists as f64;
         self.time_s += s.duration.as_secs_f64();
+        self.fsyncs += s.fsyncs as f64;
         self.n += 1;
     }
 
@@ -31,6 +35,7 @@ impl AvgStats {
             self.pa /= n;
             self.compdists /= n;
             self.time_s /= n;
+            self.fsyncs /= n;
         }
         self
     }
@@ -81,6 +86,7 @@ mod tests {
                 page_accesses: 10 * x as u64,
                 btree_pa: 0,
                 raf_pa: 0,
+                fsyncs: 0,
                 duration: Duration::from_millis(x as u64),
             },
         );

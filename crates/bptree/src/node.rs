@@ -10,10 +10,11 @@
 //!                          [mbb_min: u128][mbb_max: u128]     (56 B/entry)
 //! ```
 //!
-//! With 4 KB pages this gives up to 170 leaf entries and 72 internal
-//! entries per node — the fan-outs behind the paper's low construction I/O.
+//! With 4 KB pages (minus the 4-byte CRC footer) this gives up to 169 leaf
+//! entries and 72 internal entries per node — the fan-outs behind the
+//! paper's low construction I/O.
 
-use spb_storage::{Page, PageId, PAGE_SIZE};
+use spb_storage::{Page, PageId, PAGE_DATA_SIZE};
 
 /// A minimum bounding box stored as two SFC values that encode the low and
 /// high corner points of the box in the mapped vector space (Fig. 4's
@@ -38,10 +39,10 @@ const LEAF_ENTRY_SIZE: usize = 16 + 8;
 const INT_ENTRIES_OFF: usize = 8;
 const INT_ENTRY_SIZE: usize = 16 + 8 + 16 + 16;
 
-/// Maximum leaf entries per 4 KB page.
-pub const LEAF_CAPACITY: usize = (PAGE_SIZE - LEAF_ENTRIES_OFF) / LEAF_ENTRY_SIZE;
-/// Maximum internal entries per 4 KB page.
-pub const INTERNAL_CAPACITY: usize = (PAGE_SIZE - INT_ENTRIES_OFF) / INT_ENTRY_SIZE;
+/// Maximum leaf entries per page (the CRC footer shrinks the data area).
+pub const LEAF_CAPACITY: usize = (PAGE_DATA_SIZE - LEAF_ENTRIES_OFF) / LEAF_ENTRY_SIZE;
+/// Maximum internal entries per page.
+pub const INTERNAL_CAPACITY: usize = (PAGE_DATA_SIZE - INT_ENTRIES_OFF) / INT_ENTRY_SIZE;
 
 /// Sentinel for "no next leaf".
 const NO_PAGE: u64 = u64::MAX;
@@ -233,8 +234,8 @@ mod tests {
 
     #[test]
     fn capacities_match_layout() {
-        assert_eq!(LEAF_CAPACITY, 170);
-        assert_eq!(INTERNAL_CAPACITY, 73);
+        assert_eq!(LEAF_CAPACITY, 169);
+        assert_eq!(INTERNAL_CAPACITY, 72);
     }
 
     #[test]
@@ -280,7 +281,10 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(Node::decode(PageId(3), &node.encode()), Node::Internal(node));
+        assert_eq!(
+            Node::decode(PageId(3), &node.encode()),
+            Node::Internal(node)
+        );
     }
 
     #[test]

@@ -185,7 +185,11 @@ impl<M: MbbOps> BPlusTree<M> {
                 .iter()
                 .map(|&k| self.ops.key_box(k))
                 .reduce(|a, b| self.ops.union(a, b)),
-            Node::Internal(i) => i.entries.iter().map(|e| e.mbb).reduce(|a, b| self.ops.union(a, b)),
+            Node::Internal(i) => i
+                .entries
+                .iter()
+                .map(|e| e.mbb)
+                .reduce(|a, b| self.ops.union(a, b)),
         }
     }
 
@@ -194,6 +198,17 @@ impl<M: MbbOps> BPlusTree<M> {
     pub fn flush_meta(&self) -> io::Result<()> {
         let meta = *self.meta.lock();
         self.pool.write(PageId(0), meta.encode())
+    }
+
+    /// Discards every cached page and re-reads the meta page from disk —
+    /// the rollback step after an aborted pager transaction, which may
+    /// have left stale staged pages in the cache and a stale meta in
+    /// memory.
+    pub fn reload_meta(&self) -> io::Result<()> {
+        self.pool.flush_cache();
+        let meta_page = self.pool.read(PageId(0))?;
+        *self.meta.lock() = Meta::decode(&meta_page)?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -814,7 +829,9 @@ mod tests {
         // Deterministic pseudo-random insert order.
         let mut x: u64 = 12345;
         for i in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x % 500) as u128;
             t.insert(key, i).unwrap();
             model.entry(key).or_default().push(i);
@@ -929,7 +946,8 @@ mod tests {
         let path = dir.path().join("t.bpt");
         {
             let t = BPlusTree::create(&path, 16, PointMbb).unwrap();
-            t.bulk_load((0..500u64).map(|i| (i as u128, i)).collect()).unwrap();
+            t.bulk_load((0..500u64).map(|i| (i as u128, i)).collect())
+                .unwrap();
         }
         let t = BPlusTree::open(&path, 16, PointMbb).unwrap();
         assert_eq!(t.len(), 500);
@@ -941,7 +959,8 @@ mod tests {
     #[test]
     fn leaf_page_count_is_consistent() {
         let (_d, t) = tree("bpt-leafcount");
-        t.bulk_load((0..1000u64).map(|i| (i as u128, i)).collect()).unwrap();
+        t.bulk_load((0..1000u64).map(|i| (i as u128, i)).collect())
+            .unwrap();
         let expected = 1000usize.div_ceil(crate::node::LEAF_CAPACITY) as u64;
         assert_eq!(t.num_leaf_pages().unwrap(), expected);
     }

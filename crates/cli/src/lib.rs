@@ -119,6 +119,18 @@ pub enum Command {
         /// Index directory.
         index: PathBuf,
     },
+    /// Offline integrity check: page checksums, B⁺-tree structure, RAF
+    /// reachability, WAL state. Needs no metric or schema.
+    Verify {
+        /// Index directory.
+        index: PathBuf,
+    },
+    /// Replay the write-ahead log after a crash (also runs automatically
+    /// when an index is opened).
+    Recover {
+        /// Index directory.
+        index: PathBuf,
+    },
 }
 
 /// Parses an argument vector (excluding the program name).
@@ -189,6 +201,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "stats" => Ok(Command::Stats {
             index: PathBuf::from(need("index")?),
         }),
+        "verify" => Ok(Command::Verify {
+            index: PathBuf::from(need("index")?),
+        }),
+        "recover" => Ok(Command::Recover {
+            index: PathBuf::from(need("index")?),
+        }),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -200,7 +218,9 @@ pub fn usage() -> String {
      \x20 range --index DIR --query Q --radius R\n\
      \x20 count --index DIR --query Q --radius R\n\
      \x20 knn   --index DIR --query Q [--k K] [--alpha A]\n\
-     \x20 stats --index DIR"
+     \x20 stats --index DIR\n\
+     \x20 verify --index DIR\n\
+     \x20 recover --index DIR"
         .to_owned()
 }
 
@@ -239,7 +259,11 @@ pub fn load_vectors(reader: impl BufRead) -> io::Result<(Vec<FloatVec>, usize)> 
         } else if coords.len() != dim {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected {dim} coordinates, got {}", no + 1, coords.len()),
+                format!(
+                    "line {}: expected {dim} coordinates, got {}",
+                    no + 1,
+                    coords.len()
+                ),
             ));
         }
         out.push(FloatVec::new(coords));
@@ -277,8 +301,8 @@ pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
                     }
                     let max_len = words.iter().map(Word::len).max().unwrap_or(1);
                     let metric = EditDistance::new(max_len);
-                    let tree = SpbTree::build(index, &words, metric, &cfg)
-                        .map_err(|e| e.to_string())?;
+                    let tree =
+                        SpbTree::build(index, &words, metric, &cfg).map_err(|e| e.to_string())?;
                     std::fs::write(schema_path(index), Schema::Words { max_len }.to_line())
                         .map_err(|e| e.to_string())?;
                     report_build(out, tree.build_stats(), tree.storage_bytes());
@@ -380,15 +404,62 @@ pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
             match idx {
                 Index::Words(tree) => {
                     let _ = writeln!(out, "schema: words");
-                    describe(out, tree.len(), tree.storage_bytes(), tree.table().num_pivots(), tree.table().delta());
+                    describe(
+                        out,
+                        tree.len(),
+                        tree.storage_bytes(),
+                        tree.table().num_pivots(),
+                        tree.table().delta(),
+                    );
                 }
                 Index::Vectors(tree, dim) => {
                     let _ = writeln!(out, "schema: vectors (dim {dim})");
-                    describe(out, tree.len(), tree.storage_bytes(), tree.table().num_pivots(), tree.table().delta());
+                    describe(
+                        out,
+                        tree.len(),
+                        tree.storage_bytes(),
+                        tree.table().num_pivots(),
+                        tree.table().delta(),
+                    );
                 }
             }
             Ok(())
         }),
+        Command::Verify { index } => {
+            let report = spb_core::verify_dir(index).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "checked {} page(s), {} entrie(s)",
+                report.pages_checked, report.entries_checked
+            );
+            if report.ok() {
+                let _ = writeln!(out, "ok");
+                Ok(())
+            } else {
+                for p in &report.problems {
+                    let _ = writeln!(out, "problem: {}: {}", p.file, p.detail);
+                }
+                Err(format!("{} problem(s) found", report.problems.len()))
+            }
+        }
+        Command::Recover { index } => {
+            let report = spb_core::recover_dir(index).map_err(|e| e.to_string())?;
+            if report.clean() {
+                let _ = writeln!(out, "clean: nothing to recover");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "recovered: {} txn(s) redone ({} page image(s)), {} txn(s) discarded, \
+                     {} torn WAL byte(s), {} torn data byte(s)",
+                    report.redone_txns,
+                    report.redone_pages,
+                    report.discarded_txns,
+                    report.torn_wal_bytes,
+                    report.torn_data_bytes
+                );
+            }
+            Ok(())
+        }
     }
 }
 
@@ -401,16 +472,19 @@ fn with_index<F>(index: &Path, f: F) -> Result<(), String>
 where
     F: FnOnce(&Index) -> Result<(), String>,
 {
-    let line = std::fs::read_to_string(schema_path(index))
-        .map_err(|e| format!("read {:?}: {e} (is this an spb-cli index?)", schema_path(index)))?;
+    let line = std::fs::read_to_string(schema_path(index)).map_err(|e| {
+        format!(
+            "read {:?}: {e} (is this an spb-cli index?)",
+            schema_path(index)
+        )
+    })?;
     let schema = Schema::from_line(line.trim())?;
     let idx = match schema {
         Schema::Words { max_len } => Index::Words(
             SpbTree::open(index, EditDistance::new(max_len), 32).map_err(|e| e.to_string())?,
         ),
         Schema::Vectors { p, dim } => Index::Vectors(
-            SpbTree::open(index, LpNorm::new(p as f64, dim, 1.0), 32)
-                .map_err(|e| e.to_string())?,
+            SpbTree::open(index, LpNorm::new(p as f64, dim, 1.0), 32).map_err(|e| e.to_string())?,
             dim,
         ),
     };
@@ -575,9 +649,63 @@ mod tests {
         assert!(out.contains("parrot"));
 
         let mut out = String::new();
-        run(&Command::Stats { index }, &mut out).unwrap();
+        run(
+            &Command::Stats {
+                index: index.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
         assert!(out.contains("objects: 5"));
+
+        // A freshly built index verifies clean and has nothing to recover.
+        let mut out = String::new();
+        run(
+            &Command::Verify {
+                index: index.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("ok"), "out = {out}");
+
+        let mut out = String::new();
+        run(
+            &Command::Recover {
+                index: index.clone(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("clean"), "out = {out}");
+
+        // Corrupt a page: verify reports it instead of passing.
+        let bpt = index.join("index.bpt");
+        let mut bytes = std::fs::read(&bpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&bpt, &bytes).unwrap();
+        let mut out = String::new();
+        let err = run(&Command::Verify { index }, &mut out).unwrap_err();
+        assert!(err.contains("problem"), "err = {err}, out = {out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_verify_and_recover() {
+        assert_eq!(
+            parse_args(&args("verify --index ./idx")).unwrap(),
+            Command::Verify {
+                index: "./idx".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&args("recover --index ./idx")).unwrap(),
+            Command::Recover {
+                index: "./idx".into()
+            }
+        );
+        assert!(parse_args(&args("verify")).is_err());
     }
 
     #[test]

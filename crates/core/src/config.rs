@@ -41,6 +41,10 @@ pub struct SpbConfig {
     /// leaves whose intersected region holds fewer cells than entries.
     /// On by default.
     pub use_cell_merge: bool,
+    /// Crash durability: updates are committed through a write-ahead log
+    /// (one fsync per update) and replayed on reopen. On by default; the
+    /// update benchmarks toggle it off to measure the WAL's cost.
+    pub durability: bool,
 }
 
 impl Default for SpbConfig {
@@ -56,6 +60,7 @@ impl Default for SpbConfig {
             cost_sample: 2000,
             use_lemma2: true,
             use_cell_merge: true,
+            durability: true,
         }
     }
 }

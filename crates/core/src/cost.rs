@@ -50,7 +50,8 @@ impl CostEstimate {
 /// One step of a 64-bit LCG (Knuth's MMIX constants) — the deterministic
 /// randomness source for the reservoir (no RNG dependency, reproducible).
 fn lcg(x: u64) -> u64 {
-    x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
 }
 
 struct Inner {
@@ -101,7 +102,12 @@ impl CostModel {
     ) -> io::Result<Self> {
         let p = table.num_pivots();
         let mut hists: Vec<DistanceHistogram> = (0..p)
-            .map(|_| DistanceHistogram::new(table.d_plus().max(f64::MIN_POSITIVE), config.histogram_buckets))
+            .map(|_| {
+                DistanceHistogram::new(
+                    table.d_plus().max(f64::MIN_POSITIVE),
+                    config.histogram_buckets,
+                )
+            })
             .collect();
         let mut sample: Vec<Vec<f64>> = Vec::with_capacity(config.cost_sample);
         let mut n: u64 = 0;
@@ -238,7 +244,12 @@ impl CostModel {
             .iter()
             .map(|&d| {
                 let edge = (d - r) / delta;
-                if self.discrete { edge.ceil() } else { edge.floor() }.max(0.0)
+                if self.discrete {
+                    edge.ceil()
+                } else {
+                    edge.floor()
+                }
+                .max(0.0)
             })
             .collect();
         let hi: Vec<f64> = q_phi.iter().map(|&d| ((d + r) / delta).floor()).collect();
@@ -260,7 +271,11 @@ impl CostModel {
                     })
                 })
                 .count();
-            let sign = if mask.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if mask.count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             acc += sign * count as f64;
         }
         (acc / inner.sample.len() as f64).clamp(0.0, 1.0)

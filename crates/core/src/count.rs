@@ -94,7 +94,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 mod tests {
     use crate::config::SpbConfig;
     use crate::tree::SpbTree;
-    use spb_metric::{dataset, Distance};
+    use spb_metric::dataset;
     use spb_storage::TempDir;
 
     #[test]

@@ -52,11 +52,7 @@ impl<'a, O: MetricObject, D: Distance<O>> LeafCursor<'a, O, D> {
             },
             None => None,
         };
-        Ok(LeafCursor {
-            tree,
-            leaf,
-            idx: 0,
-        })
+        Ok(LeafCursor { tree, leaf, idx: 0 })
     }
 
     fn current(&self) -> Option<(u128, u64)> {
@@ -114,10 +110,12 @@ pub fn similarity_join<O: MetricObject, D: Distance<O>>(
         spb_sfc::CurveKind::Z,
         "SJA relies on Z-order monotonicity (Lemma 6); build join trees with SpbConfig::for_join()"
     );
-    assert_eq!(spb_q.curve, spb_o.curve, "join trees must share one curve geometry");
+    assert_eq!(
+        spb_q.curve, spb_o.curve,
+        "join trees must share one curve geometry"
+    );
     assert!(
-        spb_q.table.pivots() == spb_o.table.pivots()
-            && spb_q.table.delta() == spb_o.table.delta(),
+        spb_q.table.pivots() == spb_o.table.pivots() && spb_q.table.delta() == spb_o.table.delta(),
         "join trees must share one pivot table"
     );
 

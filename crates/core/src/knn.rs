@@ -87,21 +87,19 @@ impl<O> Ord for Best<O> {
     }
 }
 
+/// A kNN result: `(id, object, distance)` triples plus query stats.
+pub type KnnResult<O> = io::Result<(Vec<(u32, O, f64)>, QueryStats)>;
+
 impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `kNN(q, k)` with the default incremental traversal (Definition 3).
     /// Returns `(id, object, distance)` triples in ascending distance
     /// order; fewer than `k` only when the index holds fewer objects.
-    pub fn knn(&self, q: &O, k: usize) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn(&self, q: &O, k: usize) -> KnnResult<O> {
         self.knn_with(q, k, Traversal::Incremental)
     }
 
     /// `kNN(q, k)` with an explicit traversal strategy.
-    pub fn knn_with(
-        &self,
-        q: &O,
-        k: usize,
-        traversal: Traversal,
-    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn_with(&self, q: &O, k: usize, traversal: Traversal) -> KnnResult<O> {
         self.knn_full(q, k, traversal, 1.0)
     }
 
@@ -111,23 +109,12 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// (Lemma 3); larger values trade accuracy for fewer distance
     /// computations and page accesses — the standard contract of
     /// approximate metric search (cf. the M-Index's approximate mode).
-    pub fn knn_approx(
-        &self,
-        q: &O,
-        k: usize,
-        alpha: f64,
-    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn_approx(&self, q: &O, k: usize, alpha: f64) -> KnnResult<O> {
         assert!(alpha >= 1.0, "alpha must be >= 1");
         self.knn_full(q, k, Traversal::Incremental, alpha)
     }
 
-    fn knn_full(
-        &self,
-        q: &O,
-        k: usize,
-        traversal: Traversal,
-        alpha: f64,
-    ) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    fn knn_full(&self, q: &O, k: usize, traversal: Traversal, alpha: f64) -> KnnResult<O> {
         let _guard = self.latch.read().expect("latch poisoned");
         let snap = self.snapshot();
         let mut best: BinaryHeap<Best<O>> = BinaryHeap::new();
@@ -230,10 +217,18 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         let (id, o) = self.fetch(offset)?;
         let d = self.metric.distance(q, &o);
         if best.len() < k {
-            best.push(Best { dist: d, id, obj: o });
+            best.push(Best {
+                dist: d,
+                id,
+                obj: o,
+            });
         } else if d < best.peek().expect("non-empty").dist {
             best.pop();
-            best.push(Best { dist: d, id, obj: o });
+            best.push(Best {
+                dist: d,
+                id,
+                obj: o,
+            });
         }
         Ok(())
     }
@@ -263,7 +258,8 @@ mod tests {
 
     fn check<O: MetricObject, D: Distance<O> + Clone>(data: Vec<O>, metric: D, ks: &[usize]) {
         let dir = TempDir::new("nna");
-        let tree = SpbTree::build(dir.path(), &data, metric.clone(), &SpbConfig::default()).unwrap();
+        let tree =
+            SpbTree::build(dir.path(), &data, metric.clone(), &SpbConfig::default()).unwrap();
         for q in data.iter().take(6) {
             for &k in ks {
                 for traversal in [Traversal::Incremental, Traversal::Greedy] {
@@ -293,21 +289,33 @@ mod tests {
 
     #[test]
     fn nna_matches_bruteforce_color() {
-        check(dataset::color(500, 32), dataset::color_metric(), &[1, 8, 16]);
+        check(
+            dataset::color(500, 32),
+            dataset::color_metric(),
+            &[1, 8, 16],
+        );
     }
 
     #[test]
     fn nna_matches_bruteforce_signature() {
-        check(dataset::signature(400, 33), dataset::signature_metric(), &[2, 8]);
+        check(
+            dataset::signature(400, 33),
+            dataset::signature_metric(),
+            &[2, 8],
+        );
     }
 
     #[test]
     fn k_larger_than_dataset_returns_all() {
         let data = dataset::words(50, 34);
         let dir = TempDir::new("nna-all");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         let (nn, _) = tree.knn(&data[0], 100).unwrap();
         assert_eq!(nn.len(), 50);
     }
@@ -316,9 +324,13 @@ mod tests {
     fn k_zero_is_empty() {
         let data = dataset::words(50, 35);
         let dir = TempDir::new("nna-zero");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         let (nn, stats) = tree.knn(&data[0], 0).unwrap();
         assert!(nn.is_empty());
         assert_eq!(stats.compdists, 0);
@@ -328,9 +340,13 @@ mod tests {
     fn first_neighbour_of_indexed_query_is_itself() {
         let data = dataset::color(300, 36);
         let dir = TempDir::new("nna-self");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::color_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::color_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         let (nn, _) = tree.knn(&data[7], 1).unwrap();
         assert_eq!(nn[0].2, 0.0);
     }
@@ -339,9 +355,13 @@ mod tests {
     fn approx_knn_respects_alpha_contract() {
         let data = dataset::color(1500, 38);
         let dir = TempDir::new("nna-approx");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::color_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::color_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         for q in data.iter().take(6) {
             let (exact, _) = tree.knn(q, 8).unwrap();
             let true_ndk = exact.last().unwrap().2;
@@ -367,9 +387,13 @@ mod tests {
     fn approx_knn_reduces_work() {
         let data = dataset::words(2000, 39);
         let dir = TempDir::new("nna-approx-cost");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         let mut exact_cd = 0u64;
         let mut approx_cd = 0u64;
         for q in data.iter().take(10) {
@@ -391,9 +415,13 @@ mod tests {
         // Lemma 4: the incremental strategy is optimal in compdists.
         let data = dataset::words(800, 37);
         let dir = TempDir::new("nna-cmp");
-        let tree =
-            SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-                .unwrap();
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
         for q in data.iter().take(5) {
             tree.flush_caches();
             let (_, inc) = tree.knn_with(q, 8, Traversal::Incremental).unwrap();

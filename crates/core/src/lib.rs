@@ -26,6 +26,17 @@
 //! | Count-only range query | extension | [`SpbTree::range_count`] |
 //! | α-approximate kNN | extension | [`SpbTree::knn_approx`] |
 //! | Persistence | — | [`SpbTree::open`] |
+//! | Crash recovery | extension | [`recover_dir`] (run by `open`) |
+//! | Integrity check | extension | [`verify_dir`] |
+//!
+//! ## Durability
+//!
+//! Updates are crash-safe by default: each insert/delete stages its dirty
+//! pages in memory, commits them through a checksummed write-ahead log
+//! with one fsync, and only then writes the data files. Reopening an
+//! index replays any committed-but-unapplied transactions and discards
+//! torn tails. [`SpbConfig::durability`] turns the WAL off (for
+//! benchmarking its cost); [`verify_dir`] audits an index offline.
 //!
 //! ## Example
 //!
@@ -57,11 +68,13 @@ mod join;
 mod knn;
 mod mapping;
 mod range;
+mod recovery;
 mod tree;
 
 pub use config::SpbConfig;
 pub use cost::{CostEstimate, CostModel};
 pub use join::{similarity_join, JoinPair};
-pub use knn::Traversal;
+pub use knn::{KnnResult, Traversal};
 pub use mapping::{PivotTable, SfcMbbOps};
+pub use recovery::{recover_dir, verify_dir, RecoveryReport, VerifyProblem, VerifyReport};
 pub use tree::{BuildStats, QueryStats, SpbTree};

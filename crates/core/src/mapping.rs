@@ -47,7 +47,7 @@ impl<O: MetricObject> PivotTable<O> {
         let cells_needed = |d: f64| (d_plus / d).floor() as u64 + 1;
         let mut bits = 64 - (cells_needed(delta) - 1).max(1).leading_zeros();
         bits = bits.max(1);
-        let max_bits = (127 / pivots.len() as u32).min(32).max(1);
+        let max_bits = (127 / pivots.len() as u32).clamp(1, 32);
         if bits > max_bits {
             bits = max_bits;
             // Widen δ so the grid fits: d⁺/δ ≤ 2^bits − 1.
@@ -149,7 +149,11 @@ impl<O: MetricObject> PivotTable<O> {
             .iter()
             .map(|&d| {
                 let edge = (d - r) / self.delta;
-                let cell = if self.discrete { edge.ceil() } else { edge.floor() };
+                let cell = if self.discrete {
+                    edge.ceil()
+                } else {
+                    edge.floor()
+                };
                 (cell as i64).max(0)
             })
             .collect();
@@ -239,10 +243,8 @@ impl<O: MetricObject> PivotTable<O> {
         if bytes.len() < 33 || &bytes[..8] != b"SPBPIVT1" {
             return Err(err("not an SPB pivot table"));
         }
-        let rd_u32 =
-            |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
-        let rd_f64 =
-            |o: usize| f64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+        let rd_u32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let rd_f64 = |o: usize| f64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
         let n = rd_u32(8) as usize;
         let delta = rd_f64(12);
         let bits = rd_u32(20);
@@ -382,10 +384,7 @@ mod tests {
             let cell = t.cell_of_phi(&t.phi(&m, o));
             let mind = t.mind_cell(&q_phi, &cell);
             let d = m.distance(q, o);
-            assert!(
-                mind <= d + 1e-9,
-                "MIND {mind} exceeds true distance {d}"
-            );
+            assert!(mind <= d + 1e-9, "MIND {mind} exceeds true distance {d}");
         }
     }
 
@@ -394,7 +393,11 @@ mod tests {
         // Lemma 1: every object within distance r of q maps into RR(q, r).
         let data = dataset::words(300, 5);
         let m = EditDistance::default();
-        let t = PivotTable::new(vec![data[0].clone(), data[1].clone(), data[2].clone()], &m, None);
+        let t = PivotTable::new(
+            vec![data[0].clone(), data[1].clone(), data[2].clone()],
+            &m,
+            None,
+        );
         let q = &data[50];
         let q_phi = t.phi(&m, q);
         let r = 3.0;

@@ -76,12 +76,20 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                     if rr.contains_box(&mbb) {
                         // MBB(N) ⊆ RR: Lemma 1 holds for every entry.
                         for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
-                            self.verify_rq(q, q_phi, r, rr, key, off, false, &mut cell_buf, result)?;
+                            self.verify_rq(
+                                q,
+                                q_phi,
+                                r,
+                                rr,
+                                key,
+                                off,
+                                false,
+                                &mut cell_buf,
+                                result,
+                            )?;
                         }
                     } else {
-                        let inter = mbb
-                            .intersection(rr)
-                            .expect("pushed nodes intersect RR");
+                        let inter = mbb.intersection(rr).expect("pushed nodes intersect RR");
                         if self.use_cell_merge && inter.cell_count() < leaf.keys.len() as u128 {
                             // Enumerate the intersected region's SFC values
                             // and merge with the (sorted) leaf entries.
@@ -91,8 +99,15 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                             while si < svals.len() && ei < leaf.keys.len() {
                                 if leaf.keys[ei] == svals[si] {
                                     self.verify_rq(
-                                        q, q_phi, r, rr, leaf.keys[ei], leaf.values[ei], false,
-                                        &mut cell_buf, result,
+                                        q,
+                                        q_phi,
+                                        r,
+                                        rr,
+                                        leaf.keys[ei],
+                                        leaf.values[ei],
+                                        false,
+                                        &mut cell_buf,
+                                        result,
                                     )?;
                                     ei += 1; // same SFC value may repeat in the leaf
                                 } else if leaf.keys[ei] > svals[si] {
@@ -104,7 +119,15 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                         } else {
                             for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
                                 self.verify_rq(
-                                    q, q_phi, r, rr, key, off, true, &mut cell_buf, result,
+                                    q,
+                                    q_phi,
+                                    r,
+                                    rr,
+                                    key,
+                                    off,
+                                    true,
+                                    &mut cell_buf,
+                                    result,
                                 )?;
                             }
                         }

@@ -11,11 +11,16 @@ use spb_bptree::BPlusTree;
 use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
 use spb_pivots::select_pivots;
 use spb_sfc::Sfc;
-use spb_storage::{IoStats, Raf, RafPtr};
+use spb_storage::{atomic_write_file, IoStats, Raf, RafPtr, Wal, WalFileTag};
 
 use crate::config::SpbConfig;
 use crate::cost::CostModel;
 use crate::mapping::{PivotTable, SfcMbbOps};
+use crate::recovery::{recover_dir, META_FILE, WAL_FILE};
+
+/// WAL size, in bytes, beyond which a commit triggers a checkpoint
+/// (fsync both data files, then empty the log).
+const WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
 
 /// Costs of building the index (one row of Table 6).
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +51,9 @@ pub struct QueryStats {
     pub btree_pa: u64,
     /// RAF share of the page accesses.
     pub raf_pa: u64,
+    /// fsyncs performed (WAL commits plus data-file syncs). Zero for
+    /// queries; the durability cost of updates. Not part of *PA*.
+    pub fsyncs: u64,
     /// Wall-clock time.
     pub duration: Duration,
 }
@@ -57,6 +65,7 @@ impl QueryStats {
         self.page_accesses += other.page_accesses;
         self.btree_pa += other.btree_pa;
         self.raf_pa += other.raf_pa;
+        self.fsyncs += other.fsyncs;
         self.duration += other.duration;
     }
 }
@@ -70,6 +79,9 @@ pub struct SpbTree<O: MetricObject, D: Distance<O>> {
     pub(crate) btree: BPlusTree<SfcMbbOps>,
     pub(crate) raf: Raf,
     pub(crate) cost: CostModel,
+    /// Write-ahead log; `None` when durability is off (every update then
+    /// writes through without fsync, as the seed implementation did).
+    wal: Option<Wal>,
     len: AtomicU64,
     next_id: AtomicU32,
     build_stats: BuildStats,
@@ -182,8 +194,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             precision,
         )?;
 
-        let build_pa =
-            btree.io_stats().page_accesses() + raf.io_stats().page_accesses();
+        let build_pa = btree.io_stats().page_accesses() + raf.io_stats().page_accesses();
         let storage_bytes = (btree.num_pages() + raf.num_pages()) * spb_storage::PAGE_SIZE as u64;
         let build_stats = BuildStats {
             compdists: counter.get(),
@@ -192,6 +203,20 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             duration: start.elapsed(),
             storage_bytes,
             num_objects: objects.len() as u64,
+        };
+
+        // Durability point of construction: bulk-loading wrote through
+        // without the WAL (logging every page would double the build I/O),
+        // so fsync both files — a finished build is always on disk — and,
+        // in durable mode, start from an empty log.
+        btree.pool().sync()?;
+        raf.sync()?;
+        let wal = if config.durability {
+            let wal = Wal::open(&dir.join(WAL_FILE))?;
+            wal.reset()?;
+            Some(wal)
+        } else {
+            None
         };
 
         btree.pool().reset_stats();
@@ -206,6 +231,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             btree,
             raf,
             cost,
+            wal,
             len: AtomicU64::new(objects.len() as u64),
             next_id: AtomicU32::new(objects.len() as u32),
             build_stats,
@@ -218,13 +244,27 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         Ok(tree)
     }
 
-    /// Re-opens an SPB-tree previously written to `dir`.
+    /// Re-opens an SPB-tree previously written to `dir`, replaying its
+    /// write-ahead log first if the previous process crashed.
     ///
     /// The pivot table, B⁺-tree and RAF are memory-mapped from their
     /// files; the cost model is reconstructed from the B⁺-tree keys alone
     /// (each key decodes to the object's grid cell, a δ-accurate proxy for
     /// `φ(o)`), so reopening computes **no** distances.
     pub fn open(dir: &Path, metric: D, cache_pages: usize) -> io::Result<Self> {
+        Self::open_with(dir, metric, cache_pages, true)
+    }
+
+    /// [`SpbTree::open`] with an explicit durability choice. With
+    /// `durable = false` recovery still runs (a crashed durable session
+    /// must not be silently ignored) but subsequent updates skip the WAL.
+    pub fn open_with(dir: &Path, metric: D, cache_pages: usize, durable: bool) -> io::Result<Self> {
+        recover_dir(dir)?;
+        let wal = if durable {
+            Some(Wal::open(&dir.join(WAL_FILE))?)
+        } else {
+            None
+        };
         let counter = DistCounter::new();
         let metric = CountingDistance::with_counter(metric, counter.clone());
         let table: PivotTable<O> = PivotTable::load(&dir.join("pivots.tbl"))?;
@@ -320,6 +360,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             btree,
             raf,
             cost,
+            wal,
             len: AtomicU64::new(len),
             next_id: AtomicU32::new(next_id),
             build_stats: BuildStats {
@@ -383,46 +424,142 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         }
     }
 
-    /// Persists the small out-of-band metadata (`spb.meta`). Updates call
-    /// this; it is a plain file write, outside the paged I/O accounting.
-    fn write_meta(&self) -> io::Result<()> {
+    /// The `spb.meta` contents reflecting the current in-memory state.
+    fn meta_bytes(&self) -> String {
         let curve = match self.curve.kind() {
             spb_sfc::CurveKind::Hilbert => "hilbert",
             spb_sfc::CurveKind::Z => "z",
         };
-        std::fs::write(
-            self.dir.join("spb.meta"),
-            format!(
-                "curve={curve}\nlen={}\nnext_id={}\n",
-                self.len.load(Ordering::SeqCst),
-                self.next_id.load(Ordering::SeqCst)
-            ),
+        format!(
+            "curve={curve}\nlen={}\nnext_id={}\n",
+            self.len.load(Ordering::SeqCst),
+            self.next_id.load(Ordering::SeqCst)
         )
     }
 
+    /// Persists the small out-of-band metadata (`spb.meta`) atomically
+    /// (temp file + fsync + rename): readers and crash recovery observe
+    /// either the old contents or the new, never a torn mixture. Outside
+    /// the paged I/O accounting.
+    fn write_meta(&self) -> io::Result<()> {
+        atomic_write_file(&self.dir.join(META_FILE), self.meta_bytes().as_bytes())
+    }
+
     // ------------------------------------------------------------------
-    // Updates (Appendix C).
+    // Updates (Appendix C) and their durability protocol.
+    //
+    // With durability on, one logical update is one transaction:
+    // both pagers stage their dirty pages in memory (no-steal), the WAL
+    // makes the transaction durable with a single group-commit fsync,
+    // and only then do the staged pages reach the data files (redo-only
+    // logging needs no undo because uncommitted changes never hit disk).
     // ------------------------------------------------------------------
+
+    /// Starts staging page writes in both pagers (durable mode only).
+    fn txn_begin(&self) {
+        if self.wal.is_some() {
+            self.btree.pool().pager().txn_begin();
+            self.raf.pool().pager().txn_begin();
+        }
+    }
+
+    /// Commits the staged update: WAL (page images + meta, one fsync),
+    /// then the data files, then `spb.meta`. The WAL fsync is the commit
+    /// point — everything after it is redone from the log if we crash.
+    fn txn_commit(&self) -> io::Result<()> {
+        let Some(wal) = &self.wal else {
+            return self.write_meta();
+        };
+        let btree_pages = self.btree.pool().pager().txn_pages();
+        let raf_pages = self.raf.pool().pager().txn_pages();
+        if btree_pages.is_empty() && raf_pages.is_empty() {
+            // Nothing changed (e.g. a delete that found no match): close
+            // the empty transaction without spending an fsync.
+            self.btree.pool().pager().txn_commit()?;
+            self.raf.pool().pager().txn_commit()?;
+            return Ok(());
+        }
+        let txid = wal.begin();
+        for (id, page) in &btree_pages {
+            wal.log_page(txid, WalFileTag::BTree, id.0, page.bytes());
+        }
+        for (id, page) in &raf_pages {
+            wal.log_page(txid, WalFileTag::Raf, id.0, page.bytes());
+        }
+        let meta = self.meta_bytes();
+        wal.log_meta(txid, meta.as_bytes());
+        wal.commit(txid)?; // durability point: one fsync
+        self.btree.pool().pager().txn_commit()?;
+        self.raf.pool().pager().txn_commit()?;
+        atomic_write_file(&self.dir.join(META_FILE), meta.as_bytes())?;
+        if wal.len() >= WAL_CHECKPOINT_BYTES {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Rolls back a failed update: drops staged pages, restores the
+    /// in-memory counters, and reloads both files' in-memory state from
+    /// disk. Best-effort — the caller propagates the original error.
+    fn txn_rollback(&self, len_before: u64, next_id_before: u32) {
+        self.len.store(len_before, Ordering::SeqCst);
+        self.next_id.store(next_id_before, Ordering::SeqCst);
+        if let Some(wal) = &self.wal {
+            wal.abort();
+            self.btree.pool().pager().txn_abort();
+            self.raf.pool().pager().txn_abort();
+            let _ = self.btree.reload_meta();
+            let _ = self.raf.reload();
+        }
+    }
+
+    /// Fsyncs both data files and empties the WAL. Called automatically
+    /// once the log exceeds a size threshold, and on drop; exposed so
+    /// benchmarks can bound WAL replay cost deterministically.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        self.btree.pool().sync()?;
+        self.raf.sync()?;
+        wal.reset()
+    }
 
     /// Inserts one object: map it (`|P|` distance computations), append to
     /// the RAF, insert `(SFC, ptr)` into the B⁺-tree, extending MBBs along
-    /// the path.
+    /// the path. With durability on, the whole update commits atomically
+    /// through the WAL (a crash either keeps it entirely or loses it
+    /// entirely — never a B⁺-tree entry pointing at an unwritten object).
     pub fn insert(&self, o: &O) -> io::Result<QueryStats> {
         let _guard = self.latch.write().expect("latch poisoned");
         let snap = self.snapshot();
-        let phi = self.table.phi(&self.metric, o);
-        let cell = self.table.cell_of_phi(&phi);
-        let sfc = self.curve.encode(&cell);
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let mut buf = Vec::new();
-        o.encode(&mut buf);
-        let ptr = self.raf.append(id, &buf)?;
-        self.raf.flush()?;
-        self.btree.insert(sfc, ptr.offset)?;
-        self.len.fetch_add(1, Ordering::SeqCst);
-        self.cost.record_insert(&phi);
-        self.write_meta()?;
-        Ok(self.stats_since(snap))
+        let len_before = self.len.load(Ordering::SeqCst);
+        let next_id_before = self.next_id.load(Ordering::SeqCst);
+        self.txn_begin();
+        let result = (|| {
+            let phi = self.table.phi(&self.metric, o);
+            let cell = self.table.cell_of_phi(&phi);
+            let sfc = self.curve.encode(&cell);
+            let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+            let mut buf = Vec::new();
+            o.encode(&mut buf);
+            let ptr = self.raf.append(id, &buf)?;
+            self.raf.flush()?;
+            self.btree.insert(sfc, ptr.offset)?;
+            self.len.fetch_add(1, Ordering::SeqCst);
+            self.txn_commit()?;
+            Ok(phi)
+        })();
+        match result {
+            Ok(phi) => {
+                self.cost.record_insert(&phi);
+                Ok(self.stats_since(snap))
+            }
+            Err(e) => {
+                self.txn_rollback(len_before, next_id_before);
+                Err(e)
+            }
+        }
     }
 
     /// Deletes one object equal to `o`. Returns query stats and whether an
@@ -431,21 +568,38 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     pub fn delete(&self, o: &O) -> io::Result<(bool, QueryStats)> {
         let _guard = self.latch.write().expect("latch poisoned");
         let snap = self.snapshot();
-        let phi = self.table.phi(&self.metric, o);
-        let cell = self.table.cell_of_phi(&phi);
-        let sfc = self.curve.encode(&cell);
-        for offset in self.btree.search(sfc)? {
-            let entry = self.raf.get(RafPtr { offset })?;
-            if O::decode(&entry.bytes) == *o {
-                self.btree.delete(sfc, offset)?;
-                self.raf.free(RafPtr { offset })?;
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                self.cost.record_delete();
-                self.write_meta()?;
-                return Ok((true, self.stats_since(snap)));
+        let len_before = self.len.load(Ordering::SeqCst);
+        let next_id_before = self.next_id.load(Ordering::SeqCst);
+        self.txn_begin();
+        let result = (|| {
+            let phi = self.table.phi(&self.metric, o);
+            let cell = self.table.cell_of_phi(&phi);
+            let sfc = self.curve.encode(&cell);
+            for offset in self.btree.search(sfc)? {
+                let entry = self.raf.get(RafPtr { offset })?;
+                if O::decode(&entry.bytes) == *o {
+                    self.btree.delete(sfc, offset)?;
+                    self.raf.free(RafPtr { offset })?;
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    self.txn_commit()?;
+                    return Ok(true);
+                }
+            }
+            self.txn_commit()?; // empty transaction: closes the staging
+            Ok(false)
+        })();
+        match result {
+            Ok(found) => {
+                if found {
+                    self.cost.record_delete();
+                }
+                Ok((found, self.stats_since(snap)))
+            }
+            Err(e) => {
+                self.txn_rollback(len_before, next_id_before);
+                Err(e)
             }
         }
-        Ok((false, self.stats_since(snap)))
     }
 
     /// Fetches and decodes the object behind a RAF offset.
@@ -520,21 +674,33 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         self.raf.set_cache_capacity(pages);
     }
 
+    /// Whether this tree commits updates through a write-ahead log.
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The write-ahead log, if durability is on.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
     /// Counter/IO snapshot for differential query accounting.
-    pub(crate) fn snapshot(&self) -> (u64, IoStats, IoStats, Instant) {
+    pub(crate) fn snapshot(&self) -> (u64, IoStats, IoStats, u64, Instant) {
         (
             self.counter.get(),
             self.btree.io_stats(),
             self.raf.io_stats(),
+            self.wal.as_ref().map_or(0, |w| w.fsyncs()),
             Instant::now(),
         )
     }
 
     /// Stats accumulated since `snap`.
-    pub(crate) fn stats_since(&self, snap: (u64, IoStats, IoStats, Instant)) -> QueryStats {
-        let (c0, b0, r0, t0) = snap;
+    pub(crate) fn stats_since(&self, snap: (u64, IoStats, IoStats, u64, Instant)) -> QueryStats {
+        let (c0, b0, r0, w0, t0) = snap;
         let b1 = self.btree.io_stats();
         let r1 = self.raf.io_stats();
+        let w1 = self.wal.as_ref().map_or(0, |w| w.fsyncs());
         let btree_pa = b1.page_accesses() - b0.page_accesses();
         let raf_pa = r1.page_accesses() - r0.page_accesses();
         QueryStats {
@@ -542,7 +708,22 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             page_accesses: btree_pa + raf_pa,
             btree_pa,
             raf_pa,
+            fsyncs: (b1.fsyncs - b0.fsyncs) + (r1.fsyncs - r0.fsyncs) + (w1 - w0),
             duration: t0.elapsed(),
+        }
+    }
+}
+
+impl<O: MetricObject, D: Distance<O>> Drop for SpbTree<O, D> {
+    /// Checkpoints on clean shutdown so a healthy close leaves an empty
+    /// WAL. Ordering matters: the WAL is only truncated after *both* data
+    /// files fsync successfully — if either sync fails (or a fault is
+    /// injected there), the log survives and reopen replays it.
+    fn drop(&mut self) {
+        if let Some(wal) = &self.wal {
+            if !wal.is_empty() && self.btree.pool().sync().is_ok() && self.raf.sync().is_ok() {
+                let _ = wal.reset();
+            }
         }
     }
 }

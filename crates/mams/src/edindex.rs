@@ -32,8 +32,11 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use spb_core::{BuildStats, QueryStats};
+
+/// A similarity-join result: `(q_id, o_id, distance)` triples plus stats.
+type JoinResult = io::Result<(Vec<(u32, u32, f64)>, QueryStats)>;
 use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
-use spb_storage::{BufferPool, Page, PageId, Pager, PAGE_SIZE};
+use spb_storage::{BufferPool, Page, PageId, Pager, PAGE_DATA_SIZE, PAGE_SIZE};
 
 /// eD-index tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -147,8 +150,8 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
         let mut buckets: Vec<BucketMeta> = Vec::new();
         let mut stored_instances: u64 = 0;
         let write_bucket = |entries: &[(&Work, f64)],
-                                pool: &BufferPool,
-                                stored: &mut u64|
+                            pool: &BufferPool,
+                            stored: &mut u64|
          -> io::Result<Option<BucketMeta>> {
             if entries.is_empty() {
                 return Ok(None);
@@ -164,7 +167,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
             }
             *stored += entries.len() as u64;
             let mut start: Option<PageId> = None;
-            for chunk in bytes.chunks(PAGE_SIZE) {
+            for chunk in bytes.chunks(PAGE_DATA_SIZE) {
                 let page_id = pool.allocate()?;
                 if start.is_none() {
                     start = Some(page_id);
@@ -218,7 +221,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
                     let d = dists[s][i];
                     let (dm, rho, eps) = (dms[s], params.rho, params.eps);
                     if d <= dm - rho {
-                        code = code << 1; // bit 0
+                        code <<= 1; // bit 0
                         if d > dm - rho - eps {
                             near_boundary = true;
                         }
@@ -263,8 +266,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
         }
         // Final exclusion bucket.
         {
-            let entries: Vec<(&Work, f64)> =
-                current.iter().map(|w| (w, w.pivot_dist)).collect();
+            let entries: Vec<(&Work, f64)> = current.iter().map(|w| (w, w.pivot_dist)).collect();
             if let Some(meta) = write_bucket(&entries, &pool, &mut stored_instances)? {
                 buckets.push(meta);
             }
@@ -298,7 +300,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
         let mut filled = 0usize;
         let mut page_no = meta.start.0;
         while filled < bytes.len() {
-            let take = (bytes.len() - filled).min(PAGE_SIZE);
+            let take = (bytes.len() - filled).min(PAGE_DATA_SIZE);
             let p = self.pool.read(PageId(page_no))?;
             bytes[filled..filled + take].copy_from_slice(p.read_slice(0, take));
             filled += take;
@@ -309,10 +311,8 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
         for _ in 0..meta.count {
             let from_q = bytes[off] != 0;
             let id = u32::from_le_bytes(bytes[off + 1..off + 5].try_into().expect("4"));
-            let pivot_dist =
-                f64::from_le_bytes(bytes[off + 5..off + 13].try_into().expect("8"));
-            let len =
-                u32::from_le_bytes(bytes[off + 13..off + 17].try_into().expect("4")) as usize;
+            let pivot_dist = f64::from_le_bytes(bytes[off + 5..off + 13].try_into().expect("8"));
+            let len = u32::from_le_bytes(bytes[off + 13..off + 17].try_into().expect("4")) as usize;
             let obj = O::decode(&bytes[off + 17..off + 17 + len]);
             out.push(StoredEntry {
                 from_q,
@@ -333,7 +333,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
     /// Panics when `eps` exceeds the build-time ε (the original eD-index
     /// must be rebuilt for larger thresholds; Fig. 17 relies on this
     /// limitation).
-    pub fn join(&self, eps: f64) -> io::Result<(Vec<(u32, u32, f64)>, QueryStats)> {
+    pub fn join(&self, eps: f64) -> JoinResult {
         assert!(
             eps <= self.eps_build + 1e-12,
             "eD-index was built for eps <= {}, got {eps}; rebuild required",
@@ -377,6 +377,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
                 page_accesses: pa,
                 btree_pa: pa,
                 raf_pa: 0,
+                fsyncs: 0,
                 duration: t0.elapsed(),
             },
         ))
@@ -440,8 +441,7 @@ mod tests {
         let m = dataset::words_metric();
         for eps in [1.0, 2.0] {
             let dir = TempDir::new("ed-words");
-            let idx =
-                EdIndex::build(dir.path(), &q, &o, m, &EdIndexParams::for_eps(eps)).unwrap();
+            let idx = EdIndex::build(dir.path(), &q, &o, m, &EdIndexParams::for_eps(eps)).unwrap();
             idx.flush_caches();
             let (pairs, stats) = idx.join(eps).unwrap();
             let mut got: Vec<(u32, u32)> = pairs.iter().map(|&(a, b, _)| (a, b)).collect();

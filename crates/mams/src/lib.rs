@@ -39,4 +39,4 @@ pub use mindex::{MIndex, MIndexParams};
 pub use mtree::{MTree, MTreeParams};
 pub use omni::{OmniParams, OmniRTree};
 pub use quickjoin::{quickjoin_rs, QuickJoinParams, QuickJoinResult};
-pub use rtree::{RNode, Rect, RTree, RTreeParams};
+pub use rtree::{RNode, RTree, RTreeParams, Rect};

@@ -235,10 +235,10 @@ impl<O: MetricObject, D: Distance<O>> MIndex<O, D> {
     /// `kNN(q, k)` by doubling-radius range queries with memoised
     /// verification (each object's distance is computed at most once per
     /// query; page accesses of repeated scans are honestly re-counted).
-    pub fn knn(&self, q: &O, k: usize) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn(&self, q: &O, k: usize) -> spb_core::KnnResult<O> {
         let snap = self.snapshot();
         let mut verified: HashMap<u32, (O, f64)> = HashMap::new();
-        if k > 0 && !self.pivots.is_empty() && self.len() > 0 {
+        if k > 0 && !self.pivots.is_empty() && !self.is_empty() {
             let q_dists: Vec<f64> = self
                 .pivots
                 .iter()
@@ -319,7 +319,8 @@ impl<O: MetricObject, D: Distance<O>> MIndex<O, D> {
         o.encode(&mut buf);
         let ptr = self.raf.append(id, &buf)?;
         self.raf.flush()?;
-        self.btree.insert(Self::key(c, d, self.d_plus), ptr.offset)?;
+        self.btree
+            .insert(Self::key(c, d, self.d_plus), ptr.offset)?;
         self.len.fetch_add(1, Ordering::SeqCst);
         Ok(self.stats_since(snap))
     }
@@ -376,6 +377,7 @@ impl<O: MetricObject, D: Distance<O>> MIndex<O, D> {
             page_accesses: btree_pa + raf_pa,
             btree_pa,
             raf_pa,
+            fsyncs: 0,
             duration: t0.elapsed(),
         }
     }

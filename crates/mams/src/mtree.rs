@@ -32,7 +32,7 @@ use rand::rngs::StdRng;
 
 use spb_core::{BuildStats, QueryStats};
 use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
-use spb_storage::{BufferPool, IoStats, Page, PageId, Pager, PAGE_SIZE};
+use spb_storage::{BufferPool, IoStats, Page, PageId, Pager, PAGE_DATA_SIZE, PAGE_SIZE};
 
 const MAGIC: u64 = 0x4d54_5245_4531_3937; // "MTREE197"
 const HEADER: usize = 4; // type u8, pad u8, count u16
@@ -80,11 +80,12 @@ enum MNode<O> {
 impl<O: MetricObject> MNode<O> {
     fn encoded_len(&self) -> usize {
         match self {
-            MNode::Leaf(es) => {
-                HEADER + es.iter().map(|e| 16 + e.obj.encoded_len()).sum::<usize>()
-            }
+            MNode::Leaf(es) => HEADER + es.iter().map(|e| 16 + e.obj.encoded_len()).sum::<usize>(),
             MNode::Internal(es) => {
-                HEADER + es.iter().map(|e| 28 + e.router.encoded_len()).sum::<usize>()
+                HEADER
+                    + es.iter()
+                        .map(|e| 28 + e.router.encoded_len())
+                        .sum::<usize>()
             }
         }
     }
@@ -97,7 +98,7 @@ impl<O: MetricObject> MNode<O> {
     }
 
     fn overflows(&self) -> bool {
-        self.encoded_len() > PAGE_SIZE || self.len() > MAX_ENTRIES
+        self.encoded_len() > PAGE_DATA_SIZE || self.len() > MAX_ENTRIES
     }
 
     fn encode(&self) -> Page {
@@ -271,7 +272,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
                 .iter()
                 .map(|&i| 16 + objects[i as usize].encoded_len())
                 .sum::<usize>();
-        if idxs.len() <= MAX_ENTRIES && leaf_size <= PAGE_SIZE {
+        if idxs.len() <= MAX_ENTRIES && leaf_size <= PAGE_DATA_SIZE {
             let mut radius = 0.0f64;
             let entries: Vec<LeafEntry<O>> = idxs
                 .iter()
@@ -294,10 +295,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
 
         // Sample seeds and assign every object to its nearest seed.
         let f = fanout.min(idxs.len());
-        let mut seeds: Vec<u32> = idxs
-            .choose_multiple(rng, f)
-            .copied()
-            .collect();
+        let mut seeds: Vec<u32> = idxs.choose_multiple(rng, f).copied().collect();
         seeds.sort_unstable();
         seeds.dedup();
         let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); seeds.len()];
@@ -368,7 +366,8 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
             };
             let left_radius = summarise(&entries);
             let right_radius = summarise(&right_entries);
-            self.pool.write(left_page, MNode::Internal(entries).encode())?;
+            self.pool
+                .write(left_page, MNode::Internal(entries).encode())?;
             self.pool
                 .write(right_page, MNode::Internal(right_entries).encode())?;
             let wrapper = MNode::Internal(vec![
@@ -430,30 +429,28 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
                 self.pool.write(page, node.encode())?;
                 *self.root.lock() = Some(page);
             }
-            Some(root) => {
-                match self.insert_rec(root, o, id, None)? {
-                    InsertUp::Done => {}
-                    InsertUp::Split { left, right } => {
-                        let node = MNode::Internal(vec![
-                            IntEntry {
-                                child: left.2,
-                                radius: left.1,
-                                parent_dist: 0.0,
-                                router: left.0,
-                            },
-                            IntEntry {
-                                child: right.2,
-                                radius: right.1,
-                                parent_dist: 0.0,
-                                router: right.0,
-                            },
-                        ]);
-                        let page = self.pool.allocate()?;
-                        self.pool.write(page, node.encode())?;
-                        *self.root.lock() = Some(page);
-                    }
+            Some(root) => match self.insert_rec(root, o, id, None)? {
+                InsertUp::Done => {}
+                InsertUp::Split { left, right } => {
+                    let node = MNode::Internal(vec![
+                        IntEntry {
+                            child: left.2,
+                            radius: left.1,
+                            parent_dist: 0.0,
+                            router: left.0,
+                        },
+                        IntEntry {
+                            child: right.2,
+                            radius: right.1,
+                            parent_dist: 0.0,
+                            router: right.0,
+                        },
+                    ]);
+                    let page = self.pool.allocate()?;
+                    self.pool.write(page, node.encode())?;
+                    *self.root.lock() = Some(page);
                 }
-            }
+            },
         }
         self.len.fetch_add(1, Ordering::SeqCst);
         self.write_meta()?;
@@ -480,7 +477,9 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
                     self.pool.write(page, node.encode())?;
                     Ok(InsertUp::Done)
                 } else {
-                    let MNode::Leaf(es) = node else { unreachable!() };
+                    let MNode::Leaf(es) = node else {
+                        unreachable!()
+                    };
                     self.split_leaf(page, es)
                 }
             }
@@ -585,7 +584,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
                 let score = ra.max(rb);
                 if best
                     .as_ref()
-                    .map_or(true, |(_, _, _, ba, bb)| score < ba.max(*bb))
+                    .is_none_or(|(_, _, _, ba, bb)| score < ba.max(*bb))
                 {
                     best = Some((a, b, to_b, ra, rb));
                 }
@@ -653,7 +652,8 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
         }
         let right_page = self.pool.allocate()?;
         self.pool.write(page, MNode::Internal(left).encode())?;
-        self.pool.write(right_page, MNode::Internal(right).encode())?;
+        self.pool
+            .write(right_page, MNode::Internal(right).encode())?;
         Ok(InsertUp::Split {
             left: (ra_obj, r_left, page),
             right: (rb_obj, r_right, right_page),
@@ -715,7 +715,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
     }
 
     /// `kNN(q, k)` by best-first traversal with covering-radius bounds.
-    pub fn knn(&self, q: &O, k: usize) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn(&self, q: &O, k: usize) -> spb_core::KnnResult<O> {
         let snap = self.snapshot();
         let mut best: BinaryHeap<KnnBest<O>> = BinaryHeap::new();
         if k > 0 {
@@ -845,6 +845,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
             page_accesses: pa,
             btree_pa: pa,
             raf_pa: 0,
+            fsyncs: 0,
             duration: t0.elapsed(),
         }
     }

@@ -116,8 +116,7 @@ impl<O: MetricObject, D: Distance<O>> OmniRTree<O, D> {
         let build_stats = BuildStats {
             compdists: counter.get(),
             pivot_compdists: pivot_counter.get(),
-            page_accesses: rtree.pool().stats().page_accesses()
-                + raf.io_stats().page_accesses(),
+            page_accesses: rtree.pool().stats().page_accesses() + raf.io_stats().page_accesses(),
             duration: start.elapsed(),
             storage_bytes: (rtree.pool().num_pages() + raf.num_pages()) * PAGE_SIZE as u64,
             num_objects: objects.len() as u64,
@@ -176,7 +175,7 @@ impl<O: MetricObject, D: Distance<O>> OmniRTree<O, D> {
 
     /// `kNN(q, k)` by best-first R-tree traversal under the `L∞` MINDIST
     /// lower bound.
-    pub fn knn(&self, q: &O, k: usize) -> io::Result<(Vec<(u32, O, f64)>, QueryStats)> {
+    pub fn knn(&self, q: &O, k: usize) -> spb_core::KnnResult<O> {
         let snap = self.snapshot();
         let mut best: BinaryHeap<Best<O>> = BinaryHeap::new();
         if k > 0 {
@@ -230,10 +229,18 @@ impl<O: MetricObject, D: Distance<O>> OmniRTree<O, D> {
                             let (id, o) = self.fetch(offset)?;
                             let d = self.metric.distance(q, &o);
                             if best.len() < k {
-                                best.push(Best { dist: d, id, obj: o });
+                                best.push(Best {
+                                    dist: d,
+                                    id,
+                                    obj: o,
+                                });
                             } else if d < cur_nd(&best) {
                                 best.pop();
-                                best.push(Best { dist: d, id, obj: o });
+                                best.push(Best {
+                                    dist: d,
+                                    id,
+                                    obj: o,
+                                });
                             }
                         }
                     }
@@ -321,6 +328,7 @@ impl<O: MetricObject, D: Distance<O>> OmniRTree<O, D> {
             page_accesses: tree_pa + raf_pa,
             btree_pa: tree_pa,
             raf_pa,
+            fsyncs: 0,
             duration: at.elapsed(),
         }
     }

@@ -207,11 +207,13 @@ fn qj_win<O: MetricObject, D: Distance<O>>(
         return;
     }
     // Re-partition both windows by a common pivot and radius.
-    let pick_from_a = xorshift(rng) % 2 == 0;
+    let pick_from_a = xorshift(rng).is_multiple_of(2);
     let pivot = if pick_from_a {
-        ctx.obj(&a[(xorshift(rng) % a.len() as u64) as usize]).clone()
+        ctx.obj(&a[(xorshift(rng) % a.len() as u64) as usize])
+            .clone()
     } else {
-        ctx.obj(&b[(xorshift(rng) % b.len() as u64) as usize]).clone()
+        ctx.obj(&b[(xorshift(rng) % b.len() as u64) as usize])
+            .clone()
     };
     for it in a.iter_mut().chain(b.iter_mut()) {
         it.pivot_dist = ctx.metric.distance(ctx.obj(it), &pivot);

@@ -17,7 +17,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use spb_storage::{BufferPool, Page, PageId, Pager, PAGE_SIZE};
+use spb_storage::{BufferPool, Page, PageId, Pager, PAGE_DATA_SIZE};
 
 const MAGIC: u64 = 0x4f4d_4e49_5254_5245; // "OMNIRTRE"
 const HEADER: usize = 4;
@@ -205,8 +205,8 @@ impl RTree {
             dim,
             root: Mutex::new(None),
             len: AtomicU64::new(0),
-            leaf_cap: ((PAGE_SIZE - HEADER) / leaf_entry).min(256),
-            int_cap: ((PAGE_SIZE - HEADER) / int_entry).min(256),
+            leaf_cap: ((PAGE_DATA_SIZE - HEADER) / leaf_entry).min(256),
+            int_cap: ((PAGE_DATA_SIZE - HEADER) / int_entry).min(256),
         };
         tree.write_meta()?;
         Ok(tree)
@@ -269,7 +269,11 @@ impl RTree {
                     let coords: Vec<f32> = (0..self.dim)
                         .map(|i| f32::from_bits(p.read_u32(off + 12 + 4 * i)))
                         .collect();
-                    es.push(RLeafEntry { raf_off, id, coords });
+                    es.push(RLeafEntry {
+                        raf_off,
+                        id,
+                        coords,
+                    });
                     off += 12 + 4 * self.dim;
                 }
                 RNode::Leaf(es)
@@ -305,7 +309,10 @@ impl RTree {
     /// # Panics
     /// Panics if the tree is not empty.
     pub fn bulk_load(&self, mut items: Vec<(Vec<f32>, u64, u32)>) -> io::Result<()> {
-        assert!(self.root.lock().is_none(), "bulk_load requires an empty tree");
+        assert!(
+            self.root.lock().is_none(),
+            "bulk_load requires an empty tree"
+        );
         if items.is_empty() {
             return Ok(());
         }

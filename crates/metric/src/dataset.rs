@@ -131,7 +131,11 @@ fn latent_vectors(
         .collect();
     // One shared loading matrix A (dim × latent), column-normalised.
     let a: Vec<Vec<f64>> = (0..dim)
-        .map(|_| (0..latent).map(|_| normal(rng) / (latent as f64).sqrt()).collect())
+        .map(|_| {
+            (0..latent)
+                .map(|_| normal(rng) / (latent as f64).sqrt())
+                .collect()
+        })
         .collect();
     (0..n)
         .map(|_| {
@@ -140,8 +144,7 @@ fn latent_vectors(
             FloatVec::new(
                 (0..dim)
                     .map(|i| {
-                        let latent_part: f64 =
-                            a[i].iter().zip(&z).map(|(aij, zj)| aij * zj).sum();
+                        let latent_part: f64 = a[i].iter().zip(&z).map(|(aij, zj)| aij * zj).sum();
                         (c[i] + latent_part + noise * normal(rng)).clamp(0.0, 1.0) as f32
                     })
                     .collect(),
@@ -204,7 +207,7 @@ pub fn dna(n: usize, seed: u64) -> Vec<Dna> {
             let mut s = root.clone();
             // Heavy-tailed mutation rate: many near-copies, some far drifts.
             let rate = rng.gen_range(0.0..0.8f64).powi(2);
-            for pos in 0..LEN {
+            for slot in s.iter_mut().take(LEN) {
                 if rng.gen::<f64>() < rate {
                     let mut u = rng.gen::<f64>();
                     let mut b = BASES[3];
@@ -215,7 +218,7 @@ pub fn dna(n: usize, seed: u64) -> Vec<Dna> {
                         }
                         u -= p;
                     }
-                    s[pos] = b;
+                    *slot = b;
                 }
             }
             Dna::new(String::from_utf8(s).expect("ACGT bytes"))

@@ -132,7 +132,10 @@ impl LpNorm {
     /// # Panics
     /// Panics if `p < 1` (not a metric) or `dim == 0`.
     pub fn new(p: f64, dim: usize, span: f64) -> Self {
-        assert!(p >= 1.0, "Lp-norm requires p >= 1 for the triangle inequality");
+        assert!(
+            p >= 1.0,
+            "Lp-norm requires p >= 1 for the triangle inequality"
+        );
         assert!(dim > 0, "dimensionality must be positive");
         LpNorm { p, dim, span }
     }
@@ -338,7 +341,13 @@ mod tests {
         // RQ("defoliate", O, 1) = {"defoliates", "defoliated"} from Section 4.1.
         let d = EditDistance::default();
         let q = Word::new("defoliate");
-        let words = ["citrate", "defoliates", "defoliated", "defoliating", "defoliation"];
+        let words = [
+            "citrate",
+            "defoliates",
+            "defoliated",
+            "defoliating",
+            "defoliation",
+        ];
         let hits: Vec<&str> = words
             .iter()
             .filter(|w| d.distance(&q, &Word::new(**w)) <= 1.0)
@@ -477,8 +486,11 @@ mod proptests {
     }
 
     fn dna_strategy() -> impl Strategy<Value = Dna> {
-        proptest::collection::vec(prop_oneof![Just('A'), Just('C'), Just('G'), Just('T')], 0..40)
-            .prop_map(|cs| Dna::new(cs.into_iter().collect::<String>()))
+        proptest::collection::vec(
+            prop_oneof![Just('A'), Just('C'), Just('G'), Just('T')],
+            0..40,
+        )
+        .prop_map(|cs| Dna::new(cs.into_iter().collect::<String>()))
     }
 
     fn vec_strategy(dim: usize) -> impl Strategy<Value = FloatVec> {

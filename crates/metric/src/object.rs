@@ -131,7 +131,7 @@ impl MetricObject for FloatVec {
 
     fn decode(bytes: &[u8]) -> Self {
         assert!(
-            bytes.len() % 4 == 0,
+            bytes.len().is_multiple_of(4),
             "FloatVec byte length must be a multiple of 4"
         );
         FloatVec(
@@ -329,7 +329,10 @@ impl MetricObject for IntSet {
     }
 
     fn decode(bytes: &[u8]) -> Self {
-        assert!(bytes.len() % 4 == 0, "IntSet bytes must be a multiple of 4");
+        assert!(
+            bytes.len().is_multiple_of(4),
+            "IntSet bytes must be a multiple of 4"
+        );
         IntSet(
             bytes
                 .chunks_exact(4)

@@ -50,7 +50,11 @@ pub fn intrinsic_dimensionality(distances: &[f64]) -> f64 {
     }
     let n = distances.len() as f64;
     let mean = distances.iter().sum::<f64>() / n;
-    let var = distances.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+    let var = distances
+        .iter()
+        .map(|d| (d - mean) * (d - mean))
+        .sum::<f64>()
+        / n;
     if var == 0.0 {
         return f64::INFINITY;
     }
@@ -169,7 +173,10 @@ mod tests {
 
     #[test]
     fn sample_is_deterministic_and_sized() {
-        let words: Vec<Word> = ["aa", "ab", "abc", "xyz", "xy"].iter().map(|s| Word::new(*s)).collect();
+        let words: Vec<Word> = ["aa", "ab", "abc", "xyz", "xy"]
+            .iter()
+            .map(|s| Word::new(*s))
+            .collect();
         let d = EditDistance::default();
         let s1 = pairwise_distance_sample(&words, &d, 100, 7);
         let s2 = pairwise_distance_sample(&words, &d, 100, 7);
@@ -241,7 +248,7 @@ mod tests {
         }
         // 10% of 1000 objects within r → need r covering first 10 buckets.
         let r = h.quantile_radius(1000, 100);
-        assert!(r >= 9.0 && r <= 11.0, "r = {r}");
+        assert!((9.0..=11.0).contains(&r), "r = {r}");
         // Unreachable k saturates at d+.
         assert_eq!(h.quantile_radius(10, 100_000), 100.0);
     }

@@ -236,7 +236,7 @@ fn hf_candidates<O, D: Distance<O>>(
                 .iter()
                 .map(|&f| (metric.distance(&objects[c], &objects[f]) - edge).abs())
                 .sum();
-            if best.map_or(true, |(_, e)| err < e) {
+            if best.is_none_or(|(_, e)| err < e) {
                 best = Some((c, err));
             }
         }
@@ -317,7 +317,7 @@ fn incremental_by_precision<O, D: Distance<O>>(
                 let lb = cur[p].max((row[a] - row[b]).abs());
                 score += lb / d;
             }
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((pos, score));
             }
         }
@@ -432,7 +432,7 @@ fn pca<O, D: Distance<O>>(
                 }
             }
             let score = norm2(&r);
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((pos, score));
             }
         }

@@ -213,7 +213,7 @@ fn transpose_to_axes(x: &mut [u32], bits: u32) {
         return;
     }
     let m = 2u32.wrapping_shl(bits - 1); // 2^bits, wraps to 0 for bits=32 (handled below)
-    // Gray decode by H ^ (H >> 1).
+                                         // Gray decode by H ^ (H >> 1).
     let t = x[n - 1] >> 1;
     for i in (1..n).rev() {
         x[i] ^= x[i - 1];
@@ -263,7 +263,7 @@ mod tests {
     #[test]
     fn hilbert_2d_visits_every_cell_once_with_unit_steps() {
         let h = Sfc::hilbert(2, 3); // 8x8 grid
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut prev: Option<Vec<u32>> = None;
         for v in 0..64u128 {
             let p = h.decode(v);
@@ -271,11 +271,7 @@ mod tests {
             assert!(!seen[idx], "cell visited twice: {p:?}");
             seen[idx] = true;
             if let Some(q) = prev {
-                let step: u32 = p
-                    .iter()
-                    .zip(&q)
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .sum();
+                let step: u32 = p.iter().zip(&q).map(|(&a, &b)| a.abs_diff(b)).sum();
                 assert_eq!(step, 1, "Hilbert curve must move one cell at a time");
             }
             prev = Some(p);
@@ -286,7 +282,7 @@ mod tests {
     #[test]
     fn hilbert_3d_visits_every_cell_once_with_unit_steps() {
         let h = Sfc::hilbert(3, 2); // 4x4x4 grid
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut prev: Option<Vec<u32>> = None;
         for v in 0..64u128 {
             let p = h.decode(v);
@@ -368,8 +364,16 @@ mod proptests {
 
     fn curve_and_point() -> impl Strategy<Value = (Sfc, Vec<u32>)> {
         (1usize..=9, 1u32..=12, any::<bool>()).prop_flat_map(|(dims, bits, hilbert)| {
-            let kind = if hilbert { CurveKind::Hilbert } else { CurveKind::Z };
-            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            let kind = if hilbert {
+                CurveKind::Hilbert
+            } else {
+                CurveKind::Z
+            };
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bits) - 1
+            };
             (
                 Just(Sfc::new(kind, dims, bits.min(127 / dims as u32).max(1))),
                 proptest::collection::vec(0..=max, dims),

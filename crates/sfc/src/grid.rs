@@ -56,9 +56,9 @@ impl GridBox {
     /// Grows the box (in place) to cover `p`.
     pub fn extend_to(&mut self, p: &[u32]) {
         debug_assert_eq!(p.len(), self.dims());
-        for i in 0..self.lo.len() {
-            self.lo[i] = self.lo[i].min(p[i]);
-            self.hi[i] = self.hi[i].max(p[i]);
+        for (i, &c) in p.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(c);
+            self.hi[i] = self.hi[i].max(c);
         }
     }
 
@@ -74,10 +74,7 @@ impl GridBox {
 
     /// True iff `other` lies entirely inside `self`.
     pub fn contains_box(&self, other: &GridBox) -> bool {
-        self.lo
-            .iter()
-            .zip(&other.lo)
-            .all(|(a, b)| a <= b)
+        self.lo.iter().zip(&other.lo).all(|(a, b)| a <= b)
             && self.hi.iter().zip(&other.hi).all(|(a, b)| a >= b)
     }
 
@@ -150,10 +147,7 @@ impl GridBox {
             return None;
         }
         let lo_c: Vec<u32> = lo.iter().map(|&l| l.max(0) as u32).collect();
-        let hi_c: Vec<u32> = hi
-            .iter()
-            .map(|&h| h.min(max_coord as i64) as u32)
-            .collect();
+        let hi_c: Vec<u32> = hi.iter().map(|&h| h.min(max_coord as i64) as u32).collect();
         if lo_c.iter().zip(&hi_c).any(|(l, h)| l > h) {
             return None;
         }
@@ -183,9 +177,8 @@ impl Iterator for CellIter<'_> {
             dim -= 1;
             if next[dim] < self.bx.hi[dim] {
                 next[dim] += 1;
-                for d in dim + 1..next.len() {
-                    next[d] = self.bx.lo[d];
-                }
+                let (tail, len) = (dim + 1, next.len());
+                next[tail..].copy_from_slice(&self.bx.lo[tail..len]);
                 self.current = Some(next);
                 break;
             }
@@ -204,13 +197,7 @@ pub fn mind_linf(p: &[u32], bx: &GridBox) -> u32 {
     debug_assert_eq!(p.len(), bx.dims());
     let mut best = 0u32;
     for ((&c, &l), &h) in p.iter().zip(bx.lo()).zip(bx.hi()) {
-        let d = if c < l {
-            l - c
-        } else if c > h {
-            c - h
-        } else {
-            0
-        };
+        let d = if c < l { l - c } else { c.saturating_sub(h) };
         best = best.max(d);
     }
     best

@@ -28,10 +28,13 @@ pub struct IoStats {
     pub physical_reads: u64,
     /// Page writes (write-through: every write touches the pager).
     pub writes: u64,
+    /// fsyncs of the underlying file (durability cost; not part of *PA*).
+    pub fsyncs: u64,
 }
 
 impl IoStats {
-    /// The paper's *PA*: physical reads plus writes.
+    /// The paper's *PA*: physical reads plus writes. fsyncs are reported
+    /// separately — the paper's metric predates the durability layer.
     pub fn page_accesses(&self) -> u64 {
         self.physical_reads + self.writes
     }
@@ -170,6 +173,7 @@ impl BufferPool {
             logical_reads: self.logical_reads.load(Ordering::Relaxed),
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            fsyncs: self.pager.fsyncs(),
         }
     }
 
@@ -179,6 +183,12 @@ impl BufferPool {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+        self.pager.reset_fsyncs();
+    }
+
+    /// Flushes the OS file buffer of the underlying pager.
+    pub fn sync(&self) -> io::Result<()> {
+        self.pager.sync()
     }
 
     /// The paper's *PA* since the last reset.

@@ -14,15 +14,34 @@
 //!   records `(id, len, obj)` separately from the index (Fig. 4);
 //! * [`TempDir`] — a tiny self-cleaning scratch-directory helper used by
 //!   tests, examples and benchmarks.
+//!
+//! The durability layer added on top of that substrate:
+//!
+//! * every physical page carries a CRC-32 footer ([`PAGE_DATA_SIZE`] bytes
+//!   remain for node codecs), verified on read ([`StorageCorrupt`] /
+//!   [`is_corrupt`]);
+//! * [`Wal`] — a redo-only, group-commit write-ahead log of page and meta
+//!   after-images;
+//! * [`atomic_write_file`] — temp-file + fsync + rename whole-file
+//!   replacement for small metadata files;
+//! * [`fault`] — a deterministic crash/corruption injection harness used
+//!   by the recovery tests.
 
+mod atomic;
 mod cache;
+mod checksum;
+pub mod fault;
 mod page;
 mod pager;
 mod raf;
 mod tempdir;
+mod wal;
 
+pub use atomic::atomic_write_file;
 pub use cache::{BufferPool, IoStats};
-pub use page::{Page, PageId, PAGE_SIZE};
-pub use pager::Pager;
+pub use checksum::{crc32, Crc32};
+pub use page::{Page, PageId, PAGE_CRC_SIZE, PAGE_DATA_SIZE, PAGE_SIZE};
+pub use pager::{is_corrupt, Pager, StorageCorrupt};
 pub use raf::{Raf, RafEntry, RafPtr};
 pub use tempdir::TempDir;
+pub use wal::{decode_record, encode_record, Wal, WalFileTag, WalRecord, WalScan};

@@ -5,6 +5,16 @@
 /// disk page size of 4KB", Section 6).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Bytes of the CRC-32 footer at the end of every physical page.
+pub const PAGE_CRC_SIZE: usize = 4;
+
+/// Bytes of a page available to node codecs. The last [`PAGE_CRC_SIZE`]
+/// bytes hold a CRC-32 over the data area, stamped by the pager on every
+/// physical write and verified on every physical read (torn-write and
+/// bit-rot detection). Codecs must size their layouts against this, not
+/// [`PAGE_SIZE`]; the scalar accessors enforce it.
+pub const PAGE_DATA_SIZE: usize = PAGE_SIZE - PAGE_CRC_SIZE;
+
 /// Identifier of a page within one pager file (page number, not a byte
 /// offset).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -62,73 +72,98 @@ impl Page {
         &mut self.data
     }
 
+    /// Panics unless `[off, off + len)` lies inside the data area — a
+    /// codec bug, never a runtime condition.
+    #[track_caller]
+    fn check_bounds(off: usize, len: usize) {
+        assert!(
+            off + len <= PAGE_DATA_SIZE,
+            "page access [{off}, {}) overlaps the CRC footer (data area is {PAGE_DATA_SIZE} bytes)",
+            off + len,
+        );
+    }
+
     /// Reads `len` bytes at `off`.
     pub fn read_slice(&self, off: usize, len: usize) -> &[u8] {
+        Self::check_bounds(off, len);
         &self.data[off..off + len]
     }
 
     /// Writes `src` at `off`.
     pub fn write_slice(&mut self, off: usize, src: &[u8]) {
+        Self::check_bounds(off, src.len());
         self.data[off..off + src.len()].copy_from_slice(src);
     }
 
     /// Reads a `u8` at `off`.
     pub fn read_u8(&self, off: usize) -> u8 {
+        Self::check_bounds(off, 1);
         self.data[off]
     }
 
     /// Writes a `u8` at `off`.
     pub fn write_u8(&mut self, off: usize, v: u8) {
+        Self::check_bounds(off, 1);
         self.data[off] = v;
     }
 
     /// Reads a little-endian `u16` at `off`.
     pub fn read_u16(&self, off: usize) -> u16 {
+        Self::check_bounds(off, 2);
         u16::from_le_bytes(self.data[off..off + 2].try_into().expect("2 bytes"))
     }
 
     /// Writes a little-endian `u16` at `off`.
     pub fn write_u16(&mut self, off: usize, v: u16) {
+        Self::check_bounds(off, 2);
         self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u32` at `off`.
     pub fn read_u32(&self, off: usize) -> u32 {
+        Self::check_bounds(off, 4);
         u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
     }
 
     /// Writes a little-endian `u32` at `off`.
     pub fn write_u32(&mut self, off: usize, v: u32) {
+        Self::check_bounds(off, 4);
         self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64` at `off`.
     pub fn read_u64(&self, off: usize) -> u64 {
+        Self::check_bounds(off, 8);
         u64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
     }
 
     /// Writes a little-endian `u64` at `off`.
     pub fn write_u64(&mut self, off: usize, v: u64) {
+        Self::check_bounds(off, 8);
         self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `u128` at `off` (SFC values, MBB corners).
     pub fn read_u128(&self, off: usize) -> u128 {
+        Self::check_bounds(off, 16);
         u128::from_le_bytes(self.data[off..off + 16].try_into().expect("16 bytes"))
     }
 
     /// Writes a little-endian `u128` at `off`.
     pub fn write_u128(&mut self, off: usize, v: u128) {
+        Self::check_bounds(off, 16);
         self.data[off..off + 16].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Reads a little-endian `f64` at `off` (covering radii, distances).
     pub fn read_f64(&self, off: usize) -> f64 {
+        Self::check_bounds(off, 8);
         f64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
     }
 
     /// Writes a little-endian `f64` at `off`.
     pub fn write_f64(&mut self, off: usize, v: f64) {
+        Self::check_bounds(off, 8);
         self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
     }
 }
@@ -173,5 +208,19 @@ mod tests {
     fn out_of_bounds_write_panics() {
         let mut p = Page::new();
         p.write_u32(PAGE_SIZE - 2, 1);
+    }
+
+    #[test]
+    fn data_area_boundary_is_usable() {
+        let mut p = Page::new();
+        p.write_u32(PAGE_DATA_SIZE - 4, 0xffff_ffff);
+        assert_eq!(p.read_u32(PAGE_DATA_SIZE - 4), 0xffff_ffff);
+    }
+
+    #[test]
+    #[should_panic(expected = "CRC footer")]
+    fn write_into_footer_panics() {
+        let mut p = Page::new();
+        p.write_u8(PAGE_DATA_SIZE, 0);
     }
 }

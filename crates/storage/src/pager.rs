@@ -1,24 +1,92 @@
-//! A file of fixed-size pages.
+//! A file of fixed-size pages with checksums, fault hooks and staging.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::checksum::crc32;
+use crate::fault::{self, WritePlan};
+use crate::page::{Page, PageId, PAGE_DATA_SIZE, PAGE_SIZE};
+
+/// Storage-level corruption detected by the checksum layer. Surfaces as
+/// the inner error of an [`io::Error`] with kind `InvalidData`; use
+/// [`is_corrupt`] to classify without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageCorrupt {
+    /// File the bad page was read from.
+    pub file: PathBuf,
+    /// Page number within the file.
+    pub page: u64,
+    /// CRC stored in the page footer.
+    pub stored: u32,
+    /// CRC computed over the page's data area.
+    pub computed: u32,
+}
+
+impl std::fmt::Display for StorageCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "page {} of {} is corrupt: footer CRC {:#010x}, computed {:#010x}",
+            self.page,
+            self.file.display(),
+            self.stored,
+            self.computed
+        )
+    }
+}
+
+impl std::error::Error for StorageCorrupt {}
+
+/// Whether `err` (at any wrapping depth) is a checksum-corruption error.
+pub fn is_corrupt(err: &io::Error) -> bool {
+    let mut source: Option<&(dyn std::error::Error + 'static)> = err.get_ref().map(|e| e as _);
+    while let Some(e) = source {
+        if e.is::<StorageCorrupt>() {
+            return true;
+        }
+        // `io::Error::source()` yields the *source of* its payload, which
+        // would skip a nested payload entirely — descend into it by hand.
+        source = match e.downcast_ref::<io::Error>() {
+            Some(io_err) => io_err.get_ref().map(|inner| inner as _),
+            None => e.source(),
+        };
+    }
+    false
+}
+
+/// Pages staged by an open transaction (no-steal policy: they must not
+/// reach the main file until commit).
+struct Txn {
+    pages: HashMap<u64, Page>,
+    /// `num_pages` when the transaction began, for allocation rollback.
+    pages_at_begin: u64,
+}
 
 /// A pager over one file: allocates, reads and writes 4 KB pages and counts
 /// raw disk operations. Higher layers access it through a [`BufferPool`]
 /// (which turns the raw counts into the paper's *PA* metric).
 ///
+/// Every physical page carries a CRC-32 footer over its data area,
+/// stamped on write and verified on read; a mismatch surfaces as an
+/// `InvalidData` error wrapping [`StorageCorrupt`]. While a transaction
+/// is open ([`Pager::txn_begin`]) writes are staged in memory and only
+/// reach the file at [`Pager::txn_commit`] — the no-steal policy the
+/// redo-only WAL depends on.
+///
 /// [`BufferPool`]: crate::BufferPool
 pub struct Pager {
     file: Mutex<File>,
+    path: PathBuf,
     num_pages: AtomicU64,
     disk_reads: AtomicU64,
     disk_writes: AtomicU64,
+    fsyncs: AtomicU64,
+    txn: Mutex<Option<Txn>>,
 }
 
 impl Pager {
@@ -32,9 +100,12 @@ impl Pager {
             .open(path)?;
         Ok(Pager {
             file: Mutex::new(file),
+            path: path.to_path_buf(),
             num_pages: AtomicU64::new(0),
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            txn: Mutex::new(None),
         })
     }
 
@@ -54,45 +125,188 @@ impl Pager {
         }
         Ok(Pager {
             file: Mutex::new(file),
+            path: path.to_path_buf(),
             num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
             disk_reads: AtomicU64::new(0),
             disk_writes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            txn: Mutex::new(None),
         })
+    }
+
+    /// The file this pager manages.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Allocates a fresh zeroed page at the end of the file.
     pub fn allocate(&self) -> io::Result<PageId> {
         let id = PageId(self.num_pages.fetch_add(1, Ordering::SeqCst));
-        // Materialise the page so the file length stays consistent.
+        // Materialise the page so the file length stays consistent (staged
+        // in memory while a transaction is open).
         self.write_page(id, &Page::new())?;
         Ok(id)
     }
 
-    /// Reads a page from disk.
+    /// Reads a page, consulting the open transaction's staged pages first
+    /// and verifying the CRC footer of anything fetched from disk.
     pub fn read_page(&self, id: PageId) -> io::Result<Page> {
         assert!(
             id.0 < self.num_pages.load(Ordering::SeqCst),
             "read of unallocated page {id:?}"
         );
+        {
+            let txn = self.txn.lock();
+            if let Some(t) = txn.as_ref() {
+                if let Some(page) = t.pages.get(&id.0) {
+                    return Ok(page.clone());
+                }
+            }
+        }
         let mut page = Page::new();
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id.byte_offset()))?;
-        file.read_exact(page.bytes_mut())?;
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(id.byte_offset()))?;
+            file.read_exact(page.bytes_mut())?;
+        }
         self.disk_reads.fetch_add(1, Ordering::Relaxed);
+        self.verify_crc(id, &page)?;
         Ok(page)
     }
 
-    /// Writes a page to disk.
+    fn verify_crc(&self, id: PageId, page: &Page) -> io::Result<()> {
+        let bytes = page.bytes();
+        let stored = u32::from_le_bytes(
+            bytes[PAGE_DATA_SIZE..PAGE_SIZE]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let computed = crc32(&bytes[..PAGE_DATA_SIZE]);
+        if stored == computed {
+            return Ok(());
+        }
+        // A fully zeroed page (data and footer) is a page the filesystem
+        // materialised but whose content write never happened — recovery
+        // rewrites it from the WAL, so reading it is not corruption.
+        if stored == 0 && bytes.iter().all(|&b| b == 0) {
+            return Ok(());
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            StorageCorrupt {
+                file: self.path.clone(),
+                page: id.0,
+                stored,
+                computed,
+            },
+        ))
+    }
+
+    /// Writes a page. While a transaction is open the write is staged in
+    /// memory; otherwise it is stamped with its CRC and written through.
     pub fn write_page(&self, id: PageId, page: &Page) -> io::Result<()> {
         assert!(
             id.0 < self.num_pages.load(Ordering::SeqCst),
             "write of unallocated page {id:?}"
         );
+        {
+            let mut txn = self.txn.lock();
+            if let Some(t) = txn.as_mut() {
+                t.pages.insert(id.0, page.clone());
+                return Ok(());
+            }
+        }
+        self.write_page_raw(id, page)
+    }
+
+    /// Stamps the CRC footer and writes the page to disk, honouring the
+    /// fault-injection hooks.
+    fn write_page_raw(&self, id: PageId, page: &Page) -> io::Result<()> {
+        let mut frame = *page.bytes();
+        let crc = crc32(&frame[..PAGE_DATA_SIZE]);
+        frame[PAGE_DATA_SIZE..].copy_from_slice(&crc.to_le_bytes());
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.byte_offset()))?;
-        file.write_all(page.bytes())?;
+        match fault::on_write(&self.path, &frame) {
+            WritePlan::Proceed => file.write_all(&frame)?,
+            WritePlan::CrashAfterWriting(bytes) => {
+                file.write_all(&bytes)?;
+                file.flush()?;
+                return Err(fault::injected_crash());
+            }
+            WritePlan::Crash => return Err(fault::injected_crash()),
+        }
         self.disk_writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Begins a transaction: until [`Pager::txn_commit`], writes and
+    /// allocations stay in memory. One transaction at a time.
+    pub fn txn_begin(&self) {
+        let mut txn = self.txn.lock();
+        assert!(txn.is_none(), "nested pager transaction");
+        *txn = Some(Txn {
+            pages: HashMap::new(),
+            pages_at_begin: self.num_pages.load(Ordering::SeqCst),
+        });
+    }
+
+    /// Snapshot of the open transaction's staged pages in page order
+    /// (the images a WAL commit record must carry).
+    pub fn txn_pages(&self) -> Vec<(PageId, Page)> {
+        let txn = self.txn.lock();
+        let t = txn.as_ref().expect("no open pager transaction");
+        let mut pages: Vec<(PageId, Page)> = t
+            .pages
+            .iter()
+            .map(|(&no, page)| (PageId(no), page.clone()))
+            .collect();
+        pages.sort_by_key(|(id, _)| id.0);
+        pages
+    }
+
+    /// Applies the staged pages to the file and closes the transaction.
+    /// The caller must have made the transaction durable first (WAL) —
+    /// this method does not fsync.
+    pub fn txn_commit(&self) -> io::Result<()> {
+        let staged = {
+            let mut txn = self.txn.lock();
+            let t = txn.take().expect("no open pager transaction");
+            let mut pages: Vec<(u64, Page)> = t.pages.into_iter().collect();
+            pages.sort_by_key(|&(no, _)| no);
+            pages
+        };
+        for (no, page) in staged {
+            self.write_page_raw(PageId(no), &page)?;
+        }
+        Ok(())
+    }
+
+    /// Discards the staged pages and rolls back in-transaction
+    /// allocations. Callers must also invalidate any caches above the
+    /// pager that may have seen staged pages.
+    pub fn txn_abort(&self) {
+        let mut txn = self.txn.lock();
+        if let Some(t) = txn.take() {
+            self.num_pages.store(t.pages_at_begin, Ordering::SeqCst);
+        }
+    }
+
+    /// Extends the file to at least `pages` pages (zero-filled). Recovery
+    /// redo uses this before rewriting pages that lie beyond the end of a
+    /// crash-truncated file; all-zero pages read back as valid.
+    pub fn grow_to(&self, pages: u64) -> io::Result<()> {
+        let cur = self.num_pages.load(Ordering::SeqCst);
+        if pages > cur {
+            self.file.lock().set_len(pages * PAGE_SIZE as u64)?;
+            self.num_pages.store(pages, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    /// Whether a transaction is open.
+    pub fn txn_active(&self) -> bool {
+        self.txn.lock().is_some()
     }
 
     /// Number of allocated pages — the index's storage size in pages
@@ -111,15 +325,30 @@ impl Pager {
         self.disk_writes.load(Ordering::Relaxed)
     }
 
+    /// fsyncs performed so far.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the fsync counter (the read/write counters are reset by
+    /// the buffer pool's own accounting).
+    pub fn reset_fsyncs(&self) {
+        self.fsyncs.store(0, Ordering::Relaxed);
+    }
+
     /// Flushes the OS file buffer.
     pub fn sync(&self) -> io::Result<()> {
-        self.file.lock().sync_all()
+        fault::on_sync(&self.path)?;
+        self.file.lock().sync_all()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultMode, FaultPlan};
     use crate::tempdir::TempDir;
 
     #[test]
@@ -151,10 +380,14 @@ mod tests {
             p.write_slice(10, b"persisted");
             pager.write_page(id, &p).unwrap();
             pager.sync().unwrap();
+            assert_eq!(pager.fsyncs(), 1);
         }
         let pager = Pager::open(&path).unwrap();
         assert_eq!(pager.num_pages(), 1);
-        assert_eq!(pager.read_page(PageId(0)).unwrap().read_slice(10, 9), b"persisted");
+        assert_eq!(
+            pager.read_page(PageId(0)).unwrap().read_slice(10, 9),
+            b"persisted"
+        );
     }
 
     #[test]
@@ -171,5 +404,133 @@ mod tests {
         let path = dir.path().join("p.db");
         std::fs::write(&path, b"not a page").unwrap();
         assert!(Pager::open(&path).is_err());
+    }
+
+    #[test]
+    fn bit_flip_is_detected_as_corrupt() {
+        let dir = TempDir::new("pager-bitflip");
+        let path = dir.path().join("p.db");
+        let pager = Pager::create(&path).unwrap();
+        let id = pager.allocate().unwrap();
+        let mut p = Page::new();
+        p.write_slice(0, b"important data");
+        pager.write_page(id, &p).unwrap();
+        drop(pager);
+
+        // Flip one bit in the data area behind the pager's back.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[100] ^= 0x04;
+        std::fs::write(&path, &raw).unwrap();
+
+        let pager = Pager::open(&path).unwrap();
+        let err = pager.read_page(id).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(is_corrupt(&err), "expected corruption error, got {err}");
+
+        // A damaged footer is equally fatal.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[100] ^= 0x04; // restore data
+        raw[PAGE_SIZE - 1] ^= 0x80; // break footer
+        std::fs::write(&path, &raw).unwrap();
+        let pager = Pager::open(&path).unwrap();
+        assert!(is_corrupt(&pager.read_page(id).unwrap_err()));
+    }
+
+    #[test]
+    fn all_zero_pages_read_as_valid() {
+        let dir = TempDir::new("pager-zero");
+        let path = dir.path().join("p.db");
+        {
+            let pager = Pager::create(&path).unwrap();
+            pager.allocate().unwrap();
+        }
+        // Simulate a filesystem that extended the file but lost the
+        // content write: the page is all zeroes, footer included.
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        let pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.read_page(PageId(0)).unwrap().read_u64(0), 0);
+    }
+
+    #[test]
+    fn txn_stages_writes_until_commit() {
+        let dir = TempDir::new("pager-txn");
+        let path = dir.path().join("p.db");
+        let pager = Pager::create(&path).unwrap();
+        let id = pager.allocate().unwrap();
+        pager.sync().unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+
+        pager.txn_begin();
+        let mut p = Page::new();
+        p.write_u64(0, 7);
+        pager.write_page(id, &p).unwrap();
+        let id2 = pager.allocate().unwrap();
+        // Staged pages are visible to reads...
+        assert_eq!(pager.read_page(id).unwrap().read_u64(0), 7);
+        // ...but nothing reached the file, not even the allocation.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        assert_eq!(pager.txn_pages().len(), 2);
+
+        pager.txn_commit().unwrap();
+        assert!(!pager.txn_active());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            2 * PAGE_SIZE as u64
+        );
+        assert_eq!(pager.read_page(id).unwrap().read_u64(0), 7);
+        assert_eq!(pager.read_page(id2).unwrap().read_u64(0), 0);
+    }
+
+    #[test]
+    fn txn_abort_rolls_back_writes_and_allocations() {
+        let dir = TempDir::new("pager-abort");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        let id = pager.allocate().unwrap();
+        let mut p = Page::new();
+        p.write_u64(0, 1);
+        pager.write_page(id, &p).unwrap();
+
+        pager.txn_begin();
+        let mut p2 = Page::new();
+        p2.write_u64(0, 2);
+        pager.write_page(id, &p2).unwrap();
+        pager.allocate().unwrap();
+        pager.txn_abort();
+
+        assert_eq!(pager.num_pages(), 1);
+        assert_eq!(pager.read_page(id).unwrap().read_u64(0), 1);
+    }
+
+    #[test]
+    fn injected_partial_write_is_caught_by_crc() {
+        let _serial = crate::fault::test_lock();
+        let dir = TempDir::new("pager-fault");
+        let path = dir.path().join("p.db");
+        let pager = Pager::create(&path).unwrap();
+        let id = pager.allocate().unwrap();
+        let mut p = Page::new();
+        p.write_slice(0, &[0xaa; 1000]);
+        pager.write_page(id, &p).unwrap();
+
+        let guard = FaultPlan {
+            scope: dir.path().to_path_buf(),
+            fail_after: 0,
+            mode: FaultMode::Partial,
+            seed: 3,
+        }
+        .install();
+        let mut p2 = Page::new();
+        p2.write_slice(0, &[0xbb; 1000]);
+        let err = pager.write_page(id, &p2).unwrap_err();
+        assert!(crate::fault::is_injected_crash(&err));
+        drop(guard);
+
+        // The torn page fails CRC on the next read (or still carries the
+        // old image if the tear kept 0 bytes).
+        let reopened = Pager::open(&path).unwrap();
+        match reopened.read_page(id) {
+            Ok(page) => assert_eq!(page.read_slice(0, 1000), &[0xaa; 1000][..]),
+            Err(err) => assert!(is_corrupt(&err)),
+        }
     }
 }

@@ -7,10 +7,12 @@
 //! query-time RAF accesses cluster (nearby SFC values ⇒ nearby file
 //! offsets ⇒ shared pages).
 //!
-//! Layout: page 0 is a header (`magic`, `tail`); entries start at byte
-//! offset [`PAGE_SIZE`] and may span page boundaries. Appends are staged in
-//! an in-memory tail page so that bulk-loading writes each data page exactly
-//! once — matching the paper's construction *PA*.
+//! Layout: page 0 is a header (`magic`, `tail`); entries start at logical
+//! byte offset [`PAGE_DATA_SIZE`] and may span page boundaries. Offsets are
+//! *logical*: they address the concatenation of every page's data area,
+//! skipping the per-page CRC footer the pager maintains. Appends are staged
+//! in an in-memory tail page so that bulk-loading writes each data page
+//! exactly once — matching the paper's construction *PA*.
 
 use std::io;
 use std::path::Path;
@@ -19,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::cache::{BufferPool, IoStats};
-use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::page::{Page, PageId, PAGE_DATA_SIZE};
 use crate::pager::Pager;
 
 const MAGIC: u64 = 0x5350_4252_4146_3031; // "SPBRAF01"
@@ -70,11 +72,11 @@ impl Raf {
         debug_assert_eq!(header_id, PageId(0));
         let mut header = Page::new();
         header.write_u64(0, MAGIC);
-        header.write_u64(HEADER_TAIL_OFF, PAGE_SIZE as u64);
+        header.write_u64(HEADER_TAIL_OFF, PAGE_DATA_SIZE as u64);
         pool.write(header_id, header)?;
         Ok(Raf {
             pool,
-            tail: AtomicU64::new(PAGE_SIZE as u64),
+            tail: AtomicU64::new(PAGE_DATA_SIZE as u64),
             staged: Mutex::new(None),
             freed_bytes: AtomicU64::new(0),
         })
@@ -85,7 +87,10 @@ impl Raf {
         let pool = BufferPool::new(Pager::open(path)?, cache_pages);
         let header = pool.read(PageId(0))?;
         if header.read_u64(0) != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SPB RAF file"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an SPB RAF file",
+            ));
         }
         let tail = header.read_u64(HEADER_TAIL_OFF);
         Ok(Raf {
@@ -106,8 +111,7 @@ impl Raf {
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload);
         self.write_at_tail(offset, &buf)?;
-        self.tail
-            .store(offset + buf.len() as u64, Ordering::SeqCst);
+        self.tail.store(offset + buf.len() as u64, Ordering::SeqCst);
         Ok(RafPtr { offset })
     }
 
@@ -115,9 +119,9 @@ impl Raf {
     fn write_at_tail(&self, mut offset: u64, mut buf: &[u8]) -> io::Result<()> {
         let mut staged = self.staged.lock();
         while !buf.is_empty() {
-            let page_no = offset / PAGE_SIZE as u64;
-            let in_page = (offset % PAGE_SIZE as u64) as usize;
-            let take = (PAGE_SIZE - in_page).min(buf.len());
+            let page_no = offset / PAGE_DATA_SIZE as u64;
+            let in_page = (offset % PAGE_DATA_SIZE as u64) as usize;
+            let take = (PAGE_DATA_SIZE - in_page).min(buf.len());
 
             // Ensure the staged tail page is the one we are writing into.
             let needs_new = match staged.as_ref() {
@@ -188,9 +192,9 @@ impl Raf {
         );
         let mut filled = 0usize;
         while filled < buf.len() {
-            let page_no = off / PAGE_SIZE as u64;
-            let in_page = (off % PAGE_SIZE as u64) as usize;
-            let take = (PAGE_SIZE - in_page).min(buf.len() - filled);
+            let page_no = off / PAGE_DATA_SIZE as u64;
+            let in_page = (off % PAGE_DATA_SIZE as u64) as usize;
+            let take = (PAGE_DATA_SIZE - in_page).min(buf.len() - filled);
             let staged_hit = {
                 let staged = self.staged.lock();
                 match staged.as_ref() {
@@ -233,11 +237,11 @@ impl Raf {
     pub fn scan(&self) -> RafScan<'_> {
         RafScan {
             raf: self,
-            offset: PAGE_SIZE as u64,
+            offset: PAGE_DATA_SIZE as u64,
         }
     }
 
-    /// Total bytes used (header page + entries).
+    /// Total logical bytes used (header page's data area + entries).
     pub fn tail_offset(&self) -> u64 {
         self.tail.load(Ordering::SeqCst)
     }
@@ -245,7 +249,7 @@ impl Raf {
     /// Number of pages including the staged tail.
     pub fn num_pages(&self) -> u64 {
         let tail = self.tail.load(Ordering::SeqCst);
-        tail.div_ceil(PAGE_SIZE as u64)
+        tail.div_ceil(PAGE_DATA_SIZE as u64)
     }
 
     /// Average number of objects per data page — the `f` of cost-model
@@ -253,6 +257,24 @@ impl Raf {
     pub fn objects_per_page(&self, num_objects: u64) -> f64 {
         let data_pages = self.num_pages().saturating_sub(1).max(1);
         num_objects as f64 / data_pages as f64
+    }
+
+    /// Flushes the OS file buffer. Call [`Raf::flush`] first if the
+    /// staged tail page must be included.
+    pub fn sync(&self) -> io::Result<()> {
+        self.pool.sync()
+    }
+
+    /// Discards the staged tail page and every cached page, then reloads
+    /// the tail from the on-disk header — the RAF-side rollback after an
+    /// aborted pager transaction.
+    pub fn reload(&self) -> io::Result<()> {
+        *self.staged.lock() = None;
+        self.pool.flush_cache();
+        let header = self.pool.read(PageId(0))?;
+        self.tail
+            .store(header.read_u64(HEADER_TAIL_OFF), Ordering::SeqCst);
+        Ok(())
     }
 
     /// I/O statistics of the underlying pool.
@@ -316,8 +338,20 @@ mod tests {
         let p1 = raf.append(1, b"hello").unwrap();
         let p2 = raf.append(2, b"").unwrap();
         let p3 = raf.append(3, &vec![0xabu8; 10_000]).unwrap(); // spans pages
-        assert_eq!(raf.get(p1).unwrap(), RafEntry { id: 1, bytes: b"hello".to_vec() });
-        assert_eq!(raf.get(p2).unwrap(), RafEntry { id: 2, bytes: vec![] });
+        assert_eq!(
+            raf.get(p1).unwrap(),
+            RafEntry {
+                id: 1,
+                bytes: b"hello".to_vec()
+            }
+        );
+        assert_eq!(
+            raf.get(p2).unwrap(),
+            RafEntry {
+                id: 2,
+                bytes: vec![]
+            }
+        );
         assert_eq!(raf.get(p3).unwrap().bytes.len(), 10_000);
         assert_eq!(raf.get(p3).unwrap().id, 3);
     }

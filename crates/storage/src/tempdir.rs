@@ -18,10 +18,7 @@ impl TempDir {
     /// Creates `$TMPDIR/spb-<label>-<pid>-<n>`.
     pub fn new(label: &str) -> Self {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "spb-{label}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("spb-{label}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create temp dir");
         TempDir { path }
     }

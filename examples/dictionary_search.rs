@@ -12,7 +12,7 @@
 //! ```
 
 use spb::metric::{
-    dataset, intrinsic_dimensionality, pairwise_distance_sample, Distance, EditDistance, Word,
+    dataset, intrinsic_dimensionality, pairwise_distance_sample, EditDistance, Word,
 };
 use spb::storage::TempDir;
 use spb::{SpbConfig, SpbTree, Traversal};
@@ -47,7 +47,10 @@ fn main() -> std::io::Result<()> {
         })
         .collect();
 
-    println!("\n{:<22} {:>10} {:>8}   suggestions", "query", "compdists", "PA");
+    println!(
+        "\n{:<22} {:>10} {:>8}   suggestions",
+        "query", "compdists", "PA"
+    );
     let mut spb_cd = 0u64;
     let mut scan_cd = 0u64;
     for q in &queries {
@@ -78,8 +81,17 @@ fn main() -> std::io::Result<()> {
     mtree.flush_caches();
     let (_, mt) = mtree.knn(q, 3)?;
     println!("\none-query comparison (k=3):");
-    println!("  SPB incremental: {:>6} compdists, {:>4} PA", inc.compdists, inc.page_accesses);
-    println!("  SPB greedy     : {:>6} compdists, {:>4} PA", gre.compdists, gre.page_accesses);
-    println!("  M-tree         : {:>6} compdists, {:>4} PA", mt.compdists, mt.page_accesses);
+    println!(
+        "  SPB incremental: {:>6} compdists, {:>4} PA",
+        inc.compdists, inc.page_accesses
+    );
+    println!(
+        "  SPB greedy     : {:>6} compdists, {:>4} PA",
+        gre.compdists, gre.page_accesses
+    );
+    println!(
+        "  M-tree         : {:>6} compdists, {:>4} PA",
+        mt.compdists, mt.page_accesses
+    );
     Ok(())
 }

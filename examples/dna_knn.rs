@@ -53,7 +53,10 @@ fn main() -> std::io::Result<()> {
         if name == "greedy" {
             println!("  nearest fragments:");
             for (id, frag, d) in nn.iter().take(4) {
-                println!("    #{id} at angular distance {d:.4}: {}...", &frag.as_str()[..24]);
+                println!(
+                    "    #{id} at angular distance {d:.4}: {}...",
+                    &frag.as_str()[..24]
+                );
             }
         }
     }

@@ -65,9 +65,19 @@ fn main() -> std::io::Result<()> {
     );
 
     // Cross-check with Quickjoin (in-memory baseline).
-    let (qj_pairs, qj_cd) = quickjoin_rs(&uploads, &catalog, &metric, eps, &QuickJoinParams::default());
+    let (qj_pairs, qj_cd) = quickjoin_rs(
+        &uploads,
+        &catalog,
+        &metric,
+        eps,
+        &QuickJoinParams::default(),
+    );
     assert_eq!(pairs.len(), qj_pairs.len(), "join algorithms must agree");
-    println!("Quickjoin agrees on {} pairs (using {} compdists)", qj_pairs.len(), qj_cd);
+    println!(
+        "Quickjoin agrees on {} pairs (using {} compdists)",
+        qj_pairs.len(),
+        qj_cd
+    );
 
     // Show a few duplicates.
     for p in pairs.iter().take(5) {

@@ -18,7 +18,12 @@ fn main() -> std::io::Result<()> {
     let dir = TempDir::new("quickstart");
 
     println!("building SPB-tree over {} words...", words.len());
-    let index = SpbTree::build(dir.path(), &words, EditDistance::default(), &SpbConfig::default())?;
+    let index = SpbTree::build(
+        dir.path(),
+        &words,
+        EditDistance::default(),
+        &SpbConfig::default(),
+    )?;
     let b = index.build_stats();
     println!(
         "  built in {:.2}s: {} distance computations, {} page accesses, {:.1} KB on disk",
@@ -29,7 +34,12 @@ fn main() -> std::io::Result<()> {
     );
     println!(
         "  pivots: {:?}",
-        index.table().pivots().iter().map(Word::as_str).collect::<Vec<_>>()
+        index
+            .table()
+            .pivots()
+            .iter()
+            .map(Word::as_str)
+            .collect::<Vec<_>>()
     );
 
     // Range query: all words within edit distance 1 of a dictionary word.
@@ -55,7 +65,10 @@ fn main() -> std::io::Result<()> {
     for (_, w, d) in &nn {
         println!("  {} (distance {d})", w.as_str());
     }
-    println!("  -> {} compdists, {} page accesses", stats.compdists, stats.page_accesses);
+    println!(
+        "  -> {} compdists, {} page accesses",
+        stats.compdists, stats.page_accesses
+    );
 
     // Similarity join between two small dictionaries (Z-curve trees with a
     // shared pivot table — Lemma 6).

@@ -71,8 +71,13 @@ fn queries_race_cache_flushes_safely() {
     let data = dataset::words(2_000, 1002);
     let dir = TempDir::new("conc-flush");
     let tree = Arc::new(
-        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-            .unwrap(),
+        SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap(),
     );
     let data = Arc::new(data);
 
@@ -112,8 +117,13 @@ fn concurrent_inserts_then_queries_see_everything() {
     let extra = dataset::words(200, 1004);
     let dir = TempDir::new("conc-ins");
     let tree = Arc::new(
-        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-            .unwrap(),
+        SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap(),
     );
     let writer = {
         let tree = Arc::clone(&tree);
@@ -140,6 +150,9 @@ fn concurrent_inserts_then_queries_see_everything() {
     assert_eq!(tree.len(), 1_200);
     for o in extra.iter().take(20) {
         let (hits, _) = tree.range(o, 0.0).unwrap();
-        assert!(hits.iter().any(|(_, w)| w == o), "inserted object must be findable");
+        assert!(
+            hits.iter().any(|(_, w)| w == o),
+            "inserted object must be findable"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Integration-scale validation of the cost models (Figs. 15, 16, 18):
 //! average accuracy must clear conservative thresholds (the paper reports
-//! > 80% for similarity queries and > 90% for joins; integration scale is
-//! smaller, so the thresholds here are looser but still meaningful).
+//! over 80% for similarity queries and over 90% for joins; integration
+//! scale is smaller, so the thresholds here are looser but meaningful).
 
 use spb::metric::{dataset, Distance};
 use spb::storage::TempDir;
@@ -38,8 +38,13 @@ fn range_model_tracks_actuals_on_color() {
 fn knn_model_radius_is_usable() {
     let data = dataset::words(5_000, 802);
     let dir = TempDir::new("cma-knn");
-    let tree =
-        SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default()).unwrap();
+    let tree = SpbTree::build(
+        dir.path(),
+        &data,
+        dataset::words_metric(),
+        &SpbConfig::default(),
+    )
+    .unwrap();
     // The estimated k-th NN radius should bracket the true one within a
     // small factor, averaged over queries.
     let mut ratio_sum = 0.0;

@@ -16,7 +16,12 @@ fn brute_range<O: MetricObject, D: Distance<O>>(data: &[O], m: &D, q: &O, r: f64
     ids
 }
 
-fn brute_knn_dists<O: MetricObject, D: Distance<O>>(data: &[O], m: &D, q: &O, k: usize) -> Vec<f64> {
+fn brute_knn_dists<O: MetricObject, D: Distance<O>>(
+    data: &[O],
+    m: &D,
+    q: &O,
+    k: usize,
+) -> Vec<f64> {
     let mut d: Vec<f64> = data.iter().map(|o| m.distance(q, o)).collect();
     d.sort_by(f64::total_cmp);
     d.truncate(k);
@@ -41,7 +46,11 @@ fn full_flow<O: MetricObject, D: Distance<O> + Clone>(
             let (hits, _) = tree.range(q, r).unwrap();
             let mut got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
             got.sort_unstable();
-            assert_eq!(got, brute_range(&data, &metric, q, r), "{label} range r={r}");
+            assert_eq!(
+                got,
+                brute_range(&data, &metric, q, r),
+                "{label} range r={r}"
+            );
         }
         // kNN under both traversals.
         for traversal in [Traversal::Incremental, Traversal::Greedy] {
@@ -171,8 +180,13 @@ fn duplicate_objects_are_all_returned() {
     for _ in 0..5 {
         data.push(data[0].clone());
     }
-    let tree = SpbTree::build(dir.path(), &data, dataset::words_metric(), &SpbConfig::default())
-        .unwrap();
+    let tree = SpbTree::build(
+        dir.path(),
+        &data,
+        dataset::words_metric(),
+        &SpbConfig::default(),
+    )
+    .unwrap();
     let (hits, _) = tree.range(&data[0], 0.0).unwrap();
     assert_eq!(hits.len(), 6, "all six copies must be found");
     let (nn, _) = tree.knn(&data[0], 6).unwrap();

@@ -84,8 +84,13 @@ fn greedy_traversal_cuts_raf_page_accesses_on_dna() {
     // for that regime, as in the paper's DNA runs.
     let data = dataset::dna(6_000, 903);
     let dir = TempDir::new("pg-dna");
-    let tree =
-        SpbTree::build(dir.path(), &data, dataset::dna_metric(), &SpbConfig::default()).unwrap();
+    let tree = SpbTree::build(
+        dir.path(),
+        &data,
+        dataset::dna_metric(),
+        &SpbConfig::default(),
+    )
+    .unwrap();
     let mut inc_pa = 0u64;
     let mut gre_pa = 0u64;
     for q in data.iter().take(15) {

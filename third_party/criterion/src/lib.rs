@@ -1,0 +1,151 @@
+//! Minimal offline stand-in for the `criterion` crate (0.5 API surface).
+//!
+//! The build environment has no network access, so the workspace patches
+//! `criterion` to this crate (see the workspace `Cargo.toml`). It keeps
+//! the benchmark targets compiling and producing useful wall-clock
+//! numbers: each `bench_function` runs a short warm-up, then
+//! `sample_size` timed passes, and prints the mean/min time per
+//! iteration. No statistics engine, no plots, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque blocker preventing the optimiser from deleting benchmark work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // Warm-up pass (also catches panics early with a clear context).
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mean = bencher
+            .samples
+            .iter()
+            .sum::<Duration>()
+            .checked_div(bencher.samples.len() as u32)
+            .unwrap_or_default();
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        eprintln!(
+            "  {}/{}: mean {:?}  min {:?}  ({} samples)",
+            self.name,
+            id,
+            mean,
+            min,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Collects benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_record_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // One warm-up call plus sample_size timed calls, each one iter.
+        assert_eq!(runs, 6);
+    }
+
+    criterion_group!(example, noop_bench);
+    criterion_main!(example);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn generated_main_is_callable() {
+        main();
+    }
+}

@@ -1,0 +1,458 @@
+//! Minimal offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no network access, so the workspace patches
+//! `rand` to this crate (see the workspace `Cargo.toml`). It implements
+//! exactly the surface the workspace uses:
+//!
+//! * [`rngs::StdRng`] / [`rngs::SmallRng`] — deterministic xoshiro256++
+//!   generators seeded with [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer and float ranges, [`Rng::gen`] for
+//!   standard values, [`Rng::sample`] for distributions;
+//! * [`distributions::WeightedIndex`] (weighted discrete sampling);
+//! * [`seq::index::sample`] and [`seq::SliceRandom::choose_multiple`]
+//!   (partial Fisher–Yates without replacement).
+//!
+//! Streams differ from upstream `rand` (which uses ChaCha12 for `StdRng`),
+//! so seeded datasets are reproducible *within* this workspace but not
+//! bit-identical to ones generated with the real crate. Every consumer in
+//! the workspace treats seeded data statistically, so this is harmless.
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator standing in for `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    /// Same engine; `rand` offers a lighter generator under this name.
+    pub type SmallRng = StdRng;
+
+    impl StdRng {
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding interface (only `seed_from_u64` is used by this workspace).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        rngs::StdRng {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+}
+
+/// Raw 64-bit output, the base of every derived method.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Element types [`Rng::gen_range`] can draw uniformly.
+///
+/// Blanket `SampleRange` impls over this trait (rather than per-type
+/// range impls) mirror the real crate so type inference can flow from
+/// the surrounding expression into unsuffixed range literals.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: u128, hi: u128, rng: &mut R) -> u128 {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        lo + wide % (hi - lo)
+    }
+
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: u128, hi: u128, rng: &mut R) -> u128 {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        match (hi - lo).checked_add(1) {
+            Some(span) => lo + wide % span,
+            None => wide, // full-domain range
+        }
+    }
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32, f64);
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Values [`Rng::gen`] can produce.
+pub trait StandardValue {
+    /// Draws a standard-distribution value.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! int_standard {
+    ($($t:ty),*) => {$(
+        impl StandardValue for $t {
+            fn standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardValue for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardValue for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardValue for f32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// A value drawn uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A standard-distribution value (uniform ints/floats, fair bool).
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// A `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Draws from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: &D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that can generate values of `T` given a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from constructing a [`WeightedIndex`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights, all-zero weights, or a negative weight.
+        InvalidWeight,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Weighted discrete distribution over indexes `0..n`.
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex<X> {
+        cumulative: Vec<f64>,
+        total: f64,
+        _marker: std::marker::PhantomData<X>,
+    }
+
+    impl<X: Copy + Into<f64>> WeightedIndex<X> {
+        /// Builds the distribution from per-index weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: std::borrow::Borrow<X>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = (*std::borrow::Borrow::borrow(&w)).into();
+                if !(w >= 0.0) || !w.is_finite() {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            Ok(WeightedIndex {
+                cumulative,
+                total,
+                _marker: std::marker::PhantomData,
+            })
+        }
+    }
+
+    impl<X> Distribution<usize> for WeightedIndex<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let target = unit * self.total;
+            self.cumulative
+                .partition_point(|&c| c <= target)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    pub mod index {
+        use super::super::{Rng, RngCore};
+
+        /// Result of [`sample`]: distinct indexes in selection order.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The selected indexes.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Iterates over the selected indexes.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indexes from `0..length` (partial
+        /// Fisher–Yates).
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "sample amount exceeds length");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// `amount` distinct elements in random order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let picked = index::sample(rng, self.len(), amount.min(self.len()));
+            picked
+                .into_vec()
+                .into_iter()
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::distributions::Distribution;
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+pub use prelude::{Rng as _, RngCore as _};
+pub use {RngCore as _RngCoreReexport, SeedableRng as _SeedableReexport};
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0..=2i32);
+            assert!((0..=2).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+        // Both endpoints of small int ranges are reachable.
+        let hits: std::collections::HashSet<i32> =
+            (0..200).map(|_| rng.gen_range(0..=2)).collect();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let dist = WeightedIndex::<u32>::new([1u32, 0, 99]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 10, "counts = {counts:?}");
+        assert!(WeightedIndex::<u32>::new(std::iter::empty::<u32>()).is_err());
+    }
+
+    #[test]
+    fn sampling_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = super::seq::index::sample(&mut rng, 50, 10).into_vec();
+        assert_eq!(idx.len(), 10);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(idx.iter().all(|&i| i < 50));
+
+        let data: Vec<u32> = (0..20).collect();
+        let picked: Vec<&u32> = data.choose_multiple(&mut rng, 5).collect();
+        assert_eq!(picked.len(), 5);
+    }
+}
