@@ -4,7 +4,7 @@
 //! ```text
 //! experiments <table2|table4|table5|table6|table7|
 //!              fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|
-//!              all>
+//!              ablation|approx|parallel|all>
 //!             [--scale smoke|default|full]
 //! ```
 //!
@@ -19,6 +19,7 @@ fn usage() -> ! {
         "usage: experiments <experiment> [--scale smoke|default|full]\n\
          experiments: table2 table4 table5 table6 table7\n\
          \x20            fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation approx\n\
+         \x20            parallel\n\
          \x20            all"
     );
     std::process::exit(2)
@@ -67,12 +68,13 @@ fn main() {
         "fig18" => exp::fig18::run(scale),
         "ablation" => exp::ablation::run(scale),
         "approx" => exp::approx::run(scale),
+        "parallel" => exp::parallel::run(scale),
         _ => usage(),
     };
     if which == "all" {
         for name in [
             "table2", "table4", "table5", "table6", "table7", "fig9", "fig10", "fig11", "fig12",
-            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "approx",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "approx", "parallel",
         ] {
             eprintln!("[experiments] running {name} ({scale:?})...");
             run_one(name);

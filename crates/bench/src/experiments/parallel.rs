@@ -1,0 +1,240 @@
+//! Parallel throughput — not a paper figure; measures the concurrency
+//! layer added on top of the paper's algorithms: batch range/kNN QPS and
+//! the partition-parallel join at 1/2/4/8 worker threads.
+//!
+//! Besides the printed table, the run writes `BENCH_parallel.json` into
+//! the current directory with raw seconds/QPS/speedup per thread count
+//! and the machine's core count (speedups are bounded by it: on a 1-core
+//! box all thread counts collapse to ~1×).
+//!
+//! Determinism is asserted, not just claimed: every thread count must
+//! return the same results *and the same per-query cost metrics* as the
+//! single-threaded run.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use spb_core::{similarity_join, similarity_join_parallel, QueryStats, SpbConfig, SpbTree};
+use spb_metric::dataset;
+use spb_metric::Word;
+
+use crate::experiments::common::{build_join_pair, workload};
+use crate::{Scale, Table};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const RADIUS: f64 = 2.0;
+const K: usize = 8;
+const JOIN_EPS: f64 = 1.0;
+
+/// One measured point of a thread sweep.
+struct Point {
+    threads: usize,
+    secs: f64,
+    qps: f64,
+    speedup: f64,
+}
+
+fn sweep(
+    label: &str,
+    t: &mut Table,
+    mut run: impl FnMut(usize) -> f64,
+    n_items: usize,
+) -> Vec<Point> {
+    let mut points = Vec::new();
+    let mut base = 0.0f64;
+    for threads in THREADS {
+        let secs = run(threads);
+        if threads == 1 {
+            base = secs;
+        }
+        let point = Point {
+            threads,
+            secs,
+            qps: n_items as f64 / secs.max(1e-9),
+            speedup: base / secs.max(1e-9),
+        };
+        t.row(vec![
+            label.to_owned(),
+            point.threads.to_string(),
+            format!("{:.3}", point.secs),
+            format!("{:.1}", point.qps),
+            format!("{:.2}x", point.speedup),
+        ]);
+        points.push(point);
+    }
+    points
+}
+
+fn assert_deterministic(
+    name: &str,
+    base: &[(Vec<u32>, QueryStats)],
+    got: &[(Vec<u32>, QueryStats)],
+) {
+    assert_eq!(base.len(), got.len(), "{name}: result count");
+    for (i, ((ids_a, sa), (ids_b, sb))) in base.iter().zip(got).enumerate() {
+        assert_eq!(ids_a, ids_b, "{name}: query {i} results");
+        assert_eq!(sa.compdists, sb.compdists, "{name}: query {i} compdists");
+        assert_eq!(
+            sa.page_accesses, sb.page_accesses,
+            "{name}: query {i} page accesses"
+        );
+        assert_eq!(sa.btree_pa, sb.btree_pa, "{name}: query {i} btree PA");
+        assert_eq!(sa.raf_pa, sb.raf_pa, "{name}: query {i} RAF PA");
+    }
+}
+
+fn range_ids(
+    tree: &SpbTree<Word, spb_metric::EditDistance>,
+    qs: &[(Word, f64)],
+    threads: usize,
+) -> Vec<(Vec<u32>, QueryStats)> {
+    tree.range_batch(qs, threads)
+        .expect("range_batch")
+        .into_iter()
+        .map(|(hits, stats)| {
+            let mut ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            (ids, stats)
+        })
+        .collect()
+}
+
+fn knn_ids(
+    tree: &SpbTree<Word, spb_metric::EditDistance>,
+    qs: &[Word],
+    threads: usize,
+) -> Vec<(Vec<u32>, QueryStats)> {
+    tree.knn_batch(qs, K, threads)
+        .expect("knn_batch")
+        .into_iter()
+        .map(|(nn, stats)| (nn.into_iter().map(|(id, _, _)| id).collect(), stats))
+        .collect()
+}
+
+fn json_points(points: &[Point]) -> String {
+    let mut s = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"threads\": {}, \"secs\": {:.6}, \"qps\": {:.2}, \"speedup\": {:.3}}}",
+            p.threads, p.secs, p.qps, p.speedup
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Runs the thread sweep at the given scale and writes
+/// `BENCH_parallel.json`.
+pub fn run(scale: Scale) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = scale.words();
+    let data = dataset::words(n, scale.seed());
+    let queries = workload(&data, &scale);
+
+    // One tree serves every thread count: the page cache is lock-striped
+    // (8 stripes covers the sweep's maximum) and per-query accounting is
+    // independent of both striping and batching.
+    let dir = spb_storage::TempDir::new("par-words");
+    let cfg = SpbConfig {
+        cache_shards: 8,
+        ..SpbConfig::default()
+    };
+    let tree = SpbTree::build(dir.path(), &data, dataset::words_metric(), &cfg).expect("SPB build");
+
+    let range_queries: Vec<(Word, f64)> = queries.iter().map(|q| (q.clone(), RADIUS)).collect();
+    let knn_queries: Vec<Word> = queries.to_vec();
+
+    let mut t = Table::new(
+        &format!(
+            "Parallel throughput (Words, n={n}, {} queries, {cores} core(s))",
+            queries.len()
+        ),
+        &["Workload", "Threads", "Time(s)", "QPS", "Speedup"],
+    );
+
+    let range_base = range_ids(&tree, &range_queries, 1);
+    let range_points = sweep(
+        &format!("range r={RADIUS}"),
+        &mut t,
+        |threads| {
+            let t0 = Instant::now();
+            let got = range_ids(&tree, &range_queries, threads);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_deterministic("range", &range_base, &got);
+            secs
+        },
+        range_queries.len(),
+    );
+
+    let knn_base = knn_ids(&tree, &knn_queries, 1);
+    let knn_points = sweep(
+        &format!("knn k={K}"),
+        &mut t,
+        |threads| {
+            let t0 = Instant::now();
+            let got = knn_ids(&tree, &knn_queries, threads);
+            let secs = t0.elapsed().as_secs_f64();
+            assert_deterministic("knn", &knn_base, &got);
+            secs
+        },
+        knn_queries.len(),
+    );
+
+    // Join: two disjoint halves of a Words sample, sequential SJA as the
+    // baseline for the partition-parallel variant.
+    let side = scale.join_side();
+    let join_data = dataset::words(2 * side, scale.seed() + 1);
+    let (q_half, o_half) = join_data.split_at(side);
+    let (_dq, _do, spb_q, spb_o) =
+        build_join_pair("par-join", q_half, o_half, dataset::words_metric());
+    let t0 = Instant::now();
+    let (seq_pairs, _) = similarity_join(&spb_q, &spb_o, JOIN_EPS).expect("sequential join");
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let mut want: Vec<(u32, u32)> = seq_pairs.iter().map(|p| (p.q_id, p.o_id)).collect();
+    want.sort_unstable();
+    t.row(vec![
+        format!("join eps={JOIN_EPS} (merge)"),
+        "-".to_owned(),
+        format!("{seq_secs:.3}"),
+        "-".to_owned(),
+        "1.00x".to_owned(),
+    ]);
+    let join_points = sweep(
+        &format!("join eps={JOIN_EPS}"),
+        &mut t,
+        |threads| {
+            let t0 = Instant::now();
+            let (pairs, _) =
+                similarity_join_parallel(&spb_q, &spb_o, JOIN_EPS, threads).expect("parallel join");
+            let secs = t0.elapsed().as_secs_f64();
+            let mut got: Vec<(u32, u32)> = pairs.iter().map(|p| (p.q_id, p.o_id)).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "parallel join pairs ({threads} threads)");
+            secs
+        },
+        side,
+    );
+    t.print();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"parallel_throughput\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"cores\": {cores},\n  \
+         \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \"radius\": {RADIUS}, \"k\": {K}}},\n  \
+         \"deterministic\": true,\n  \
+         \"range_batch\": {},\n  \
+         \"knn_batch\": {},\n  \
+         \"join\": {{\"eps\": {JOIN_EPS}, \"side\": {side}, \"sequential_secs\": {seq_secs:.6}, \"parallel\": {}}}\n}}\n",
+        queries.len(),
+        json_points(&range_points),
+        json_points(&knn_points),
+        json_points(&join_points),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    eprintln!("[parallel] wrote BENCH_parallel.json ({cores} core(s) available)");
+}

@@ -116,7 +116,18 @@ pub struct BPlusTree<M: MbbOps> {
 impl<M: MbbOps> BPlusTree<M> {
     /// Creates an empty tree at `path` with a page cache of `cache_pages`.
     pub fn create(path: &Path, cache_pages: usize, ops: M) -> io::Result<Self> {
-        let pool = BufferPool::new(Pager::create(path)?, cache_pages);
+        Self::create_sharded(path, cache_pages, 1, ops)
+    }
+
+    /// [`BPlusTree::create`] with a lock-striped page cache (`shards`
+    /// stripes) for concurrent readers.
+    pub fn create_sharded(
+        path: &Path,
+        cache_pages: usize,
+        shards: usize,
+        ops: M,
+    ) -> io::Result<Self> {
+        let pool = BufferPool::new_sharded(Pager::create(path)?, cache_pages, shards);
         let meta_page = pool.allocate()?;
         debug_assert_eq!(meta_page, PageId(0));
         let meta = Meta {
@@ -135,7 +146,17 @@ impl<M: MbbOps> BPlusTree<M> {
 
     /// Opens an existing tree.
     pub fn open(path: &Path, cache_pages: usize, ops: M) -> io::Result<Self> {
-        let pool = BufferPool::new(Pager::open(path)?, cache_pages);
+        Self::open_sharded(path, cache_pages, 1, ops)
+    }
+
+    /// [`BPlusTree::open`] with a lock-striped page cache (`shards` stripes).
+    pub fn open_sharded(
+        path: &Path,
+        cache_pages: usize,
+        shards: usize,
+        ops: M,
+    ) -> io::Result<Self> {
+        let pool = BufferPool::new_sharded(Pager::open(path)?, cache_pages, shards);
         let meta_page = pool.read(PageId(0))?;
         let meta = Meta::decode(&meta_page)?;
         Ok(BPlusTree {
@@ -650,6 +671,18 @@ impl<M: MbbOps> BPlusTree<M> {
 
     /// All `(key, value)` pairs with `lo ≤ key ≤ hi`, in key order.
     pub fn scan_range(&self, lo: u128, hi: u128) -> io::Result<Vec<(u128, u64)>> {
+        self.scan_range_traced(lo, hi, &mut |_| {})
+    }
+
+    /// [`BPlusTree::scan_range`], calling `trace` with every node page it
+    /// reads — the hook per-query accounting uses to attribute this scan's
+    /// page accesses to one query without diffing shared pool counters.
+    pub fn scan_range_traced(
+        &self,
+        lo: u128,
+        hi: u128,
+        trace: &mut dyn FnMut(PageId),
+    ) -> io::Result<Vec<(u128, u64)>> {
         let mut out = Vec::new();
         let Some(root) = self.meta.lock().root else {
             return Ok(out);
@@ -658,6 +691,7 @@ impl<M: MbbOps> BPlusTree<M> {
         // straddle node boundaries are not missed.
         let mut page = root;
         loop {
+            trace(page);
             match self.read_node(page)? {
                 Node::Internal(node) => {
                     let idx = node
@@ -678,10 +712,13 @@ impl<M: MbbOps> BPlusTree<M> {
                             }
                         }
                         cur = match l.next {
-                            Some(n) => match self.read_node(n)? {
-                                Node::Leaf(nl) => Some(nl),
-                                _ => unreachable!("leaf chain contains only leaves"),
-                            },
+                            Some(n) => {
+                                trace(n);
+                                match self.read_node(n)? {
+                                    Node::Leaf(nl) => Some(nl),
+                                    _ => unreachable!("leaf chain contains only leaves"),
+                                }
+                            }
                             None => None,
                         };
                     }

@@ -114,6 +114,19 @@ pub enum Command {
         /// Approximation factor (1 = exact).
         alpha: f64,
     },
+    /// Batch of queries from a file, fanned across worker threads.
+    Batch {
+        /// Index directory.
+        index: PathBuf,
+        /// File with one query per line (schema line format).
+        queries: PathBuf,
+        /// Range radius (`--radius`); mutually exclusive with `k`.
+        radius: Option<f64>,
+        /// Neighbour count (`--k`); mutually exclusive with `radius`.
+        k: Option<usize>,
+        /// Worker threads (also the number of cache stripes).
+        threads: usize,
+    },
     /// Print index statistics.
     Stats {
         /// Index directory.
@@ -198,6 +211,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .parse()
                 .map_err(|_| "--alpha must be a number".to_owned())?,
         }),
+        "batch" => {
+            let radius = flags
+                .get("radius")
+                .map(|r| r.parse::<f64>())
+                .transpose()
+                .map_err(|_| "--radius must be a number".to_owned())?;
+            let k = flags
+                .get("k")
+                .map(|k| k.parse::<usize>())
+                .transpose()
+                .map_err(|_| "--k must be an integer".to_owned())?;
+            if radius.is_some() == k.is_some() {
+                return Err("batch needs exactly one of --radius or --k".to_owned());
+            }
+            Ok(Command::Batch {
+                index: PathBuf::from(need("index")?),
+                queries: PathBuf::from(need("queries")?),
+                radius,
+                k,
+                threads: opt("threads", "1")
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_owned())?,
+            })
+        }
         "stats" => Ok(Command::Stats {
             index: PathBuf::from(need("index")?),
         }),
@@ -218,6 +255,7 @@ pub fn usage() -> String {
      \x20 range --index DIR --query Q --radius R\n\
      \x20 count --index DIR --query Q --radius R\n\
      \x20 knn   --index DIR --query Q [--k K] [--alpha A]\n\
+     \x20 batch --index DIR --queries FILE (--radius R | --k K) [--threads N]\n\
      \x20 stats --index DIR\n\
      \x20 verify --index DIR\n\
      \x20 recover --index DIR"
@@ -400,6 +438,34 @@ pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
                 Ok(())
             }
         }),
+        Command::Batch {
+            index,
+            queries,
+            radius,
+            k,
+            threads,
+        } => {
+            let text =
+                std::fs::read_to_string(queries).map_err(|e| format!("open {queries:?}: {e}"))?;
+            let lines: Vec<&str> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .collect();
+            with_index_sharded(index, *threads, |idx| match idx {
+                Index::Words(tree) => {
+                    let qs: Vec<Word> = lines.iter().map(|l| Word::new(*l)).collect();
+                    run_batch(out, tree, &qs, *radius, *k, *threads)
+                }
+                Index::Vectors(tree, dim) => {
+                    let qs = lines
+                        .iter()
+                        .map(|l| parse_vector(l, dim))
+                        .collect::<Result<Vec<FloatVec>, String>>()?;
+                    run_batch(out, tree, &qs, *radius, *k, *threads)
+                }
+            })
+        }
         Command::Stats { index } => with_index(index, |idx| {
             match idx {
                 Index::Words(tree) => {
@@ -472,6 +538,13 @@ fn with_index<F>(index: &Path, f: F) -> Result<(), String>
 where
     F: FnOnce(&Index) -> Result<(), String>,
 {
+    with_index_sharded(index, 1, f)
+}
+
+fn with_index_sharded<F>(index: &Path, shards: usize, f: F) -> Result<(), String>
+where
+    F: FnOnce(&Index) -> Result<(), String>,
+{
     let line = std::fs::read_to_string(schema_path(index)).map_err(|e| {
         format!(
             "read {:?}: {e} (is this an spb-cli index?)",
@@ -481,14 +554,68 @@ where
     let schema = Schema::from_line(line.trim())?;
     let idx = match schema {
         Schema::Words { max_len } => Index::Words(
-            SpbTree::open(index, EditDistance::new(max_len), 32).map_err(|e| e.to_string())?,
+            SpbTree::open_sharded(index, EditDistance::new(max_len), 32, true, shards)
+                .map_err(|e| e.to_string())?,
         ),
         Schema::Vectors { p, dim } => Index::Vectors(
-            SpbTree::open(index, LpNorm::new(p as f64, dim, 1.0), 32).map_err(|e| e.to_string())?,
+            SpbTree::open_sharded(index, LpNorm::new(p as f64, dim, 1.0), 32, true, shards)
+                .map_err(|e| e.to_string())?,
             dim,
         ),
     };
     f(&idx)
+}
+
+/// Runs a parsed batch (range when `radius` is set, kNN otherwise) and
+/// reports per-query costs plus aggregate throughput.
+fn run_batch<O, D>(
+    out: &mut String,
+    tree: &SpbTree<O, D>,
+    qs: &[O],
+    radius: Option<f64>,
+    k: Option<usize>,
+    threads: usize,
+) -> Result<(), String>
+where
+    O: spb_metric::MetricObject,
+    D: spb_metric::Distance<O>,
+{
+    let start = std::time::Instant::now();
+    let per_query: Vec<(usize, spb_core::QueryStats)> = if let Some(r) = radius {
+        let pairs: Vec<(O, f64)> = qs.iter().cloned().map(|q| (q, r)).collect();
+        tree.range_batch(&pairs, threads)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(hits, stats)| (hits.len(), stats))
+            .collect()
+    } else {
+        let k = k.expect("parser guarantees one of radius/k");
+        tree.knn_batch(qs, k, threads)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|(nn, stats)| (nn.len(), stats))
+            .collect()
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    for (i, (results, stats)) in per_query.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "query {i}: {results} result(s); {} compdists, {} page accesses",
+            stats.compdists, stats.page_accesses
+        );
+    }
+    let qps = if elapsed > 0.0 {
+        per_query.len() as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    let _ = writeln!(
+        out,
+        "# {} queries on {threads} thread(s): {:.3}s total, {qps:.1} queries/s",
+        per_query.len(),
+        elapsed
+    );
+    Ok(())
 }
 
 fn parse_vector(query: &str, dim: &usize) -> Result<FloatVec, String> {
@@ -688,6 +815,97 @@ mod tests {
         let mut out = String::new();
         let err = run(&Command::Verify { index }, &mut out).unwrap_err();
         assert!(err.contains("problem"), "err = {err}, out = {out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_batch() {
+        let cmd = parse_args(&args(
+            "batch --index ./idx --queries q.txt --radius 2 --threads 4",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                index: "./idx".into(),
+                queries: "q.txt".into(),
+                radius: Some(2.0),
+                k: None,
+                threads: 4,
+            }
+        );
+        let cmd = parse_args(&args("batch --index ./idx --queries q.txt --k 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                index: "./idx".into(),
+                queries: "q.txt".into(),
+                radius: None,
+                k: Some(3),
+                threads: 1,
+            }
+        );
+        // Exactly one of --radius / --k.
+        assert!(parse_args(&args("batch --index ./idx --queries q.txt")).is_err());
+        assert!(parse_args(&args(
+            "batch --index ./idx --queries q.txt --radius 1 --k 3"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spbcli-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("words.txt");
+        std::fs::write(&data, "carrot\ncarrots\nparrot\nbanana\napple\n").unwrap();
+        let index = dir.join("idx");
+        let mut out = String::new();
+        run(
+            &Command::Build {
+                input: data,
+                index: index.clone(),
+                schema_flag: "words".into(),
+                pivots: 2,
+                curve: "hilbert".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        let qfile = dir.join("queries.txt");
+        std::fs::write(&qfile, "carrot\nbanana\n").unwrap();
+        let mut out = String::new();
+        run(
+            &Command::Batch {
+                index: index.clone(),
+                queries: qfile.clone(),
+                radius: Some(1.0),
+                k: None,
+                threads: 2,
+            },
+            &mut out,
+        )
+        .unwrap();
+        // carrot → {carrot, carrots, parrot} at edit distance ≤ 1.
+        assert!(out.contains("query 0: 3 result(s)"), "out = {out}");
+        assert!(out.contains("query 1: 1 result(s)"), "out = {out}");
+        assert!(out.contains("2 queries on 2 thread(s)"), "out = {out}");
+
+        let mut out = String::new();
+        run(
+            &Command::Batch {
+                index,
+                queries: qfile,
+                radius: None,
+                k: Some(2),
+                threads: 2,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("query 0: 2 result(s)"), "out = {out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,197 @@
+//! Batch query execution: fan a slice of queries across a worker pool.
+//!
+//! The read path of the SPB-tree is embarrassingly parallel — RQA/NNA
+//! traversals are read-only under the structure latch — so a workload of
+//! independent queries should use every core. [`SpbTree::range_batch`]
+//! and [`SpbTree::knn_batch`] take the read latch **once** on the calling
+//! thread and run the per-query bodies (`range_locked` / `knn_locked`) on
+//! a [`WorkerPool`]; updates queue behind the whole batch, exactly as
+//! they would behind any single reader.
+//!
+//! Results and per-query [`QueryStats`] are identical to running the same
+//! queries sequentially: each query carries its own
+//! [`StatsCollector`](crate::stats::StatsCollector), so nothing is diffed
+//! from shared counters and the thread count never changes a number
+//! (durations aside).
+
+use std::io;
+
+use spb_metric::{Distance, MetricObject};
+
+use crate::exec::WorkerPool;
+use crate::knn::Traversal;
+use crate::tree::{QueryStats, SpbTree};
+
+/// Per-query output of [`SpbTree::range_batch`]: `(hits, stats)` in input
+/// order.
+pub type RangeBatch<O> = Vec<(Vec<(u32, O)>, QueryStats)>;
+
+/// Per-query output of [`SpbTree::knn_batch`]: `(neighbours, stats)` in
+/// input order.
+pub type KnnBatch<O> = Vec<(Vec<(u32, O, f64)>, QueryStats)>;
+
+impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
+    /// Runs `RQ(q, O, r)` for every `(q, r)` pair on `threads` worker
+    /// threads, returning per-query results and stats in input order.
+    ///
+    /// Deterministic: results and cost metrics are identical to calling
+    /// [`SpbTree::range`] per query (under the paper's flush-before-query
+    /// protocol), for any thread count.
+    pub fn range_batch(&self, queries: &[(O, f64)], threads: usize) -> io::Result<RangeBatch<O>> {
+        let _guard = self.latch.read().expect("latch poisoned");
+        let pool = WorkerPool::new(threads);
+        pool.map(queries, |_, (q, r)| {
+            let mut col = self.collector();
+            let hits = self.range_locked(q, *r, &mut col)?;
+            Ok((hits, col.finish()))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs `kNN(q, k)` for every query on `threads` worker threads with
+    /// the default incremental traversal. See [`SpbTree::range_batch`]
+    /// for the concurrency and determinism contract.
+    pub fn knn_batch(&self, queries: &[O], k: usize, threads: usize) -> io::Result<KnnBatch<O>> {
+        self.knn_batch_with(queries, k, Traversal::Incremental, threads)
+    }
+
+    /// [`SpbTree::knn_batch`] with an explicit traversal strategy.
+    pub fn knn_batch_with(
+        &self,
+        queries: &[O],
+        k: usize,
+        traversal: Traversal,
+        threads: usize,
+    ) -> io::Result<KnnBatch<O>> {
+        let _guard = self.latch.read().expect("latch poisoned");
+        let pool = WorkerPool::new(threads);
+        pool.map(queries, |_, q| {
+            let mut col = self.collector();
+            let nn = self.knn_locked(q, k, traversal, 1.0, &mut col)?;
+            Ok((nn, col.finish()))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SpbConfig;
+    use crate::tree::SpbTree;
+    use spb_metric::dataset;
+    use spb_storage::TempDir;
+
+    #[test]
+    fn range_batch_matches_sequential_queries() {
+        let data = dataset::words(500, 61);
+        let dir = TempDir::new("batch-range");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let queries: Vec<_> = data.iter().take(16).map(|q| (q.clone(), 2.0)).collect();
+
+        // Sequential reference under the paper's protocol.
+        let mut want = Vec::new();
+        for (q, r) in &queries {
+            tree.flush_caches();
+            let (hits, stats) = tree.range(q, *r).unwrap();
+            let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            want.push((ids, stats));
+        }
+
+        for threads in [1, 4] {
+            let got = tree.range_batch(&queries, threads).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (i, ((hits, stats), (want_ids, want_stats))) in got.iter().zip(&want).enumerate() {
+                let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+                ids.sort_unstable();
+                assert_eq!(&ids, want_ids, "query {i}, {threads} threads");
+                assert_eq!(stats.compdists, want_stats.compdists);
+                assert_eq!(stats.page_accesses, want_stats.page_accesses);
+                assert_eq!(stats.btree_pa, want_stats.btree_pa);
+                assert_eq!(stats.raf_pa, want_stats.raf_pa);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_matches_sequential_queries() {
+        let data = dataset::color(400, 62);
+        let dir = TempDir::new("batch-knn");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::color_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let queries: Vec<_> = data.iter().take(12).cloned().collect();
+
+        let mut want = Vec::new();
+        for q in &queries {
+            tree.flush_caches();
+            let (nn, stats) = tree.knn(q, 5).unwrap();
+            let ids: Vec<u32> = nn.iter().map(|&(id, _, _)| id).collect();
+            want.push((ids, stats));
+        }
+
+        for threads in [1, 4] {
+            let got = tree.knn_batch(&queries, 5, threads).unwrap();
+            for (i, ((nn, stats), (want_ids, want_stats))) in got.iter().zip(&want).enumerate() {
+                let ids: Vec<u32> = nn.iter().map(|&(id, _, _)| id).collect();
+                assert_eq!(&ids, want_ids, "query {i}, {threads} threads");
+                assert_eq!(stats.compdists, want_stats.compdists);
+                assert_eq!(stats.page_accesses, want_stats.page_accesses);
+            }
+        }
+    }
+
+    #[test]
+    fn same_query_twice_in_a_batch_reports_identical_stats() {
+        // Per-query stats must be independent: the first instance warming
+        // the shared cache for the second must not change what either
+        // reports.
+        let data = dataset::words(400, 63);
+        let dir = TempDir::new("batch-dup");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let q = data[7].clone();
+        let queries = vec![(q.clone(), 2.0), (q.clone(), 2.0), (q, 2.0)];
+        let got = tree.range_batch(&queries, 3).unwrap();
+        for w in got.windows(2) {
+            let (a, b) = (&w[0].1, &w[1].1);
+            assert_eq!(a.compdists, b.compdists);
+            assert_eq!(a.page_accesses, b.page_accesses);
+            assert_eq!(a.btree_pa, b.btree_pa);
+            assert_eq!(a.raf_pa, b.raf_pa);
+            assert_eq!(w[0].0, w[1].0, "identical queries, identical results");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let data = dataset::words(50, 64);
+        let dir = TempDir::new("batch-empty");
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        assert!(tree.range_batch(&[], 4).unwrap().is_empty());
+        assert!(tree.knn_batch(&[], 3, 4).unwrap().is_empty());
+    }
+}

@@ -14,6 +14,7 @@ use spb_bptree::Node;
 use spb_metric::{Distance, MetricObject};
 use spb_sfc::GridBox;
 
+use crate::stats::StatsCollector;
 use crate::tree::{QueryStats, SpbTree};
 
 impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
@@ -21,15 +22,15 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// computed with as little I/O as the pruning lemmas allow.
     pub fn range_count(&self, q: &O, r: f64) -> io::Result<(u64, QueryStats)> {
         let _guard = self.latch.read().expect("latch poisoned");
-        let snap = self.snapshot();
+        let mut col = self.collector();
         let mut count = 0u64;
         if !self.is_empty() && r >= 0.0 {
-            let q_phi = self.table.phi(&self.metric, q);
+            let q_phi = self.phi_traced(&mut col, q);
             if let Some(rr) = self.table.rr_cells(&q_phi, r) {
-                self.count_traverse(q, &q_phi, r, &rr, &mut count)?;
+                self.count_traverse(q, &q_phi, r, &rr, &mut col, &mut count)?;
             }
         }
-        Ok((count, self.stats_since(snap)))
+        Ok((count, col.finish()))
     }
 
     fn count_traverse(
@@ -38,13 +39,14 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         q_phi: &[f64],
         r: f64,
         rr: &GridBox,
+        col: &mut StatsCollector,
         count: &mut u64,
     ) -> io::Result<()> {
         let Some(root) = self.btree.root_page() else {
             return Ok(());
         };
         let ops = *self.btree.ops();
-        let root_node = self.btree.read_node(root)?;
+        let root_node = self.read_node_traced(root, col)?;
         let Some(root_mbb) = self.btree.node_mbb(&root_node) else {
             return Ok(());
         };
@@ -57,7 +59,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                     for e in &n.entries {
                         let child_box = ops.to_box(e.mbb);
                         if child_box.intersects(rr) {
-                            stack.push((self.btree.read_node(e.child)?, child_box));
+                            stack.push((self.read_node_traced(e.child, col)?, child_box));
                         }
                     }
                 }
@@ -78,8 +80,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                             *count += 1;
                             continue;
                         }
-                        let (_, o) = self.fetch(off)?;
-                        if self.metric.distance(q, &o) <= r {
+                        let (_, o) = self.fetch_traced(off, col)?;
+                        if self.dist_traced(col, q, &o) <= r {
                             *count += 1;
                         }
                     }

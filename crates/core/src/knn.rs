@@ -23,6 +23,7 @@ use std::io;
 use spb_bptree::Node;
 use spb_metric::{Distance, MetricObject};
 
+use crate::stats::StatsCollector;
 use crate::tree::{QueryStats, SpbTree};
 
 /// kNN traversal strategy (Section 4.3, Table 5).
@@ -116,11 +117,25 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 
     fn knn_full(&self, q: &O, k: usize, traversal: Traversal, alpha: f64) -> KnnResult<O> {
         let _guard = self.latch.read().expect("latch poisoned");
-        let snap = self.snapshot();
+        let mut col = self.collector();
+        let out = self.knn_locked(q, k, traversal, alpha, &mut col)?;
+        Ok((out, col.finish()))
+    }
+
+    /// The kNN body. The caller holds the read latch (directly or via a
+    /// batch) and owns the per-query collector.
+    pub(crate) fn knn_locked(
+        &self,
+        q: &O,
+        k: usize,
+        traversal: Traversal,
+        alpha: f64,
+        col: &mut StatsCollector,
+    ) -> io::Result<Vec<(u32, O, f64)>> {
         let mut best: BinaryHeap<Best<O>> = BinaryHeap::new();
         if k > 0 && !self.is_empty() {
-            let q_phi = self.table.phi(&self.metric, q);
-            self.knn_traverse(q, &q_phi, k, traversal, alpha, &mut best)?;
+            let q_phi = self.phi_traced(col, q);
+            self.knn_traverse(q, &q_phi, k, traversal, alpha, col, &mut best)?;
         }
         let mut out: Vec<(u32, O, f64)> = best
             .into_sorted_vec()
@@ -130,9 +145,10 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         // into_sorted_vec is ascending by dist already; keep ids stable for
         // ties by distance then id.
         out.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
-        Ok((out, self.stats_since(snap)))
+        Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn knn_traverse(
         &self,
         q: &O,
@@ -140,6 +156,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         k: usize,
         traversal: Traversal,
         alpha: f64,
+        col: &mut StatsCollector,
         best: &mut BinaryHeap<Best<O>>,
     ) -> io::Result<()> {
         let Some(root) = self.btree.root_page() else {
@@ -168,7 +185,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                 break;
             }
             match item.kind {
-                ItemKind::Node(page) => match self.btree.read_node(page)? {
+                ItemKind::Node(page) => match self.read_node_traced(page, col)? {
                     Node::Internal(n) => {
                         for e in &n.entries {
                             let mind = self.table.mind_box(q_phi, &ops.to_box(e.mbb));
@@ -193,14 +210,14 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                                     kind: ItemKind::Object { offset: off },
                                 }),
                                 Traversal::Greedy => {
-                                    self.verify_knn(q, k, off, best)?;
+                                    self.verify_knn(q, k, off, col, best)?;
                                 }
                             }
                         }
                     }
                 },
                 ItemKind::Object { offset } => {
-                    self.verify_knn(q, k, offset, best)?;
+                    self.verify_knn(q, k, offset, col, best)?;
                 }
             }
         }
@@ -212,10 +229,11 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         q: &O,
         k: usize,
         offset: u64,
+        col: &mut StatsCollector,
         best: &mut BinaryHeap<Best<O>>,
     ) -> io::Result<()> {
-        let (id, o) = self.fetch(offset)?;
-        let d = self.metric.distance(q, &o);
+        let (id, o) = self.fetch_traced(offset, col)?;
+        let d = self.dist_traced(col, q, &o);
         if best.len() < k {
             best.push(Best {
                 dist: d,

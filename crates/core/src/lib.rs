@@ -22,6 +22,8 @@
 //! | Range query (RQA) | Algorithm 1 | [`SpbTree::range`] |
 //! | kNN query (NNA) | Algorithm 2 | [`SpbTree::knn`] |
 //! | Similarity join (SJA) | Algorithm 3 | [`similarity_join`] |
+//! | Batch queries (parallel) | extension | [`SpbTree::range_batch`], [`SpbTree::knn_batch`] |
+//! | Parallel join | extension | [`similarity_join_parallel`] |
 //! | Cost models | eqs. 1–8 | [`CostModel`] |
 //! | Count-only range query | extension | [`SpbTree::range_count`] |
 //! | α-approximate kNN | extension | [`SpbTree::knn_approx`] |
@@ -61,19 +63,24 @@
 //! assert_eq!(nn[0].2, 0.0); // the word itself
 //! ```
 
+mod batch;
 mod config;
 mod cost;
 mod count;
+mod exec;
 mod join;
 mod knn;
 mod mapping;
 mod range;
 mod recovery;
+mod stats;
 mod tree;
 
+pub use batch::{KnnBatch, RangeBatch};
 pub use config::SpbConfig;
 pub use cost::{CostEstimate, CostModel};
-pub use join::{similarity_join, JoinPair};
+pub use exec::{parallel_map, WorkerPool};
+pub use join::{similarity_join, similarity_join_parallel, JoinPair};
 pub use knn::{KnnResult, Traversal};
 pub use mapping::{PivotTable, SfcMbbOps};
 pub use recovery::{recover_dir, verify_dir, RecoveryReport, VerifyProblem, VerifyReport};

@@ -22,24 +22,55 @@ use std::io;
 
 use spb_bptree::Node;
 use spb_metric::{Distance, MetricObject};
-use spb_sfc::GridBox;
+use spb_sfc::{GridBox, SfcValue};
 
+use crate::stats::StatsCollector;
 use crate::tree::{QueryStats, SpbTree};
+
+/// Per-query scratch buffers, hoisted out of the traversal so visiting
+/// many leaves reuses two allocations instead of allocating per leaf.
+pub(crate) struct RangeScratch {
+    /// Decoded grid cell of the entry under verification.
+    cell_buf: Vec<u32>,
+    /// Sorted SFC values of `RR ∩ MBB` for the cell-merge leaf path.
+    svals: Vec<SfcValue>,
+}
+
+impl RangeScratch {
+    fn new(num_pivots: usize) -> Self {
+        RangeScratch {
+            cell_buf: vec![0u32; num_pivots],
+            svals: Vec::new(),
+        }
+    }
+}
 
 impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `RQ(q, O, r)`: all indexed objects within distance `r` of `q`
     /// (Definition 2), with the query's cost metrics.
     pub fn range(&self, q: &O, r: f64) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
         let _guard = self.latch.read().expect("latch poisoned");
-        let snap = self.snapshot();
+        let mut col = self.collector();
+        let result = self.range_locked(q, r, &mut col)?;
+        Ok((result, col.finish()))
+    }
+
+    /// The range query body. The caller holds the read latch (directly or
+    /// via a batch) and owns the per-query collector.
+    pub(crate) fn range_locked(
+        &self,
+        q: &O,
+        r: f64,
+        col: &mut StatsCollector,
+    ) -> io::Result<Vec<(u32, O)>> {
         let mut result = Vec::new();
         if !self.is_empty() && r >= 0.0 {
-            let q_phi = self.table.phi(&self.metric, q);
+            let q_phi = self.phi_traced(col, q);
             if let Some(rr) = self.table.rr_cells(&q_phi, r) {
-                self.range_traverse(q, &q_phi, r, &rr, &mut result)?;
+                self.range_traverse(q, &q_phi, r, &rr, col, &mut result)?;
             }
         }
-        Ok((result, self.stats_since(snap)))
+        Ok(result)
     }
 
     fn range_traverse(
@@ -48,6 +79,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         q_phi: &[f64],
         r: f64,
         rr: &GridBox,
+        col: &mut StatsCollector,
         result: &mut Vec<(u32, O)>,
     ) -> io::Result<()> {
         let Some(root) = self.btree.root_page() else {
@@ -55,20 +87,20 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         };
         let ops = *self.btree.ops();
         // The root has no parent entry carrying its MBB; compute it lazily.
-        let root_node = self.btree.read_node(root)?;
+        let root_node = self.read_node_traced(root, col)?;
         let Some(root_mbb) = self.btree.node_mbb(&root_node) else {
             return Ok(());
         };
         let mut stack: Vec<(Node, GridBox)> = vec![(root_node, ops.to_box(root_mbb))];
 
-        let mut cell_buf = vec![0u32; self.table.num_pivots()];
+        let mut scratch = RangeScratch::new(self.table.num_pivots());
         while let Some((node, mbb)) = stack.pop() {
             match node {
                 Node::Internal(n) => {
                     for e in &n.entries {
                         let child_box = ops.to_box(e.mbb);
                         if child_box.intersects(rr) {
-                            stack.push((self.btree.read_node(e.child)?, child_box));
+                            stack.push((self.read_node_traced(e.child, col)?, child_box));
                         }
                     }
                 }
@@ -84,7 +116,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                                 key,
                                 off,
                                 false,
-                                &mut cell_buf,
+                                col,
+                                &mut scratch.cell_buf,
                                 result,
                             )?;
                         }
@@ -93,7 +126,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                         if self.use_cell_merge && inter.cell_count() < leaf.keys.len() as u128 {
                             // Enumerate the intersected region's SFC values
                             // and merge with the (sorted) leaf entries.
-                            let svals = inter.sfc_values_sorted(&self.curve);
+                            inter.sfc_values_sorted_into(&self.curve, &mut scratch.svals);
+                            let svals = &scratch.svals;
                             let mut si = 0usize;
                             let mut ei = 0usize;
                             while si < svals.len() && ei < leaf.keys.len() {
@@ -106,7 +140,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                                         leaf.keys[ei],
                                         leaf.values[ei],
                                         false,
-                                        &mut cell_buf,
+                                        col,
+                                        &mut scratch.cell_buf,
                                         result,
                                     )?;
                                     ei += 1; // same SFC value may repeat in the leaf
@@ -126,7 +161,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                                     key,
                                     off,
                                     true,
-                                    &mut cell_buf,
+                                    col,
+                                    &mut scratch.cell_buf,
                                     result,
                                 )?;
                             }
@@ -149,6 +185,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         key: u128,
         offset: u64,
         check_rr: bool,
+        col: &mut StatsCollector,
         cell_buf: &mut [u32],
         result: &mut Vec<(u32, O)>,
     ) -> io::Result<()> {
@@ -165,12 +202,12 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                 .iter()
                 .zip(cell_buf.iter())
                 .any(|(&dq, &c)| self.table.cell_dist_hi(c) <= r - dq);
-        let (id, o) = self.fetch(offset)?;
+        let (id, o) = self.fetch_traced(offset, col)?;
         if lemma2 {
             result.push((id, o));
             return Ok(());
         }
-        if self.metric.distance(q, &o) <= r {
+        if self.dist_traced(col, q, &o) <= r {
             result.push((id, o));
         }
         Ok(())

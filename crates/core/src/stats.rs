@@ -1,0 +1,182 @@
+//! Per-query cost accounting.
+//!
+//! The seed measured a query by diffing the shared distance counter and
+//! buffer-pool counters around it ([`SpbTree::snapshot`] /
+//! `stats_since`) — correct only while queries run one at a time. Two
+//! concurrent queries would each observe the other's distance
+//! computations and page misses, corrupting both reports. A
+//! [`StatsCollector`] instead travels with one query: traversals bump its
+//! compdists directly and report every buffer-pool access they issue, so
+//! any number of queries can run concurrently and each report stays
+//! exact.
+//!
+//! ## Page accesses under a shared cache
+//!
+//! The paper's *PA* protocol flushes the LRU cache before each query, so
+//! a query's PA is the miss count of a *cold* cache of the configured
+//! capacity — a deterministic property of the query alone. In a batch
+//! that protocol is gone: queries share a warm cache (that sharing is the
+//! throughput win), and "did this logical read miss?" depends on what
+//! other queries did a microsecond earlier. Reporting real misses would
+//! make per-query PA nondeterministic and attribute one query's evictions
+//! to another.
+//!
+//! The collector therefore *simulates* the paper's protocol: it feeds the
+//! query's own access trace through a private cold LRU with the pool's
+//! capacity (single-sharded, exactly the protocol's cache). The reported
+//! PA is identical to what a solo flushed run measures — same misses,
+//! same capacity sweep behaviour (Fig. 10), same greedy-vs-incremental
+//! RAF ping-pong (Table 5) — and is independent of batching, thread
+//! count, and interleaving. The pool's own [`IoStats`] counters still
+//! report physically performed I/O when the aggregate matters.
+//!
+//! [`SpbTree`]: crate::SpbTree
+//! [`IoStats`]: spb_storage::IoStats
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+use crate::tree::QueryStats;
+
+/// A cold LRU cache simulated for accounting only: same hit/miss and
+/// eviction behaviour as one [`spb_storage::BufferPool`] shard, but it
+/// stores no pages — only which page numbers would be resident.
+struct AccountingLru {
+    capacity: usize,
+    tick: u64,
+    /// page → last-use tick.
+    map: HashMap<u64, u64>,
+    /// last-use tick → page (eviction order; ticks are unique).
+    order: BTreeMap<u64, u64>,
+    misses: u64,
+}
+
+impl AccountingLru {
+    fn new(capacity: usize) -> Self {
+        AccountingLru {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            misses: 0,
+        }
+    }
+
+    /// Records one logical read of `page` (a miss with capacity 0, which
+    /// mirrors the pool's cache-disabled mode).
+    fn access(&mut self, page: u64) {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return;
+        }
+        self.tick += 1;
+        if let Some(t) = self.map.get_mut(&page) {
+            let old = *t;
+            *t = self.tick;
+            self.order.remove(&old);
+            self.order.insert(self.tick, page);
+            return;
+        }
+        self.misses += 1;
+        self.map.insert(page, self.tick);
+        self.order.insert(self.tick, page);
+        while self.map.len() > self.capacity {
+            let (_, victim) = self.order.pop_first().expect("order mirrors map");
+            self.map.remove(&victim);
+        }
+    }
+}
+
+/// Cost accounting for one query (or one partition of a parallel join):
+/// threaded `&mut` through the traversal, turned into a [`QueryStats`] at
+/// the end. Creation snapshots the two cache capacities, so a concurrent
+/// `set_cache_capacity` does not skew a query mid-flight.
+pub(crate) struct StatsCollector {
+    compdists: u64,
+    btree: AccountingLru,
+    raf: AccountingLru,
+    start: Instant,
+}
+
+impl StatsCollector {
+    pub(crate) fn new(btree_cache_pages: usize, raf_cache_pages: usize) -> Self {
+        StatsCollector {
+            compdists: 0,
+            btree: AccountingLru::new(btree_cache_pages),
+            raf: AccountingLru::new(raf_cache_pages),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records `n` distance computations.
+    pub(crate) fn add_compdists(&mut self, n: u64) {
+        self.compdists += n;
+    }
+
+    /// Records one B⁺-tree node read (`page` = the node's page number).
+    pub(crate) fn btree_page(&mut self, page: u64) {
+        self.btree.access(page);
+    }
+
+    /// Records one RAF pool read (`page` = the data page number).
+    pub(crate) fn raf_page(&mut self, page: u64) {
+        self.raf.access(page);
+    }
+
+    /// Final per-query report. Queries never write or fsync, so *PA* is
+    /// the two miss counts and `fsyncs` is 0.
+    pub(crate) fn finish(self) -> QueryStats {
+        let btree_pa = self.btree.misses;
+        let raf_pa = self.raf.misses;
+        QueryStats {
+            compdists: self.compdists,
+            page_accesses: btree_pa + raf_pa,
+            btree_pa,
+            raf_pa,
+            fsyncs: 0,
+            duration: self.start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_simulation_counts_cold_misses() {
+        let mut lru = AccountingLru::new(2);
+        lru.access(1); // miss
+        lru.access(2); // miss
+        lru.access(1); // hit, 1 most recent
+        lru.access(3); // miss, evicts 2
+        lru.access(1); // hit
+        lru.access(2); // miss again
+        assert_eq!(lru.misses, 4);
+    }
+
+    #[test]
+    fn zero_capacity_counts_every_access() {
+        let mut lru = AccountingLru::new(0);
+        for _ in 0..5 {
+            lru.access(7);
+        }
+        assert_eq!(lru.misses, 5);
+    }
+
+    #[test]
+    fn collector_separates_btree_and_raf() {
+        let mut col = StatsCollector::new(8, 8);
+        col.btree_page(1);
+        col.btree_page(1);
+        col.raf_page(1);
+        col.raf_page(2);
+        col.add_compdists(3);
+        let s = col.finish();
+        assert_eq!(s.btree_pa, 1);
+        assert_eq!(s.raf_pa, 2);
+        assert_eq!(s.page_accesses, 3);
+        assert_eq!(s.compdists, 3);
+        assert_eq!(s.fsyncs, 0);
+    }
+}

@@ -17,6 +17,7 @@ use crate::config::SpbConfig;
 use crate::cost::CostModel;
 use crate::mapping::{PivotTable, SfcMbbOps};
 use crate::recovery::{recover_dir, META_FILE, WAL_FILE};
+use crate::stats::StatsCollector;
 
 /// WAL size, in bytes, beyond which a commit triggers a checkpoint
 /// (fsync both data files, then empty the log).
@@ -153,7 +154,11 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         mapped.sort_unstable_by_key(|&(sfc, idx, _)| (sfc, idx));
 
         // RAF in ascending SFC order.
-        let raf = Raf::create(&dir.join("objects.raf"), config.cache_pages)?;
+        let raf = Raf::create_sharded(
+            &dir.join("objects.raf"),
+            config.cache_pages,
+            config.cache_shards,
+        )?;
         let mut entries: Vec<(u128, u64)> = Vec::with_capacity(mapped.len());
         let mut buf = Vec::new();
         for &(sfc, idx, _) in &mapped {
@@ -165,9 +170,10 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         raf.flush()?;
 
         // Bulk-load the B+-tree bottom-up.
-        let btree = BPlusTree::create(
+        let btree = BPlusTree::create_sharded(
             &dir.join("index.bpt"),
             config.cache_pages,
+            config.cache_shards,
             SfcMbbOps::new(curve),
         )?;
         btree.bulk_load(entries)?;
@@ -259,6 +265,18 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `durable = false` recovery still runs (a crashed durable session
     /// must not be silently ignored) but subsequent updates skip the WAL.
     pub fn open_with(dir: &Path, metric: D, cache_pages: usize, durable: bool) -> io::Result<Self> {
+        Self::open_sharded(dir, metric, cache_pages, durable, 1)
+    }
+
+    /// [`SpbTree::open_with`] with lock-striped page caches
+    /// (`cache_shards` stripes each) for concurrent batch workloads.
+    pub fn open_sharded(
+        dir: &Path,
+        metric: D,
+        cache_pages: usize,
+        durable: bool,
+        cache_shards: usize,
+    ) -> io::Result<Self> {
         recover_dir(dir)?;
         let wal = if durable {
             Some(Wal::open(&dir.join(WAL_FILE))?)
@@ -290,8 +308,13 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             }
         }
         let curve = table.curve(curve_kind);
-        let btree = BPlusTree::open(&dir.join("index.bpt"), cache_pages, SfcMbbOps::new(curve))?;
-        let raf = Raf::open(&dir.join("objects.raf"), cache_pages)?;
+        let btree = BPlusTree::open_sharded(
+            &dir.join("index.bpt"),
+            cache_pages,
+            cache_shards,
+            SfcMbbOps::new(curve),
+        )?;
+        let raf = Raf::open_sharded(&dir.join("objects.raf"), cache_pages, cache_shards)?;
 
         // δ-accurate φ proxies from the stored keys.
         let half = if table.is_discrete() {
@@ -602,10 +625,54 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         }
     }
 
-    /// Fetches and decodes the object behind a RAF offset.
-    pub(crate) fn fetch(&self, offset: u64) -> io::Result<(u32, O)> {
-        let entry = self.raf.get(RafPtr { offset })?;
+    // ------------------------------------------------------------------
+    // Per-query accounting hooks. Queries thread a StatsCollector through
+    // their traversal and route every distance computation and page read
+    // through these, so concurrent queries never see each other's costs.
+    // Updates keep the snapshot/stats_since diffs below: they hold the
+    // exclusive latch, so the shared counters are exact for them (and
+    // capture writes and fsyncs, which queries never issue).
+    // ------------------------------------------------------------------
+
+    /// A fresh collector sized to the current cache capacities.
+    pub(crate) fn collector(&self) -> StatsCollector {
+        StatsCollector::new(self.btree.pool().capacity(), self.raf.pool().capacity())
+    }
+
+    /// [`BPlusTree::read_node`] with the page attributed to `col`.
+    pub(crate) fn read_node_traced(
+        &self,
+        id: spb_storage::PageId,
+        col: &mut StatsCollector,
+    ) -> io::Result<spb_bptree::Node> {
+        col.btree_page(id.0);
+        self.btree.read_node(id)
+    }
+
+    /// Fetches and decodes the object behind a RAF offset, attributing the
+    /// RAF pages read to `col`.
+    pub(crate) fn fetch_traced(
+        &self,
+        offset: u64,
+        col: &mut StatsCollector,
+    ) -> io::Result<(u32, O)> {
+        let entry = self
+            .raf
+            .get_traced(RafPtr { offset }, &mut |page| col.raf_page(page))?;
         Ok((entry.id, O::decode(&entry.bytes)))
+    }
+
+    /// One counted distance computation attributed to `col` (the global
+    /// counter is still bumped, so aggregate totals remain meaningful).
+    pub(crate) fn dist_traced(&self, col: &mut StatsCollector, a: &O, b: &O) -> f64 {
+        col.add_compdists(1);
+        self.metric.distance(a, b)
+    }
+
+    /// `φ(q)` with its `|P|` distance computations attributed to `col`.
+    pub(crate) fn phi_traced(&self, col: &mut StatsCollector, o: &O) -> Vec<f64> {
+        col.add_compdists(self.table.num_pivots() as u64);
+        self.table.phi(&self.metric, o)
     }
 
     // ------------------------------------------------------------------

@@ -130,10 +130,19 @@ impl GridBox {
     /// is responsible for only invoking this on small boxes (the algorithm
     /// compares the cell count against the leaf-entry count first).
     pub fn sfc_values_sorted(&self, curve: &Sfc) -> Vec<SfcValue> {
-        debug_assert_eq!(self.dims(), curve.dims());
-        let mut vals: Vec<SfcValue> = self.cells().map(|c| curve.encode(&c)).collect();
-        vals.sort_unstable();
+        let mut vals = Vec::new();
+        self.sfc_values_sorted_into(curve, &mut vals);
         vals
+    }
+
+    /// [`GridBox::sfc_values_sorted`] into a caller-provided buffer, so a
+    /// traversal visiting many leaves can reuse one allocation (`out` is
+    /// cleared first, then filled and sorted).
+    pub fn sfc_values_sorted_into(&self, curve: &Sfc, out: &mut Vec<SfcValue>) {
+        debug_assert_eq!(self.dims(), curve.dims());
+        out.clear();
+        out.extend(self.cells().map(|c| curve.encode(&c)));
+        out.sort_unstable();
     }
 
     /// Clamps a real-valued box to the grid: coordinates below zero become

@@ -8,10 +8,19 @@
 //! protocol: logical reads, physical reads (misses) and writes are counted
 //! separately, and [`BufferPool::page_accesses`] = misses + writes is the
 //! paper's metric.
+//!
+//! ## Sharding
+//!
+//! A pool can be lock-striped into N independent LRU segments
+//! ([`BufferPool::new_sharded`]): a page's shard is `PageId mod N`, so
+//! parallel readers of different pages never contend on one mutex. Each
+//! shard keeps its own counters; [`BufferPool::stats`] sums them, keeping
+//! the paper's PA accounting exact. The default ([`BufferPool::new`]) is a
+//! single shard, which is byte-for-byte the paper's global LRU.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -45,6 +54,10 @@ struct PoolInner {
     tick: u64,
     /// PageId → (cached page, last-use tick).
     map: HashMap<PageId, (Arc<Page>, u64)>,
+    /// last-use tick → PageId: the eviction order. Ticks are unique, so
+    /// the least recently used entry is always `order`'s first key and
+    /// eviction is O(log n) instead of a linear scan over the map.
+    order: BTreeMap<u64, PageId>,
 }
 
 impl PoolInner {
@@ -52,7 +65,9 @@ impl PoolInner {
         self.tick += 1;
         let tick = self.tick;
         if let Some(e) = self.map.get_mut(&id) {
+            self.order.remove(&e.1);
             e.1 = tick;
+            self.order.insert(tick, id);
         }
     }
 
@@ -61,40 +76,44 @@ impl PoolInner {
             return;
         }
         self.tick += 1;
-        self.map.insert(id, (page, self.tick));
+        if let Some(old) = self.map.insert(id, (page, self.tick)) {
+            self.order.remove(&old.1);
+        }
+        self.order.insert(self.tick, id);
+        self.evict_to_capacity();
+    }
+
+    /// Evicts least-recently-used entries until the shard fits its
+    /// capacity again.
+    fn evict_to_capacity(&mut self) {
         while self.map.len() > self.capacity {
-            // Evict the least recently used entry. Capacities here are tiny
-            // (≤ 128 pages in the paper), so a linear scan is cheaper than
-            // maintaining an intrusive list.
-            let victim = *self
-                .map
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(k, _)| k)
-                .expect("map is non-empty");
+            let (_, victim) = self.order.pop_first().expect("order mirrors map");
             self.map.remove(&victim);
         }
     }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
 }
 
-/// A write-through LRU buffer pool over a [`Pager`].
-pub struct BufferPool {
-    pager: Pager,
+/// One lock stripe of the pool: an LRU segment plus its own counters.
+struct Shard {
     inner: Mutex<PoolInner>,
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     writes: AtomicU64,
 }
 
-impl BufferPool {
-    /// Wraps `pager` with a cache of `capacity` pages (0 disables caching).
-    pub fn new(pager: Pager, capacity: usize) -> Self {
-        BufferPool {
-            pager,
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
             inner: Mutex::new(PoolInner {
                 capacity,
                 tick: 0,
                 map: HashMap::new(),
+                order: BTreeMap::new(),
             }),
             logical_reads: AtomicU64::new(0),
             physical_reads: AtomicU64::new(0),
@@ -102,35 +121,99 @@ impl BufferPool {
         }
     }
 
+    fn stats(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            fsyncs: 0,
+        }
+    }
+}
+
+/// A write-through LRU buffer pool over a [`Pager`], optionally
+/// lock-striped into several independent shards.
+pub struct BufferPool {
+    pager: Pager,
+    shards: Vec<Shard>,
+    /// Total requested capacity across all shards (Fig. 10's parameter).
+    capacity: AtomicUsize,
+}
+
+impl BufferPool {
+    /// Wraps `pager` with a cache of `capacity` pages (0 disables caching).
+    /// Single shard: exactly the paper's global LRU.
+    pub fn new(pager: Pager, capacity: usize) -> Self {
+        Self::new_sharded(pager, capacity, 1)
+    }
+
+    /// Wraps `pager` with a cache of `capacity` pages split over `shards`
+    /// lock stripes (clamped to at least 1). Page `p` lives in shard
+    /// `p mod shards`; each shard holds `⌈capacity / shards⌉` pages.
+    pub fn new_sharded(pager: Pager, capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard = Self::shard_capacity(capacity, n);
+        BufferPool {
+            pager,
+            shards: (0..n).map(|_| Shard::new(per_shard)).collect(),
+            capacity: AtomicUsize::new(capacity),
+        }
+    }
+
+    fn shard_capacity(total: usize, shards: usize) -> usize {
+        if total == 0 {
+            0
+        } else {
+            total.div_ceil(shards)
+        }
+    }
+
+    fn shard_of(&self, id: PageId) -> &Shard {
+        &self.shards[id.0 as usize % self.shards.len()]
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counter snapshot of one shard (pager fsyncs are pool-global and
+    /// reported as 0 here; they appear in [`BufferPool::stats`]).
+    pub fn shard_stats(&self, shard: usize) -> IoStats {
+        self.shards[shard].stats()
+    }
+
     /// Allocates a fresh page. Allocation writes the zeroed page and is
     /// counted as a write (construction cost includes it, as in Table 6).
     pub fn allocate(&self) -> io::Result<PageId> {
         let id = self.pager.allocate()?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(id).writes.fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
     /// Reads a page, serving repeats from the cache.
     pub fn read(&self, id: PageId) -> io::Result<Arc<Page>> {
-        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(id);
+        shard.logical_reads.fetch_add(1, Ordering::Relaxed);
         {
-            let mut inner = self.inner.lock();
-            if let Some((page, _)) = inner.map.get(&id).map(|e| (Arc::clone(&e.0), e.1)) {
+            let mut inner = shard.inner.lock();
+            if let Some(page) = inner.map.get(&id).map(|e| Arc::clone(&e.0)) {
                 inner.touch(id);
                 return Ok(page);
             }
         }
         let page = Arc::new(self.pager.read_page(id)?);
-        self.physical_reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock().insert(id, Arc::clone(&page));
+        shard.physical_reads.fetch_add(1, Ordering::Relaxed);
+        shard.inner.lock().insert(id, Arc::clone(&page));
         Ok(page)
     }
 
     /// Writes a page through to disk and refreshes the cached copy.
     pub fn write(&self, id: PageId, page: Page) -> io::Result<()> {
         self.pager.write_page(id, &page)?;
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
+        let shard = self.shard_of(id);
+        shard.writes.fetch_add(1, Ordering::Relaxed);
+        let mut inner = shard.inner.lock();
         if inner.capacity > 0 {
             inner.insert(id, Arc::new(page));
         }
@@ -140,49 +223,54 @@ impl BufferPool {
     /// Drops every cached page. The paper flushes the cache before each of
     /// its 500 workload queries so measurements are cold.
     pub fn flush_cache(&self) {
-        self.inner.lock().map.clear();
+        for shard in &self.shards {
+            shard.inner.lock().clear();
+        }
     }
 
     /// Changes the cache capacity (Fig. 10's parameter), evicting as needed.
     pub fn set_capacity(&self, capacity: usize) {
-        let mut inner = self.inner.lock();
-        inner.capacity = capacity;
-        if capacity == 0 {
-            inner.map.clear();
-        } else {
-            while inner.map.len() > capacity {
-                let victim = *inner
-                    .map
-                    .iter()
-                    .min_by_key(|(_, (_, t))| *t)
-                    .map(|(k, _)| k)
-                    .expect("non-empty");
-                inner.map.remove(&victim);
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let per_shard = Self::shard_capacity(capacity, self.shards.len());
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.capacity = per_shard;
+            if per_shard == 0 {
+                inner.clear();
+            } else {
+                inner.evict_to_capacity();
             }
         }
     }
 
-    /// Current cache capacity in pages.
+    /// Current total cache capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.capacity.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of the I/O counters.
+    /// Snapshot of the I/O counters, summed over all shards.
     pub fn stats(&self) -> IoStats {
-        IoStats {
-            logical_reads: self.logical_reads.load(Ordering::Relaxed),
-            physical_reads: self.physical_reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+        let mut total = IoStats {
             fsyncs: self.pager.fsyncs(),
+            ..IoStats::default()
+        };
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.logical_reads += s.logical_reads;
+            total.physical_reads += s.physical_reads;
+            total.writes += s.writes;
         }
+        total
     }
 
     /// Zeroes the I/O counters (between construction and queries, and
     /// between individual queries).
     pub fn reset_stats(&self) {
-        self.logical_reads.store(0, Ordering::Relaxed);
-        self.physical_reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
+        for shard in &self.shards {
+            shard.logical_reads.store(0, Ordering::Relaxed);
+            shard.physical_reads.store(0, Ordering::Relaxed);
+            shard.writes.store(0, Ordering::Relaxed);
+        }
         self.pager.reset_fsyncs();
     }
 
@@ -216,6 +304,12 @@ mod tests {
         let dir = TempDir::new("pool");
         let pager = Pager::create(&dir.path().join("p.db")).unwrap();
         (dir, BufferPool::new(pager, capacity))
+    }
+
+    fn pool_sharded(capacity: usize, shards: usize) -> (TempDir, BufferPool) {
+        let dir = TempDir::new("pool-sharded");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        (dir, BufferPool::new_sharded(pager, capacity, shards))
     }
 
     #[test]
@@ -296,5 +390,85 @@ mod tests {
             pool.read(id).unwrap();
         }
         assert!(pool.stats().physical_reads >= 4);
+    }
+
+    #[test]
+    fn large_cache_eviction_is_cheap() {
+        // O(log n) eviction: a pass twice the capacity over a big pool
+        // stays comfortably fast (the old linear scan was quadratic).
+        let (_d, pool) = pool(4096);
+        let ids: Vec<PageId> = (0..8192).map(|_| pool.allocate().unwrap()).collect();
+        pool.reset_stats();
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        assert_eq!(pool.stats().physical_reads, 8192);
+    }
+
+    #[test]
+    fn sharded_pool_sums_counters_exactly() {
+        let (_d, pool) = pool_sharded(16, 4);
+        assert_eq!(pool.shard_count(), 4);
+        let ids: Vec<PageId> = (0..12).map(|_| pool.allocate().unwrap()).collect();
+        pool.flush_cache();
+        pool.reset_stats();
+        for &id in &ids {
+            pool.read(id).unwrap(); // 12 misses
+        }
+        for &id in &ids {
+            pool.read(id).unwrap(); // 12 hits (capacity 16 holds them all)
+        }
+        let total = pool.stats();
+        assert_eq!(total.logical_reads, 24);
+        assert_eq!(total.physical_reads, 12);
+        let mut sum = IoStats::default();
+        for s in 0..pool.shard_count() {
+            let st = pool.shard_stats(s);
+            sum.logical_reads += st.logical_reads;
+            sum.physical_reads += st.physical_reads;
+            sum.writes += st.writes;
+        }
+        assert_eq!(sum.logical_reads, total.logical_reads);
+        assert_eq!(sum.physical_reads, total.physical_reads);
+        assert_eq!(sum.page_accesses(), total.page_accesses());
+    }
+
+    #[test]
+    fn sharded_pool_spreads_pages_across_stripes() {
+        let (_d, pool) = pool_sharded(64, 4);
+        let ids: Vec<PageId> = (0..16).map(|_| pool.allocate().unwrap()).collect();
+        pool.flush_cache();
+        pool.reset_stats();
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        // Sequential page ids land round-robin on the 4 shards.
+        for s in 0..4 {
+            assert_eq!(pool.shard_stats(s).physical_reads, 4, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn sharded_flush_and_capacity_apply_to_all_stripes() {
+        let (_d, pool) = pool_sharded(8, 2);
+        let ids: Vec<PageId> = (0..8).map(|_| pool.allocate().unwrap()).collect();
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        pool.flush_cache();
+        pool.reset_stats();
+        for &id in &ids {
+            pool.read(id).unwrap();
+        }
+        assert_eq!(pool.stats().physical_reads, 8, "flush emptied every shard");
+        pool.set_capacity(0);
+        pool.reset_stats();
+        pool.read(ids[0]).unwrap();
+        pool.read(ids[0]).unwrap();
+        assert_eq!(
+            pool.stats().physical_reads,
+            2,
+            "capacity 0 disables caching"
+        );
     }
 }

@@ -67,7 +67,13 @@ pub struct Raf {
 impl Raf {
     /// Creates a new RAF at `path` with a read cache of `cache_pages`.
     pub fn create(path: &Path, cache_pages: usize) -> io::Result<Self> {
-        let pool = BufferPool::new(Pager::create(path)?, cache_pages);
+        Self::create_sharded(path, cache_pages, 1)
+    }
+
+    /// [`Raf::create`] with a lock-striped read cache (`shards` stripes)
+    /// for concurrent readers.
+    pub fn create_sharded(path: &Path, cache_pages: usize, shards: usize) -> io::Result<Self> {
+        let pool = BufferPool::new_sharded(Pager::create(path)?, cache_pages, shards);
         let header_id = pool.allocate()?;
         debug_assert_eq!(header_id, PageId(0));
         let mut header = Page::new();
@@ -84,7 +90,12 @@ impl Raf {
 
     /// Opens an existing RAF.
     pub fn open(path: &Path, cache_pages: usize) -> io::Result<Self> {
-        let pool = BufferPool::new(Pager::open(path)?, cache_pages);
+        Self::open_sharded(path, cache_pages, 1)
+    }
+
+    /// [`Raf::open`] with a lock-striped read cache (`shards` stripes).
+    pub fn open_sharded(path: &Path, cache_pages: usize, shards: usize) -> io::Result<Self> {
+        let pool = BufferPool::new_sharded(Pager::open(path)?, cache_pages, shards);
         let header = pool.read(PageId(0))?;
         if header.read_u64(0) != MAGIC {
             return Err(io::Error::new(
@@ -174,18 +185,32 @@ impl Raf {
 
     /// Reads the entry at `ptr`.
     pub fn get(&self, ptr: RafPtr) -> io::Result<RafEntry> {
+        self.get_traced(ptr, &mut |_| {})
+    }
+
+    /// Like [`Raf::get`], but calls `trace` with the page number of every
+    /// buffer-pool read the entry causes (staged-tail hits bypass the pool
+    /// and are not traced). Per-query accounting hooks in here: the caller
+    /// learns exactly which pool accesses *its* fetch issued, without
+    /// diffing the pool's shared counters.
+    pub fn get_traced(&self, ptr: RafPtr, trace: &mut dyn FnMut(u64)) -> io::Result<RafEntry> {
         let mut header = [0u8; ENTRY_HEADER];
-        self.read_bytes(ptr.offset, &mut header)?;
+        self.read_bytes(ptr.offset, &mut header, trace)?;
         let id = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
         let mut bytes = vec![0u8; len];
-        self.read_bytes(ptr.offset + ENTRY_HEADER as u64, &mut bytes)?;
+        self.read_bytes(ptr.offset + ENTRY_HEADER as u64, &mut bytes, trace)?;
         Ok(RafEntry { id, bytes })
     }
 
     /// Reads `buf.len()` bytes at absolute offset `off`, consulting the
     /// staged tail page where applicable.
-    fn read_bytes(&self, mut off: u64, buf: &mut [u8]) -> io::Result<()> {
+    fn read_bytes(
+        &self,
+        mut off: u64,
+        buf: &mut [u8],
+        trace: &mut dyn FnMut(u64),
+    ) -> io::Result<()> {
         assert!(
             off + buf.len() as u64 <= self.tail.load(Ordering::SeqCst),
             "RAF read past tail"
@@ -207,6 +232,7 @@ impl Raf {
                 }
             };
             if !staged_hit {
+                trace(page_no);
                 let page = self.pool.read(PageId(page_no))?;
                 buf[filled..filled + take].copy_from_slice(page.read_slice(in_page, take));
             }

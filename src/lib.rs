@@ -42,5 +42,6 @@ pub use spb_sfc as sfc;
 pub use spb_storage as storage;
 
 pub use spb_core::{
-    similarity_join, CostEstimate, CostModel, JoinPair, QueryStats, SpbConfig, SpbTree, Traversal,
+    parallel_map, similarity_join, similarity_join_parallel, CostEstimate, CostModel, JoinPair,
+    QueryStats, SpbConfig, SpbTree, Traversal, WorkerPool,
 };

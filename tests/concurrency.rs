@@ -110,6 +110,164 @@ fn queries_race_cache_flushes_safely() {
 }
 
 #[test]
+fn batch_queries_stress_against_bruteforce() {
+    // The batch APIs under contention: several OS threads each fan their
+    // own batches across worker pools over one shared (lock-striped)
+    // index, and every answer must match brute force; per-query stats
+    // must be identical no matter which batch/thread produced them.
+    let data = dataset::words(2_000, 1005);
+    let metric = dataset::words_metric();
+    let dir = TempDir::new("conc-batch");
+    let cfg = SpbConfig {
+        cache_shards: 4,
+        ..SpbConfig::default()
+    };
+    let tree = Arc::new(SpbTree::build(dir.path(), &data, metric, &cfg).unwrap());
+    let data = Arc::new(data);
+    let r = 2.0;
+
+    let brute: Vec<Vec<u32>> = data[..24]
+        .iter()
+        .map(|q| {
+            let mut ids: Vec<u32> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| metric.distance(q, o) <= r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+
+    // Reference per-query stats from a single-threaded batch.
+    let queries: Vec<_> = data[..24].iter().map(|q| (q.clone(), r)).collect();
+    let reference = tree.range_batch(&queries, 1).unwrap();
+
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let data = Arc::clone(&data);
+            let brute = brute.clone();
+            let reference: Vec<_> = reference
+                .iter()
+                .map(|(hits, stats)| (hits.clone(), *stats))
+                .collect();
+            thread::spawn(move || {
+                let queries: Vec<_> = data[..24].iter().map(|q| (q.clone(), r)).collect();
+                let got = tree.range_batch(&queries, 1 + t).unwrap();
+                for (i, (hits, stats)) in got.iter().enumerate() {
+                    let mut ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+                    ids.sort_unstable();
+                    assert_eq!(ids, brute[i], "os thread {t}, query {i}");
+                    let want = &reference[i].1;
+                    assert_eq!(stats.compdists, want.compdists, "thread {t}, query {i}");
+                    assert_eq!(
+                        stats.page_accesses, want.page_accesses,
+                        "thread {t}, query {i}"
+                    );
+                    assert_eq!(stats.btree_pa, want.btree_pa, "thread {t}, query {i}");
+                    assert_eq!(stats.raf_pa, want.raf_pa, "thread {t}, query {i}");
+                }
+                // kNN against brute force: the query object is its own 1-NN.
+                let knn_qs: Vec<_> = data[..12].to_vec();
+                for (i, (nn, _)) in tree.knn_batch(&knn_qs, 3, 2).unwrap().iter().enumerate() {
+                    assert_eq!(nn.len(), 3);
+                    assert_eq!(nn[0].2, 0.0, "thread {t}, knn query {i}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panics in batch threads");
+    }
+}
+
+#[test]
+fn sharded_pool_accounting_is_exact() {
+    // The lock-striped pool's aggregate counters must be exactly the sum
+    // of its per-shard counters, and a parallel batch over a 4-stripe
+    // cache must report the same aggregate page accesses as the same
+    // batch run single-threaded over a 1-stripe cache (write-through
+    // read path: striping moves pages between LRUs, it does not change
+    // what is read).
+    // Caches large enough that nothing evicts: the aggregate counts are
+    // then "distinct pages touched", deterministic under any interleaving
+    // (with eviction, the shared LRU's miss count depends on query order,
+    // which a parallel batch does not fix).
+    let data = dataset::words(2_000, 1006);
+    let d1 = TempDir::new("conc-acct-1");
+    let d4 = TempDir::new("conc-acct-4");
+    let tree1 = SpbTree::build(
+        d1.path(),
+        &data,
+        dataset::words_metric(),
+        &SpbConfig {
+            cache_pages: 4_096,
+            ..SpbConfig::default()
+        },
+    )
+    .unwrap();
+    let tree4 = SpbTree::build(
+        d4.path(),
+        &data,
+        dataset::words_metric(),
+        &SpbConfig {
+            cache_pages: 4_096,
+            cache_shards: 4,
+            ..SpbConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(tree1.btree().pool().shard_count(), 1);
+    assert_eq!(tree4.btree().pool().shard_count(), 4);
+
+    let queries: Vec<_> = data[..24].iter().map(|q| (q.clone(), 2.0)).collect();
+
+    let run = |tree: &SpbTree<_, _>, threads: usize| {
+        tree.flush_caches();
+        let b0 = tree.btree().pool().stats();
+        let r0 = tree.raf().pool().stats();
+        let per_query = tree.range_batch(&queries, threads).unwrap();
+        let b1 = tree.btree().pool().stats();
+        let r1 = tree.raf().pool().stats();
+        let pool_pa =
+            (b1.page_accesses() - b0.page_accesses()) + (r1.page_accesses() - r0.page_accesses());
+        let reported: u64 = per_query.iter().map(|(_, s)| s.page_accesses).sum();
+        (pool_pa, reported)
+    };
+
+    let (pa1, reported1) = run(&tree1, 1);
+    let (pa4, reported4) = run(&tree4, 4);
+
+    // Same workload, same aggregate I/O, regardless of striping/threads.
+    assert_eq!(pa1, pa4, "striping must not change aggregate page accesses");
+    // Per-query collectors see the same totals in both runs.
+    assert_eq!(reported1, reported4);
+    // With a cold cache and no eviction pressure, per-query accounting
+    // (cold simulated cache each) can only overcount shared pages once
+    // per query; aggregates never exceed the sum of per-query numbers.
+    assert!(pa4 <= reported4);
+
+    // Aggregate counters are exactly the per-shard sums.
+    for pool in [tree4.btree().pool(), tree4.raf().pool()] {
+        let total = pool.stats();
+        let mut sum_logical = 0;
+        let mut sum_physical = 0;
+        let mut sum_writes = 0;
+        for s in 0..pool.shard_count() {
+            let st = pool.shard_stats(s);
+            sum_logical += st.logical_reads;
+            sum_physical += st.physical_reads;
+            sum_writes += st.writes;
+        }
+        assert_eq!(total.logical_reads, sum_logical);
+        assert_eq!(total.physical_reads, sum_physical);
+        assert_eq!(total.writes, sum_writes);
+    }
+}
+
+#[test]
 fn concurrent_inserts_then_queries_see_everything() {
     // Inserts are serialised by the caller here (one writer thread), with
     // readers querying concurrently — the supported usage for updates.
