@@ -15,6 +15,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig9;
 pub mod parallel;
+pub mod server_load;
 pub mod table2;
 pub mod table4;
 pub mod table5;

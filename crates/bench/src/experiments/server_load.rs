@@ -1,0 +1,223 @@
+//! Network service load test — not a paper figure; measures the
+//! `spb-server` stack end to end: wire protocol + admission control +
+//! worker pool, driven by closed-loop TCP clients.
+//!
+//! Two parts:
+//!
+//! * a client-count sweep (1/2/4/8 concurrent connections, each issuing
+//!   range queries back-to-back) recording p50/p99 request latency and
+//!   aggregate QPS;
+//! * an overload point: the same workload against a deliberately tiny
+//!   admission gate (`max_inflight=1`, `max_queue=2`), demonstrating
+//!   that excess load is *shed* with typed `Overloaded` responses
+//!   instead of queueing without bound.
+//!
+//! Besides the printed table the run writes `BENCH_server.json` into the
+//! current directory.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use spb_core::{SpbConfig, SpbTree};
+use spb_metric::{dataset, MetricObject, Word};
+use spb_server::{
+    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Schema,
+    ServerConfig, ServerHandle,
+};
+
+use crate::experiments::common::workload;
+use crate::{Scale, Table};
+
+const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const RADIUS: f64 = 2.0;
+
+/// One measured point of the client sweep.
+struct Point {
+    clients: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Builds a words index on disk with its `cli.schema`, ready for
+/// [`open_index`].
+fn build_index(dir: &std::path::Path, data: &[Word]) {
+    let max_len = data.iter().map(Word::len).max().unwrap_or(1);
+    let tree = SpbTree::build(
+        dir,
+        data,
+        spb_metric::EditDistance::new(max_len),
+        &SpbConfig::default(),
+    )
+    .expect("SPB build");
+    drop(tree); // clean shutdown so the server opens a checkpointed index
+    std::fs::write(schema_path(dir), Schema::Words { max_len }.to_line())
+        .expect("write cli.schema");
+}
+
+fn start_server(dir: &std::path::Path, admission: AdmissionConfig) -> ServerHandle {
+    let service = open_index(dir, 32, 8).expect("open index");
+    let cfg = ServerConfig {
+        admission,
+        ..ServerConfig::default()
+    };
+    serve(service, "127.0.0.1:0", cfg).expect("bind server")
+}
+
+/// `n_clients` closed-loop clients splitting `total_reqs` range queries;
+/// returns (elapsed seconds, sorted latencies in µs, shed responses).
+fn drive(
+    addr: std::net::SocketAddr,
+    queries: &Arc<Vec<Vec<u8>>>,
+    n_clients: usize,
+    total_reqs: usize,
+) -> (f64, Vec<f64>, u64) {
+    let per_client = total_reqs.div_ceil(n_clients);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_clients)
+        .map(|c| {
+            let queries = Arc::clone(queries);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lat = Vec::with_capacity(per_client);
+                let mut shed = 0u64;
+                for i in 0..per_client {
+                    let q = &queries[(c + i * n_clients) % queries.len()];
+                    let r0 = Instant::now();
+                    match client.range(q, RADIUS, 0) {
+                        Ok(_) => lat.push(r0.elapsed().as_secs_f64() * 1e6),
+                        Err(ClientError::Server {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        }) => shed += 1,
+                        Err(e) => panic!("client {c}: {e}"),
+                    }
+                }
+                (lat, shed)
+            })
+        })
+        .collect();
+    let mut lat = Vec::new();
+    let mut shed = 0u64;
+    for h in handles {
+        let (l, s) = h.join().expect("client thread");
+        lat.extend(l);
+        shed += s;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (secs, lat, shed)
+}
+
+/// Runs the load test at the given scale and writes `BENCH_server.json`.
+pub fn run(scale: Scale) {
+    let n = scale.words();
+    let data = dataset::words(n, scale.seed());
+    let query_words = workload(&data, &scale);
+    let queries: Arc<Vec<Vec<u8>>> =
+        Arc::new(query_words.iter().map(MetricObject::encoded).collect());
+    let total_reqs = match scale {
+        Scale::Smoke => 80,
+        _ => 400,
+    };
+
+    let dir = spb_storage::TempDir::new("server-load");
+    build_index(dir.path(), &data);
+
+    // Part 1: client sweep against a comfortably-sized admission gate
+    // (nothing should be shed here — panic if it is).
+    let mut t = Table::new(
+        &format!(
+            "Server load (Words, n={n}, {} distinct queries, r={RADIUS}, {total_reqs} reqs/point)",
+            queries.len()
+        ),
+        &["Clients", "Time(s)", "QPS", "p50(µs)", "p99(µs)"],
+    );
+    let server = start_server(
+        dir.path(),
+        AdmissionConfig {
+            max_inflight: 8,
+            max_queue: 64,
+        },
+    );
+    let addr = server.addr();
+    let mut points = Vec::new();
+    for clients in CLIENTS {
+        let (secs, lat, shed) = drive(addr, &queries, clients, total_reqs);
+        assert_eq!(shed, 0, "uncontended sweep must not shed");
+        let point = Point {
+            clients,
+            qps: lat.len() as f64 / secs.max(1e-9),
+            p50_us: percentile(&lat, 0.50),
+            p99_us: percentile(&lat, 0.99),
+        };
+        t.row(vec![
+            point.clients.to_string(),
+            format!("{secs:.3}"),
+            format!("{:.1}", point.qps),
+            format!("{:.0}", point.p50_us),
+            format!("{:.0}", point.p99_us),
+        ]);
+        points.push(point);
+    }
+    drop(server); // drains and stops before the overload server binds
+
+    // Part 2: overload. One executing slot, two queue places, eight
+    // hammering clients: the bounded queue must shed, and what is not
+    // shed must still succeed.
+    let server = start_server(
+        dir.path(),
+        AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 2,
+        },
+    );
+    let (secs, lat, shed) = drive(server.addr(), &queries, 8, total_reqs);
+    let served = lat.len() as u64;
+    let server_shed = server.shed_count();
+    assert!(shed > 0, "8 clients vs 1 slot + queue 2 must shed");
+    assert!(served > 0, "admitted requests must still succeed");
+    assert_eq!(shed, server_shed, "client-observed and server shed counts");
+    t.row(vec![
+        "8 (overload)".to_owned(),
+        format!("{secs:.3}"),
+        format!("{:.1}", served as f64 / secs.max(1e-9)),
+        format!("shed {shed}"),
+        format!("of {total_reqs}"),
+    ]);
+    drop(server);
+    t.print();
+
+    let mut sweep_json = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            sweep_json.push_str(", ");
+        }
+        let _ = write!(
+            sweep_json,
+            "{{\"clients\": {}, \"qps\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+            p.clients, p.qps, p.p50_us, p.p99_us
+        );
+    }
+    sweep_json.push(']');
+    let json = format!(
+        "{{\n  \"experiment\": \"server_load\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \"radius\": {RADIUS}}},\n  \
+         \"requests_per_point\": {total_reqs},\n  \
+         \"sweep\": {sweep_json},\n  \
+         \"overload\": {{\"clients\": 8, \"max_inflight\": 1, \"max_queue\": 2, \
+         \"requests\": {total_reqs}, \"served\": {served}, \"shed\": {shed}}}\n}}\n",
+        queries.len(),
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    eprintln!("[server] wrote BENCH_server.json");
+}

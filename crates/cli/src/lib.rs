@@ -13,10 +13,72 @@
 
 use std::fmt::Write as _;
 use std::io::{self, BufRead};
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 
 use spb_core::{SpbConfig, SpbTree};
 use spb_metric::{EditDistance, FloatVec, LpNorm, Word};
+use spb_server::{AdmissionConfig, Client, ClientError, ErrorCode, Response, ServerConfig};
+
+pub use spb_server::{schema_path, Schema};
+
+/// Exit code for argument/usage errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code when the remote server cannot be reached.
+pub const EXIT_CONNECT: i32 = 10;
+/// Exit code when the server shed the request (admission queue full).
+pub const EXIT_OVERLOADED: i32 = 11;
+/// Exit code when the request's deadline expired before completion.
+pub const EXIT_DEADLINE: i32 = 12;
+/// Exit code for a wire-protocol version mismatch.
+pub const EXIT_VERSION: i32 = 13;
+
+/// A command failure: the process exit code plus a one-line diagnostic.
+#[derive(Debug)]
+pub struct CliError {
+    /// Process exit code (never 0).
+    pub code: i32,
+    /// One-line message for stderr.
+    pub message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Maps a remote failure onto the CLI's distinct exit codes so shell
+/// scripts can tell "back off" (overloaded) from "give up" (refused).
+fn client_error(e: ClientError) -> CliError {
+    let code = match &e {
+        ClientError::Connect(_) => EXIT_CONNECT,
+        ClientError::Server {
+            code: ErrorCode::Overloaded,
+            ..
+        } => EXIT_OVERLOADED,
+        ClientError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => EXIT_DEADLINE,
+        ClientError::Server {
+            code: ErrorCode::VersionMismatch,
+            ..
+        } => EXIT_VERSION,
+        ClientError::Wire(spb_server::WireError::VersionMismatch { .. }) => EXIT_VERSION,
+        _ => 1,
+    };
+    CliError {
+        code,
+        message: e.to_string(),
+    }
+}
 
 /// Parses the `--curve` flag: `hilbert` / `z`.
 pub fn parse_curve(s: &str) -> Result<spb_sfc::CurveKind, String> {
@@ -24,48 +86,6 @@ pub fn parse_curve(s: &str) -> Result<spb_sfc::CurveKind, String> {
         "hilbert" => Ok(spb_sfc::CurveKind::Hilbert),
         "z" => Ok(spb_sfc::CurveKind::Z),
         other => Err(format!("unknown curve {other:?} (expected hilbert|z)")),
-    }
-}
-
-/// The dataset schema an index was built over.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Schema {
-    /// One word per line; edit distance with the given maximum length.
-    Words {
-        /// `d⁺` (maximum word length).
-        max_len: usize,
-    },
-    /// One CSV row of `f32` per line; Lᵖ-norm.
-    Vectors {
-        /// The norm exponent (2 or 5).
-        p: u32,
-        /// Dimensionality.
-        dim: usize,
-    },
-}
-
-impl Schema {
-    /// Serialises to the `cli.schema` line format.
-    pub fn to_line(&self) -> String {
-        match self {
-            Schema::Words { max_len } => format!("words {max_len}"),
-            Schema::Vectors { p, dim } => format!("vectors {p} {dim}"),
-        }
-    }
-
-    /// Parses the `cli.schema` line format.
-    pub fn from_line(line: &str) -> Result<Schema, String> {
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        match parts.as_slice() {
-            ["words", max_len] => Ok(Schema::Words {
-                max_len: max_len.parse().map_err(|_| "bad max_len".to_owned())?,
-            }),
-            ["vectors", p, dim] => Ok(Schema::Vectors {
-                p: p.parse().map_err(|_| "bad p".to_owned())?,
-                dim: dim.parse().map_err(|_| "bad dim".to_owned())?,
-            }),
-            _ => Err(format!("unrecognised schema line {line:?}")),
-        }
     }
 }
 
@@ -144,6 +164,99 @@ pub enum Command {
         /// Index directory.
         index: PathBuf,
     },
+    /// Serve an index over TCP until SIGINT/SIGTERM or a remote
+    /// `shutdown` request.
+    Serve {
+        /// Index directory.
+        index: PathBuf,
+        /// Listen address, e.g. `127.0.0.1:7878`.
+        addr: String,
+        /// Requests executing concurrently before arrivals queue.
+        max_inflight: usize,
+        /// Requests allowed to wait before arrivals are shed.
+        max_queue: usize,
+        /// Concurrent TCP connections before new ones are refused.
+        max_connections: usize,
+        /// Worker threads for batch queries (also cache stripes).
+        threads: usize,
+    },
+    /// A query or update against a running `spb-server`.
+    Remote(RemoteCommand),
+}
+
+/// The `spb-cli remote <sub>` family. Queries are written in the same
+/// text form as the local commands; the schema needed to encode them is
+/// fetched from the server's `ping` handshake.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RemoteCommand {
+    /// Protocol handshake: version, schema, object count.
+    Ping {
+        /// Server address.
+        addr: String,
+    },
+    /// Range query.
+    Range {
+        /// Server address.
+        addr: String,
+        /// Query in the schema's text form.
+        query: String,
+        /// Search radius.
+        radius: f64,
+        /// Relative deadline in ms (`0` = none).
+        deadline_ms: u32,
+    },
+    /// kNN query.
+    Knn {
+        /// Server address.
+        addr: String,
+        /// Query in the schema's text form.
+        query: String,
+        /// Number of neighbours.
+        k: u32,
+        /// Relative deadline in ms (`0` = none).
+        deadline_ms: u32,
+    },
+    /// Insert one object.
+    Insert {
+        /// Server address.
+        addr: String,
+        /// Object in the schema's text form.
+        object: String,
+        /// Relative deadline in ms (`0` = none).
+        deadline_ms: u32,
+    },
+    /// Delete one object.
+    Delete {
+        /// Server address.
+        addr: String,
+        /// Object in the schema's text form.
+        object: String,
+        /// Relative deadline in ms (`0` = none).
+        deadline_ms: u32,
+    },
+    /// Batch of queries from a file (one per line).
+    Batch {
+        /// Server address.
+        addr: String,
+        /// File with one query per line.
+        queries: PathBuf,
+        /// Range radius (`--radius`); mutually exclusive with `k`.
+        radius: Option<f64>,
+        /// Neighbour count (`--k`); mutually exclusive with `radius`.
+        k: Option<u32>,
+        /// Relative deadline in ms (`0` = none).
+        deadline_ms: u32,
+    },
+    /// Server + index statistics.
+    Stats {
+        /// Server address.
+        addr: String,
+    },
+    /// Ask the server to drain in-flight work, checkpoint and exit.
+    Shutdown {
+        /// Server address.
+        addr: String,
+    },
 }
 
 /// Parses an argument vector (excluding the program name).
@@ -151,7 +264,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?;
     let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
-    let rest: Vec<&String> = it.collect();
+    let mut rest: Vec<&String> = it.collect();
+    // `remote` takes a positional subcommand before its flags.
+    let sub: Option<String> = if cmd == "remote" {
+        let first = rest
+            .first()
+            .filter(|s| !s.starts_with("--"))
+            .ok_or_else(|| format!("remote needs a subcommand\n{}", usage()))?;
+        let s = (*first).clone();
+        rest.remove(0);
+        Some(s)
+    } else {
+        None
+    };
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i]
@@ -244,6 +369,83 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "recover" => Ok(Command::Recover {
             index: PathBuf::from(need("index")?),
         }),
+        "serve" => Ok(Command::Serve {
+            index: PathBuf::from(need("index")?),
+            addr: opt("addr", "127.0.0.1:7878"),
+            max_inflight: opt("max-inflight", "4")
+                .parse()
+                .map_err(|_| "--max-inflight must be an integer".to_owned())?,
+            max_queue: opt("max-queue", "64")
+                .parse()
+                .map_err(|_| "--max-queue must be an integer".to_owned())?,
+            max_connections: opt("max-connections", "64")
+                .parse()
+                .map_err(|_| "--max-connections must be an integer".to_owned())?,
+            threads: opt("threads", "4")
+                .parse()
+                .map_err(|_| "--threads must be an integer".to_owned())?,
+        }),
+        "remote" => {
+            let addr = need("addr")?;
+            let deadline_ms: u32 = opt("deadline-ms", "0")
+                .parse()
+                .map_err(|_| "--deadline-ms must be an integer".to_owned())?;
+            let sub = sub.expect("remote always parses a subcommand");
+            match sub.as_str() {
+                "ping" => Ok(Command::Remote(RemoteCommand::Ping { addr })),
+                "range" => Ok(Command::Remote(RemoteCommand::Range {
+                    addr,
+                    query: need("query")?,
+                    radius: need("radius")?
+                        .parse()
+                        .map_err(|_| "--radius must be a number".to_owned())?,
+                    deadline_ms,
+                })),
+                "knn" => Ok(Command::Remote(RemoteCommand::Knn {
+                    addr,
+                    query: need("query")?,
+                    k: opt("k", "10")
+                        .parse()
+                        .map_err(|_| "--k must be an integer".to_owned())?,
+                    deadline_ms,
+                })),
+                "insert" => Ok(Command::Remote(RemoteCommand::Insert {
+                    addr,
+                    object: need("object")?,
+                    deadline_ms,
+                })),
+                "delete" => Ok(Command::Remote(RemoteCommand::Delete {
+                    addr,
+                    object: need("object")?,
+                    deadline_ms,
+                })),
+                "batch" => {
+                    let radius = flags
+                        .get("radius")
+                        .map(|r| r.parse::<f64>())
+                        .transpose()
+                        .map_err(|_| "--radius must be a number".to_owned())?;
+                    let k = flags
+                        .get("k")
+                        .map(|k| k.parse::<u32>())
+                        .transpose()
+                        .map_err(|_| "--k must be an integer".to_owned())?;
+                    if radius.is_some() == k.is_some() {
+                        return Err("remote batch needs exactly one of --radius or --k".to_owned());
+                    }
+                    Ok(Command::Remote(RemoteCommand::Batch {
+                        addr,
+                        queries: PathBuf::from(need("queries")?),
+                        radius,
+                        k,
+                        deadline_ms,
+                    }))
+                }
+                "stats" => Ok(Command::Remote(RemoteCommand::Stats { addr })),
+                "shutdown" => Ok(Command::Remote(RemoteCommand::Shutdown { addr })),
+                other => Err(format!("unknown remote subcommand {other:?}\n{}", usage())),
+            }
+        }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -258,7 +460,16 @@ pub fn usage() -> String {
      \x20 batch --index DIR --queries FILE (--radius R | --k K) [--threads N]\n\
      \x20 stats --index DIR\n\
      \x20 verify --index DIR\n\
-     \x20 recover --index DIR"
+     \x20 recover --index DIR\n\
+     \x20 serve --index DIR [--addr HOST:PORT] [--max-inflight N] [--max-queue N] [--max-connections N] [--threads N]\n\
+     \x20 remote ping --addr HOST:PORT\n\
+     \x20 remote range --addr HOST:PORT --query Q --radius R [--deadline-ms MS]\n\
+     \x20 remote knn --addr HOST:PORT --query Q [--k K] [--deadline-ms MS]\n\
+     \x20 remote insert --addr HOST:PORT --object O [--deadline-ms MS]\n\
+     \x20 remote delete --addr HOST:PORT --object O [--deadline-ms MS]\n\
+     \x20 remote batch --addr HOST:PORT --queries FILE (--radius R | --k K) [--deadline-ms MS]\n\
+     \x20 remote stats --addr HOST:PORT\n\
+     \x20 remote shutdown --addr HOST:PORT"
         .to_owned()
 }
 
@@ -309,12 +520,226 @@ pub fn load_vectors(reader: impl BufRead) -> io::Result<(Vec<FloatVec>, usize)> 
     Ok((out, dim))
 }
 
-fn schema_path(index: &Path) -> PathBuf {
-    index.join("cli.schema")
+/// Executes a parsed command, writing human-readable output into `out`.
+///
+/// Failures carry the process exit code: remote commands map
+/// connection-refused, `Overloaded`, `DeadlineExceeded` and protocol
+/// version mismatches onto [`EXIT_CONNECT`], [`EXIT_OVERLOADED`],
+/// [`EXIT_DEADLINE`] and [`EXIT_VERSION`]; everything else is 1.
+pub fn run(cmd: &Command, out: &mut String) -> Result<(), CliError> {
+    match cmd {
+        Command::Serve {
+            index,
+            addr,
+            max_inflight,
+            max_queue,
+            max_connections,
+            threads,
+        } => {
+            let cfg = ServerConfig {
+                max_connections: *max_connections,
+                admission: AdmissionConfig {
+                    max_inflight: *max_inflight,
+                    max_queue: *max_queue,
+                },
+                worker_threads: *threads,
+                ..ServerConfig::default()
+            };
+            serve_blocking(index, addr, cfg, |a| {
+                eprintln!("spb-server listening on {a}");
+            })?;
+            let _ = writeln!(out, "server stopped");
+            Ok(())
+        }
+        Command::Remote(rc) => run_remote(rc, out),
+        other => run_local(other, out).map_err(CliError::from),
+    }
 }
 
-/// Executes a parsed command, writing human-readable output into `out`.
-pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
+/// Opens `index` and serves it on `addr`, blocking until SIGINT/SIGTERM
+/// or a remote shutdown request. `on_start` observes the bound address
+/// (useful with `--addr 127.0.0.1:0`).
+pub fn serve_blocking(
+    index: &Path,
+    addr: &str,
+    cfg: ServerConfig,
+    on_start: impl FnMut(SocketAddr),
+) -> Result<(), CliError> {
+    let service = spb_server::open_index(index, 32, cfg.worker_threads.max(1))
+        .map_err(|e| CliError::from(format!("open {index:?}: {e}")))?;
+    spb_server::serve_until_shutdown(service, addr, cfg, on_start)
+        .map_err(|e| CliError::from(format!("serve on {addr}: {e}")))
+}
+
+/// Connects and fetches the index schema from the `ping` handshake, so
+/// query text can be encoded without any local index directory.
+fn connect_with_schema(addr: &str) -> Result<(Client, Schema), CliError> {
+    let mut client = Client::connect(addr).map_err(client_error)?;
+    let (_version, line, _len) = client.ping().map_err(client_error)?;
+    let schema = Schema::from_line(line.trim())?;
+    Ok((client, schema))
+}
+
+fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
+    match cmd {
+        RemoteCommand::Ping { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(client_error)?;
+            let (version, schema, len) = client.ping().map_err(client_error)?;
+            let _ = writeln!(out, "protocol v{version}; schema: {schema}; objects: {len}");
+            Ok(())
+        }
+        RemoteCommand::Range {
+            addr,
+            query,
+            radius,
+            deadline_ms,
+        } => {
+            let (mut client, schema) = connect_with_schema(addr)?;
+            let obj = schema.encode_text(query)?;
+            let (hits, stats) = client
+                .range(&obj, *radius, *deadline_ms)
+                .map_err(client_error)?;
+            for (id, bytes) in &hits {
+                let _ = writeln!(out, "{id}\t{}", schema.render(bytes)?);
+            }
+            let qs: spb_core::QueryStats = (&stats).into();
+            report_query(out, hits.len(), &qs);
+            Ok(())
+        }
+        RemoteCommand::Knn {
+            addr,
+            query,
+            k,
+            deadline_ms,
+        } => {
+            let (mut client, schema) = connect_with_schema(addr)?;
+            let obj = schema.encode_text(query)?;
+            let (nn, stats) = client.knn(&obj, *k, *deadline_ms).map_err(client_error)?;
+            for (id, d, bytes) in &nn {
+                let _ = writeln!(out, "{id}\t{d}\t{}", schema.render(bytes)?);
+            }
+            let qs: spb_core::QueryStats = (&stats).into();
+            report_query(out, nn.len(), &qs);
+            Ok(())
+        }
+        RemoteCommand::Insert {
+            addr,
+            object,
+            deadline_ms,
+        } => {
+            let (mut client, schema) = connect_with_schema(addr)?;
+            let obj = schema.encode_text(object)?;
+            let stats = client.insert(&obj, *deadline_ms).map_err(client_error)?;
+            let _ = writeln!(
+                out,
+                "inserted; {} compdists, {} page accesses, {} fsync(s)",
+                stats.compdists, stats.page_accesses, stats.fsyncs
+            );
+            Ok(())
+        }
+        RemoteCommand::Delete {
+            addr,
+            object,
+            deadline_ms,
+        } => {
+            let (mut client, schema) = connect_with_schema(addr)?;
+            let obj = schema.encode_text(object)?;
+            let (found, stats) = client.delete(&obj, *deadline_ms).map_err(client_error)?;
+            let _ = writeln!(
+                out,
+                "{}; {} compdists, {} page accesses, {} fsync(s)",
+                if found { "deleted" } else { "not found" },
+                stats.compdists,
+                stats.page_accesses,
+                stats.fsyncs
+            );
+            Ok(())
+        }
+        RemoteCommand::Batch {
+            addr,
+            queries,
+            radius,
+            k,
+            deadline_ms,
+        } => {
+            let text = std::fs::read_to_string(queries)
+                .map_err(|e| CliError::from(format!("open {queries:?}: {e}")))?;
+            let (mut client, schema) = connect_with_schema(addr)?;
+            let objs = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(|l| schema.encode_text(l))
+                .collect::<Result<Vec<Vec<u8>>, String>>()?;
+            let n = objs.len();
+            let start = std::time::Instant::now();
+            let per_query: Vec<(usize, spb_server::WireStats)> = if let Some(r) = radius {
+                client
+                    .batch_range(objs, *r, *deadline_ms)
+                    .map_err(client_error)?
+                    .into_iter()
+                    .map(|(hits, stats)| (hits.len(), stats))
+                    .collect()
+            } else {
+                let k = k.expect("parser guarantees one of radius/k");
+                client
+                    .batch_knn(objs, k, *deadline_ms)
+                    .map_err(client_error)?
+                    .into_iter()
+                    .map(|(nn, stats)| (nn.len(), stats))
+                    .collect()
+            };
+            let elapsed = start.elapsed().as_secs_f64();
+            for (i, (results, stats)) in per_query.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "query {i}: {results} result(s); {} compdists, {} page accesses",
+                    stats.compdists, stats.page_accesses
+                );
+            }
+            let qps = if elapsed > 0.0 {
+                n as f64 / elapsed
+            } else {
+                f64::INFINITY
+            };
+            let _ = writeln!(
+                out,
+                "# {n} queries over the wire: {elapsed:.3}s total, {qps:.1} queries/s"
+            );
+            Ok(())
+        }
+        RemoteCommand::Stats { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(client_error)?;
+            match client.stats().map_err(client_error)? {
+                Response::Stats {
+                    schema,
+                    len,
+                    storage_bytes,
+                    num_pivots,
+                    served,
+                    shed,
+                } => {
+                    let _ = writeln!(out, "schema: {schema}");
+                    let _ = writeln!(out, "objects: {len}");
+                    let _ = writeln!(out, "storage: {:.1} KB", storage_bytes as f64 / 1024.0);
+                    let _ = writeln!(out, "pivots:  {num_pivots}");
+                    let _ = writeln!(out, "served:  {served}");
+                    let _ = writeln!(out, "shed:    {shed}");
+                    Ok(())
+                }
+                other => Err(CliError::from(format!("unexpected response {other:?}"))),
+            }
+        }
+        RemoteCommand::Shutdown { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(client_error)?;
+            client.shutdown().map_err(client_error)?;
+            let _ = writeln!(out, "shutdown requested");
+            Ok(())
+        }
+    }
+}
+
+fn run_local(cmd: &Command, out: &mut String) -> Result<(), String> {
     match cmd {
         Command::Build {
             input,
@@ -526,6 +951,7 @@ pub fn run(cmd: &Command, out: &mut String) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve { .. } | Command::Remote(_) => unreachable!("dispatched in run"),
     }
 }
 
@@ -814,7 +1240,7 @@ mod tests {
         std::fs::write(&bpt, &bytes).unwrap();
         let mut out = String::new();
         let err = run(&Command::Verify { index }, &mut out).unwrap_err();
-        assert!(err.contains("problem"), "err = {err}, out = {out}");
+        assert!(err.message.contains("problem"), "err = {err}, out = {out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -971,7 +1397,204 @@ mod tests {
             &mut out,
         )
         .unwrap_err();
-        assert!(err.contains("2-dimensional"));
+        assert!(err.message.contains("2-dimensional"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_serve_and_remote() {
+        let cmd = parse_args(&args(
+            "serve --index ./idx --addr 127.0.0.1:9000 --max-inflight 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                index: "./idx".into(),
+                addr: "127.0.0.1:9000".into(),
+                max_inflight: 2,
+                max_queue: 64,
+                max_connections: 64,
+                threads: 4,
+            }
+        );
+        let cmd = parse_args(&args(
+            "remote range --addr localhost:9000 --query carrot --radius 1 --deadline-ms 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Remote(RemoteCommand::Range {
+                addr: "localhost:9000".into(),
+                query: "carrot".into(),
+                radius: 1.0,
+                deadline_ms: 500,
+            })
+        );
+        assert!(parse_args(&args("remote --addr x:1")).is_err(), "no sub");
+        assert!(
+            parse_args(&args("remote bogus --addr x:1")).is_err(),
+            "bad sub"
+        );
+        assert!(
+            parse_args(&args("remote range --query q --radius 1")).is_err(),
+            "no addr"
+        );
+        assert!(
+            parse_args(&args(
+                "remote batch --addr x:1 --queries q.txt --radius 1 --k 2"
+            ))
+            .is_err(),
+            "both radius and k"
+        );
+    }
+
+    #[test]
+    fn remote_connection_refused_maps_to_exit_10() {
+        // Port 1 on localhost: nothing listens there.
+        let mut out = String::new();
+        let err = run(
+            &Command::Remote(RemoteCommand::Ping {
+                addr: "127.0.0.1:1".into(),
+            }),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_CONNECT, "message: {}", err.message);
+    }
+
+    #[test]
+    fn client_errors_map_to_distinct_exit_codes() {
+        let server_err = |code| ClientError::Server {
+            code,
+            server_version: 1,
+            message: "x".into(),
+        };
+        assert_eq!(
+            client_error(server_err(ErrorCode::Overloaded)).code,
+            EXIT_OVERLOADED
+        );
+        assert_eq!(
+            client_error(server_err(ErrorCode::DeadlineExceeded)).code,
+            EXIT_DEADLINE
+        );
+        assert_eq!(
+            client_error(server_err(ErrorCode::VersionMismatch)).code,
+            EXIT_VERSION
+        );
+        assert_eq!(client_error(server_err(ErrorCode::Internal)).code, 1);
+        assert_eq!(
+            client_error(ClientError::Wire(spb_server::WireError::VersionMismatch {
+                got: 9
+            }))
+            .code,
+            EXIT_VERSION
+        );
+    }
+
+    #[test]
+    fn serve_then_remote_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("spbcli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("words.txt");
+        std::fs::write(&data, "carrot\ncarrots\nparrot\nbanana\napple\n").unwrap();
+        let index = dir.join("idx");
+        let mut out = String::new();
+        run(
+            &Command::Build {
+                input: data,
+                index: index.clone(),
+                schema_flag: "words".into(),
+                pivots: 2,
+                curve: "hilbert".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+
+        // Serve on an OS-assigned port in a background thread; learn the
+        // address through the on_start hook.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let idx = index.clone();
+        let server = std::thread::spawn(move || {
+            serve_blocking(&idx, "127.0.0.1:0", ServerConfig::default(), |a| {
+                tx.send(a).unwrap();
+            })
+        });
+        let addr = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .unwrap()
+            .to_string();
+
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::Ping { addr: addr.clone() }),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("objects: 5"), "out = {out}");
+
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::Range {
+                addr: addr.clone(),
+                query: "carrot".into(),
+                radius: 1.0,
+                deadline_ms: 0,
+            }),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("carrots"), "out = {out}");
+        assert!(!out.contains("banana"), "out = {out}");
+
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::Insert {
+                addr: addr.clone(),
+                object: "carrotz".into(),
+                deadline_ms: 0,
+            }),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("inserted"), "out = {out}");
+
+        let qfile = dir.join("queries.txt");
+        std::fs::write(&qfile, "carrot\nbanana\n").unwrap();
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::Batch {
+                addr: addr.clone(),
+                queries: qfile,
+                radius: Some(1.0),
+                k: None,
+                deadline_ms: 0,
+            }),
+            &mut out,
+        )
+        .unwrap();
+        // carrot → {carrot, carrots, carrotz, parrot} at distance ≤ 1.
+        assert!(out.contains("query 0: 4 result(s)"), "out = {out}");
+        assert!(out.contains("query 1: 1 result(s)"), "out = {out}");
+
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::Stats { addr: addr.clone() }),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("objects: 6"), "out = {out}");
+
+        let mut out = String::new();
+        run(&Command::Remote(RemoteCommand::Shutdown { addr }), &mut out).unwrap();
+        server.join().unwrap().unwrap();
+
+        // The shutdown drained and checkpointed: the index reopens clean.
+        let mut out = String::new();
+        run(&Command::Verify { index }, &mut out).unwrap();
+        assert!(out.contains("ok"), "out = {out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,7 +6,13 @@
 //! spb-cli range --index ./idx --query similarty --radius 2
 //! spb-cli count --index ./idx --query similarty --radius 2
 //! spb-cli stats --index ./idx
+//! spb-cli serve --index ./idx --addr 127.0.0.1:7878
+//! spb-cli remote range --addr 127.0.0.1:7878 --query similarty --radius 2
 //! ```
+//!
+//! Remote failures exit with distinct codes so scripts can react:
+//! 10 = could not connect, 11 = server overloaded (back off and retry),
+//! 12 = deadline exceeded, 13 = protocol version mismatch.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +21,7 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", spb_cli::usage());
-            std::process::exit(2);
+            std::process::exit(spb_cli::EXIT_USAGE);
         }
     };
     let mut out = String::new();
@@ -23,8 +29,8 @@ fn main() {
         Ok(()) => print!("{out}"),
         Err(e) => {
             print!("{out}");
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
         }
     }
 }

@@ -4,9 +4,9 @@
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
+use parking_lot::RwLock;
 use spb_bptree::BPlusTree;
 use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
 use spb_pivots::select_pivots;
@@ -22,6 +22,19 @@ use crate::stats::StatsCollector;
 /// WAL size, in bytes, beyond which a commit triggers a checkpoint
 /// (fsync both data files, then empty the log).
 const WAL_CHECKPOINT_BYTES: u64 = 1 << 20;
+
+/// Decodes a RAF record's object bytes, turning corruption into a typed
+/// `InvalidData` error instead of a panic: RAF pages are checksummed, but
+/// a record can still be damaged by a bug (or a test injecting faults),
+/// and a query must not take the process down over one bad record.
+fn decode_entry<O: MetricObject>(bytes: &[u8]) -> io::Result<O> {
+    O::try_decode(bytes).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "RAF record does not decode as an object of the index's type",
+        )
+    })
+}
 
 /// Costs of building the index (one row of Table 6).
 #[derive(Clone, Copy, Debug)]
@@ -92,7 +105,9 @@ pub struct SpbTree<O: MetricObject, D: Distance<O>> {
     /// Structure latch: queries take it shared, updates exclusively, so a
     /// reader never observes a half-applied B⁺-tree split (node pages are
     /// written one at a time). Queries are fully concurrent with each
-    /// other; updates serialise with everything.
+    /// other; updates serialise with everything. `parking_lot` rather
+    /// than std: no poisoning, so one panicked query in a long-lived
+    /// server process cannot wedge every later request.
     pub(crate) latch: RwLock<()>,
 }
 
@@ -347,7 +362,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             .take(200)
             .map(|(_, off)| -> io::Result<(u32, O)> {
                 let e = raf.get(spb_storage::RafPtr { offset: off })?;
-                Ok((e.id, O::decode(&e.bytes)))
+                Ok((e.id, decode_entry::<O>(&e.bytes)?))
             })
             .collect::<io::Result<_>>()?;
         let probe_mapped: Vec<(usize, Vec<f64>)> = probe
@@ -516,7 +531,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         self.raf.pool().pager().txn_commit()?;
         atomic_write_file(&self.dir.join(META_FILE), meta.as_bytes())?;
         if wal.len() >= WAL_CHECKPOINT_BYTES {
-            self.checkpoint()?;
+            // The caller (insert/delete) already holds the write latch.
+            self.checkpoint_locked()?;
         }
         Ok(())
     }
@@ -538,8 +554,18 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 
     /// Fsyncs both data files and empties the WAL. Called automatically
     /// once the log exceeds a size threshold, and on drop; exposed so
-    /// benchmarks can bound WAL replay cost deterministically.
+    /// benchmarks can bound WAL replay cost deterministically and so a
+    /// server can leave a clean log on graceful shutdown. Takes the
+    /// write latch: syncing page images while an update stages new ones
+    /// could truncate the log with uncommitted work in flight.
     pub fn checkpoint(&self) -> io::Result<()> {
+        let _guard = self.latch.write();
+        self.checkpoint_locked()
+    }
+
+    /// [`checkpoint`](SpbTree::checkpoint) body, for callers that already
+    /// hold the write latch (the latch is not reentrant).
+    fn checkpoint_locked(&self) -> io::Result<()> {
         let Some(wal) = &self.wal else {
             return Ok(());
         };
@@ -554,7 +580,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// through the WAL (a crash either keeps it entirely or loses it
     /// entirely — never a B⁺-tree entry pointing at an unwritten object).
     pub fn insert(&self, o: &O) -> io::Result<QueryStats> {
-        let _guard = self.latch.write().expect("latch poisoned");
+        let _guard = self.latch.write();
         let snap = self.snapshot();
         let len_before = self.len.load(Ordering::SeqCst);
         let next_id_before = self.next_id.load(Ordering::SeqCst);
@@ -589,7 +615,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// object was removed. The B⁺-tree entry is removed; the RAF record is
     /// only marked freed (reclaimed by rebuilding, as in the paper).
     pub fn delete(&self, o: &O) -> io::Result<(bool, QueryStats)> {
-        let _guard = self.latch.write().expect("latch poisoned");
+        let _guard = self.latch.write();
         let snap = self.snapshot();
         let len_before = self.len.load(Ordering::SeqCst);
         let next_id_before = self.next_id.load(Ordering::SeqCst);
@@ -600,7 +626,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             let sfc = self.curve.encode(&cell);
             for offset in self.btree.search(sfc)? {
                 let entry = self.raf.get(RafPtr { offset })?;
-                if O::decode(&entry.bytes) == *o {
+                if decode_entry::<O>(&entry.bytes)? == *o {
                     self.btree.delete(sfc, offset)?;
                     self.raf.free(RafPtr { offset })?;
                     self.len.fetch_sub(1, Ordering::SeqCst);
@@ -659,7 +685,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         let entry = self
             .raf
             .get_traced(RafPtr { offset }, &mut |page| col.raf_page(page))?;
-        Ok((entry.id, O::decode(&entry.bytes)))
+        Ok((entry.id, decode_entry::<O>(&entry.bytes)?))
     }
 
     /// One counted distance computation attributed to `col` (the global

@@ -29,8 +29,20 @@ pub trait MetricObject: Clone + Send + Sync + PartialEq + fmt::Debug + 'static {
     fn encode(&self, buf: &mut Vec<u8>);
 
     /// Reconstructs an object from the bytes produced by
-    /// [`encode`](MetricObject::encode).
-    fn decode(bytes: &[u8]) -> Self;
+    /// [`encode`](MetricObject::encode), or `None` if the bytes are not a
+    /// valid encoding. Untrusted inputs (wire payloads, possibly-corrupt
+    /// disk records) must come through here so a bad byte yields a typed
+    /// error instead of a panic.
+    fn try_decode(bytes: &[u8]) -> Option<Self>;
+
+    /// Reconstructs an object from bytes known to be a valid encoding.
+    ///
+    /// # Panics
+    /// Panics if the bytes are malformed; use
+    /// [`try_decode`](MetricObject::try_decode) for untrusted input.
+    fn decode(bytes: &[u8]) -> Self {
+        Self::try_decode(bytes).expect("malformed MetricObject bytes")
+    }
 
     /// Convenience: the serialised form as a fresh vector.
     fn encoded(&self) -> Vec<u8> {
@@ -89,8 +101,8 @@ impl MetricObject for Word {
         buf.extend_from_slice(self.0.as_bytes());
     }
 
-    fn decode(bytes: &[u8]) -> Self {
-        Word(String::from_utf8(bytes.to_vec()).expect("Word bytes must be valid UTF-8"))
+    fn try_decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok().map(Word)
     }
 }
 
@@ -129,17 +141,16 @@ impl MetricObject for FloatVec {
         }
     }
 
-    fn decode(bytes: &[u8]) -> Self {
-        assert!(
-            bytes.len().is_multiple_of(4),
-            "FloatVec byte length must be a multiple of 4"
-        );
-        FloatVec(
+    fn try_decode(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(4) {
+            return None;
+        }
+        Some(FloatVec(
             bytes
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect(),
-        )
+        ))
     }
 }
 
@@ -219,8 +230,12 @@ impl MetricObject for Dna {
         buf.extend_from_slice(self.0.as_bytes());
     }
 
-    fn decode(bytes: &[u8]) -> Self {
-        Dna::new(String::from_utf8(bytes.to_vec()).expect("DNA bytes must be valid UTF-8"))
+    fn try_decode(bytes: &[u8]) -> Option<Self> {
+        if !bytes.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')) {
+            return None;
+        }
+        let s = String::from_utf8(bytes.to_vec()).ok()?;
+        Some(Dna(s))
     }
 }
 
@@ -262,8 +277,8 @@ impl MetricObject for Signature {
         buf.extend_from_slice(&self.0);
     }
 
-    fn decode(bytes: &[u8]) -> Self {
-        Signature(bytes.to_vec())
+    fn try_decode(bytes: &[u8]) -> Option<Self> {
+        Some(Signature(bytes.to_vec()))
     }
 }
 
@@ -328,17 +343,16 @@ impl MetricObject for IntSet {
         }
     }
 
-    fn decode(bytes: &[u8]) -> Self {
-        assert!(
-            bytes.len().is_multiple_of(4),
-            "IntSet bytes must be a multiple of 4"
-        );
-        IntSet(
+    fn try_decode(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(4) {
+            return None;
+        }
+        Some(IntSet(
             bytes
                 .chunks_exact(4)
                 .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect(),
-        )
+        ))
     }
 }
 
@@ -394,6 +408,23 @@ mod tests {
     fn signature_roundtrip() {
         roundtrip(&Signature::new(vec![1, 2, 3, 255]));
         roundtrip(&Signature::new(vec![]));
+    }
+
+    #[test]
+    fn try_decode_rejects_malformed_bytes() {
+        assert!(Word::try_decode(&[0xff, 0xfe]).is_none());
+        assert!(FloatVec::try_decode(&[1, 2, 3]).is_none());
+        assert!(Dna::try_decode(b"ACGX").is_none());
+        assert!(Dna::try_decode(&[0xff]).is_none());
+        assert!(IntSet::try_decode(&[0; 5]).is_none());
+        // Signature accepts any bytes: every byte string is a valid encoding.
+        assert!(Signature::try_decode(&[9, 9]).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed MetricObject bytes")]
+    fn decode_panics_on_malformed_bytes() {
+        let _ = FloatVec::decode(&[1, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Admission control: a bounded queue in front of the worker pool.
+//!
+//! A server that accepts every request it can read degrades by queueing —
+//! latency grows without bound while throughput stays flat. The admission
+//! layer bounds that queue: at most `max_inflight` requests execute at
+//! once, at most `max_queue` more wait, and everything beyond that is
+//! *shed* immediately with an [`Overloaded`](crate::ErrorCode::Overloaded)
+//! response so the client can back off or retry elsewhere. Waiting
+//! requests respect their deadline — a request whose budget expires while
+//! queued is answered
+//! [`DeadlineExceeded`](crate::ErrorCode::DeadlineExceeded) without ever
+//! touching the index.
+//!
+//! The implementation is a mutex-protected pair of counters plus a
+//! condvar; permits are RAII so a panicking handler still releases its
+//! slot.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A request's absolute time budget.
+///
+/// Wire deadlines are relative (`deadline_ms` from receipt); this pins
+/// them to an [`Instant`] once so queueing time counts against the
+/// budget. `Deadline(None)` never expires.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now; `0` means no deadline.
+    pub fn from_ms(ms: u32) -> Deadline {
+        if ms == 0 {
+            Deadline(None)
+        } else {
+            Deadline(Some(Instant::now() + Duration::from_millis(u64::from(ms))))
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// True iff the budget has run out.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left until expiry (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// Sizing knobs for [`Admission`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionConfig {
+    /// Requests executing concurrently before new arrivals queue.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot before arrivals are shed.
+    pub max_queue: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_inflight: 4,
+            max_queue: 64,
+        }
+    }
+}
+
+/// Why [`Admission::admit`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The wait queue is full; the request was shed immediately.
+    Overloaded,
+    /// The request's deadline expired while it waited for a slot.
+    DeadlineExceeded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+#[derive(Default)]
+struct Counters {
+    running: usize,
+    queued: usize,
+}
+
+/// The bounded admission gate. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    cfg: AdmissionConfig,
+    counters: Mutex<Counters>,
+    slot_freed: Condvar,
+    shed: AtomicU64,
+    served: AtomicU64,
+}
+
+/// RAII execution slot: dropping it frees the slot and wakes one waiter.
+pub struct Permit {
+    inner: Arc<AdmissionInner>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut c = self.inner.counters.lock().expect("admission mutex");
+        c.running -= 1;
+        drop(c);
+        self.inner.slot_freed.notify_one();
+    }
+}
+
+impl Admission {
+    /// Creates a gate with the given limits (`max_inflight` is clamped to
+    /// at least 1 — a gate that can run nothing would deadlock).
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        let cfg = AdmissionConfig {
+            max_inflight: cfg.max_inflight.max(1),
+            max_queue: cfg.max_queue,
+        };
+        Admission {
+            inner: Arc::new(AdmissionInner {
+                cfg,
+                counters: Mutex::new(Counters::default()),
+                slot_freed: Condvar::new(),
+                shed: AtomicU64::new(0),
+                served: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests an execution slot, blocking (up to the deadline) while the
+    /// queue has room. Returns a [`Permit`] on success; the caller runs
+    /// the request while holding it.
+    pub fn admit(&self, deadline: Deadline, shutdown: &AtomicBool) -> Result<Permit, AdmitError> {
+        let inner = &self.inner;
+        let mut c = inner.counters.lock().expect("admission mutex");
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return Err(AdmitError::ShuttingDown);
+            }
+            if deadline.expired() {
+                return Err(AdmitError::DeadlineExceeded);
+            }
+            if c.running < inner.cfg.max_inflight {
+                c.running += 1;
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                return Ok(Permit {
+                    inner: Arc::clone(inner),
+                });
+            }
+            if c.queued >= inner.cfg.max_queue {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmitError::Overloaded);
+            }
+            // Wait for a slot, bounded so shutdown and deadline are
+            // observed even if no permit is ever released.
+            c.queued += 1;
+            let wait = deadline
+                .remaining()
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50));
+            let (guard, _timeout) = inner
+                .slot_freed
+                .wait_timeout(c, wait)
+                .expect("admission mutex");
+            c = guard;
+            c.queued -= 1;
+        }
+    }
+
+    /// Requests shed since startup.
+    pub fn shed_count(&self) -> u64 {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted since startup.
+    pub fn served_count(&self) -> u64 {
+        self.inner.served.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn admits_up_to_max_inflight() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 2,
+            max_queue: 0,
+        });
+        let shutdown = AtomicBool::new(false);
+        let p1 = a.admit(Deadline::none(), &shutdown).unwrap();
+        let _p2 = a.admit(Deadline::none(), &shutdown).unwrap();
+        // Queue size 0: the third request is shed immediately.
+        assert_eq!(
+            a.admit(Deadline::from_ms(10), &shutdown).unwrap_err(),
+            AdmitError::Overloaded
+        );
+        assert_eq!(a.shed_count(), 1);
+        drop(p1);
+        let _p3 = a.admit(Deadline::from_ms(1000), &shutdown).unwrap();
+        assert_eq!(a.served_count(), 3);
+    }
+
+    #[test]
+    fn queued_request_gets_slot_when_freed() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let shutdown = AtomicBool::new(false);
+        let p = a.admit(Deadline::none(), &shutdown).unwrap();
+        let a2 = a.clone();
+        let waiter = thread::spawn(move || {
+            let shutdown = AtomicBool::new(false);
+            a2.admit(Deadline::from_ms(5_000), &shutdown).map(|_| ())
+        });
+        thread::sleep(Duration::from_millis(20));
+        drop(p);
+        assert!(waiter.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn queued_request_times_out_at_deadline() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let shutdown = AtomicBool::new(false);
+        let _p = a.admit(Deadline::none(), &shutdown).unwrap();
+        let err = a.admit(Deadline::from_ms(30), &shutdown).unwrap_err();
+        assert_eq!(err, AdmitError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn shutdown_rejects_queued_requests() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let _p = a.admit(Deadline::none(), &shutdown).unwrap();
+        let a2 = a.clone();
+        let sd = Arc::clone(&shutdown);
+        let waiter = thread::spawn(move || a2.admit(Deadline::none(), &sd).map(|_| ()));
+        thread::sleep(Duration::from_millis(20));
+        shutdown.store(true, Ordering::SeqCst);
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            AdmitError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 0,
+        });
+        let shutdown = AtomicBool::new(false);
+        let a2 = a.clone();
+        let _ = thread::spawn(move || {
+            let shutdown = AtomicBool::new(false);
+            let _p = a2.admit(Deadline::none(), &shutdown).unwrap();
+            panic!("handler died");
+        })
+        .join();
+        // The slot must be free again.
+        assert!(a.admit(Deadline::from_ms(100), &shutdown).is_ok());
+    }
+}

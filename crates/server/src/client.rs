@@ -1,0 +1,237 @@
+//! Blocking client for the wire protocol, reused by `spb-cli remote`.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for concurrency). Server-side failures surface as
+//! [`ClientError::Server`] carrying the typed [`ErrorCode`], which is
+//! what `spb-cli` maps to its distinct exit codes.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireHit, WireNn, WireStats,
+    DEFAULT_MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not establish the TCP connection.
+    Connect(io::Error),
+    /// The connection died mid-exchange.
+    Io(io::Error),
+    /// The response did not decode (framing, CRC, version).
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// The failure class.
+        code: ErrorCode,
+        /// The server's protocol version (diagnoses `VersionMismatch`).
+        server_version: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Io(e) => write!(f, "connection lost: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message, .. } => write!(f, "server: {code}: {message}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A blocking connection to an `spb-server`.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sends one request and reads one response. Server-side `Error`
+    /// responses are returned as `Ok(Response::Error { .. })` here; the
+    /// typed helpers below convert them to [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode()).map_err(ClientError::Io)?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match self.request(req)? {
+            Response::Error {
+                code,
+                server_version,
+                message,
+            } => Err(ClientError::Server {
+                code,
+                server_version,
+                message,
+            }),
+            other => pick(other).map_err(|resp| {
+                ClientError::Unexpected(format!("{resp:?} does not answer {req:?}"))
+            }),
+        }
+    }
+
+    /// Handshake: returns the server's `(version, schema_line, len)`.
+    pub fn ping(&mut self) -> Result<(u8, String, u64), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong {
+                version,
+                schema,
+                len,
+            } => Ok((version, schema, len)),
+            other => Err(other),
+        })
+    }
+
+    /// `RQ(q, r)` over the wire; `deadline_ms = 0` means no deadline.
+    pub fn range(
+        &mut self,
+        obj: &[u8],
+        radius: f64,
+        deadline_ms: u32,
+    ) -> Result<(Vec<WireHit>, WireStats), ClientError> {
+        let req = Request::Range {
+            deadline_ms,
+            radius,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Range { hits, stats } => Ok((hits, stats)),
+            other => Err(other),
+        })
+    }
+
+    /// `kNN(q, k)` over the wire.
+    pub fn knn(
+        &mut self,
+        obj: &[u8],
+        k: u32,
+        deadline_ms: u32,
+    ) -> Result<(Vec<WireNn>, WireStats), ClientError> {
+        let req = Request::Knn {
+            deadline_ms,
+            k,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Knn { hits, stats } => Ok((hits, stats)),
+            other => Err(other),
+        })
+    }
+
+    /// Inserts one encoded object.
+    pub fn insert(&mut self, obj: &[u8], deadline_ms: u32) -> Result<WireStats, ClientError> {
+        let req = Request::Insert {
+            deadline_ms,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Insert { stats } => Ok(stats),
+            other => Err(other),
+        })
+    }
+
+    /// Deletes one encoded object; returns whether it existed.
+    pub fn delete(
+        &mut self,
+        obj: &[u8],
+        deadline_ms: u32,
+    ) -> Result<(bool, WireStats), ClientError> {
+        let req = Request::Delete {
+            deadline_ms,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Delete { found, stats } => Ok((found, stats)),
+            other => Err(other),
+        })
+    }
+
+    /// A batch of range queries sharing one radius.
+    pub fn batch_range(
+        &mut self,
+        objs: Vec<Vec<u8>>,
+        radius: f64,
+        deadline_ms: u32,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ClientError> {
+        let req = Request::BatchRange {
+            deadline_ms,
+            radius,
+            objs,
+        };
+        self.expect(&req, |r| match r {
+            Response::BatchRange { queries } => Ok(queries),
+            other => Err(other),
+        })
+    }
+
+    /// A batch of kNN queries sharing one `k`.
+    pub fn batch_knn(
+        &mut self,
+        objs: Vec<Vec<u8>>,
+        k: u32,
+        deadline_ms: u32,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ClientError> {
+        let req = Request::BatchKnn {
+            deadline_ms,
+            k,
+            objs,
+        };
+        self.expect(&req, |r| match r {
+            Response::BatchKnn { queries } => Ok(queries),
+            other => Err(other),
+        })
+    }
+
+    /// Index + service statistics.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            s @ Response::Stats { .. } => Ok(s),
+            other => Err(other),
+        })
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Shutdown, |r| match r {
+            Response::Shutdown => Ok(()),
+            other => Err(other),
+        })
+    }
+}

@@ -1,0 +1,39 @@
+//! Network query service for the SPB-tree.
+//!
+//! The in-process machinery (batch APIs, work-stealing
+//! [`exec`](spb_core::exec) pool, sharded buffer pool) makes one process
+//! fast; this crate puts a service boundary around it so the index can be
+//! owned by a long-lived process and queried remotely:
+//!
+//! * [`wire`] — the length-prefixed, CRC-framed, versioned binary
+//!   protocol (frames shaped like WAL records, reusing
+//!   [`spb_storage::checksum`]);
+//! * [`schema`] — the dataset schema an index was built over, and
+//!   [`open_index`](schema::open_index) which turns an index directory
+//!   into a type-erased [`IndexService`](service::IndexService);
+//! * [`service`] — dispatching decoded requests onto an
+//!   [`SpbTree`](spb_core::SpbTree);
+//! * [`admission`] — bounded-queue admission control with load shedding
+//!   and per-request deadlines;
+//! * [`server`] — the std-`TcpListener`, thread-per-connection server
+//!   with graceful drain-and-checkpoint shutdown;
+//! * [`client`] — a blocking client, reused by `spb-cli remote`.
+//!
+//! No async runtime and no network dependencies: std threads and sockets
+//! only.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod schema;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use admission::{Admission, AdmissionConfig, Deadline};
+pub use client::{Client, ClientError};
+pub use schema::{open_index, schema_path, Schema};
+pub use server::{serve, serve_until_shutdown, ServerConfig, ServerHandle};
+pub use service::{IndexService, ServiceError, TreeService};
+pub use wire::{ErrorCode, Request, Response, WireError, WireStats, PROTOCOL_VERSION};

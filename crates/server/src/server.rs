@@ -1,0 +1,565 @@
+//! The TCP server: acceptor, per-connection threads, graceful shutdown.
+//!
+//! A std-`TcpListener` acceptor thread hands each connection to its own
+//! thread (bounded by `max_connections`; over-limit connections get a
+//! best-effort `Overloaded` frame and are closed). Connection threads
+//! read frames with a short poll timeout so they observe the shutdown
+//! flag within ~200 ms even while idle. Work requests pass through the
+//! [`Admission`] gate before touching the index; `Ping`/`Stats` bypass it
+//! (they must stay answerable under overload, or operators go blind
+//! exactly when they need visibility).
+//!
+//! ## Shutdown
+//!
+//! `ServerHandle::shutdown()` (or a remote `Shutdown` request, or a
+//! SIGINT/SIGTERM when the host process installed
+//! [`install_signal_handler`]) sets one flag. The acceptor stops
+//! accepting, connection threads finish the request they are executing
+//! — admitted work is never abandoned — refuse new ones with
+//! `ShuttingDown`, and exit; once every connection has drained the
+//! acceptor checkpoints the index (flush dirty pages, fsync, reset the
+//! WAL) so a clean exit leaves nothing for recovery to do.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::admission::{Admission, AdmissionConfig, AdmitError, Deadline};
+use crate::service::{IndexService, ServiceError};
+use crate::wire::{
+    check_payload, parse_frame_header, write_frame, ErrorCode, Request, Response, WireError,
+    DEFAULT_MAX_FRAME, FRAME_HEADER, PROTOCOL_VERSION,
+};
+
+/// Server sizing and limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Concurrent connections before new ones are refused.
+    pub max_connections: usize,
+    /// Admission-control limits (inflight requests + wait queue).
+    pub admission: AdmissionConfig,
+    /// Largest request payload accepted, in bytes.
+    pub max_frame: u32,
+    /// Worker threads for batch fan-out.
+    pub worker_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            admission: AdmissionConfig::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            worker_threads: 4,
+        }
+    }
+}
+
+struct Shared {
+    service: Box<dyn IndexService>,
+    cfg: ServerConfig,
+    admission: Admission,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stop accepting, drain, checkpoint.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested (locally or by a remote
+    /// `Shutdown` request).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shed by admission control since startup.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.admission.shed_count()
+    }
+
+    /// Requests admitted since startup.
+    pub fn served_count(&self) -> u64 {
+        self.shared.admission.served_count()
+    }
+
+    /// Waits for the server to drain and checkpoint. Implies
+    /// [`shutdown`](ServerHandle::shutdown) if not already requested.
+    pub fn join(mut self) -> io::Result<()> {
+        self.shutdown();
+        match self.acceptor.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("server acceptor thread panicked"))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving `service` on background threads.
+pub fn serve(
+    service: Box<dyn IndexService>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        cfg,
+        admission: Admission::new(cfg.admission),
+        shutdown: AtomicBool::new(false),
+        active_conns: AtomicUsize::new(0),
+    });
+    let shared2 = Arc::clone(&shared);
+    let acceptor = thread::Builder::new()
+        .name("spb-acceptor".into())
+        .spawn(move || acceptor_loop(listener, shared2))?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections {
+                    refuse_connection(stream);
+                    continue;
+                }
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let shared2 = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("spb-conn".into())
+                    .spawn(move || {
+                        connection_loop(stream, &shared2);
+                        shared2.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // Drain: connection threads notice the flag within one poll interval
+    // and exit once their current request (if any) completes.
+    while shared.active_conns.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(5));
+    }
+    // Nothing is executing any more: flush dirty pages, fsync, reset the
+    // WAL so the next open has no recovery work.
+    shared.service.checkpoint()
+}
+
+/// Best-effort `Overloaded` response for an over-limit connection.
+fn refuse_connection(mut stream: TcpStream) {
+    let resp = Response::Error {
+        code: ErrorCode::Overloaded,
+        server_version: PROTOCOL_VERSION,
+        message: "connection limit reached".to_owned(),
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = write_frame(&mut stream, &resp.encode());
+}
+
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// The peer closed the connection cleanly before the first byte.
+    Closed,
+    /// Shutdown was requested; the caller should drop the connection.
+    Shutdown,
+}
+
+/// Fills `buf` from the stream, polling the shutdown flag on every read
+/// timeout. A connection that is idle (or half-way through a frame: the
+/// request was not yet accepted, so it owes the peer nothing) aborts on
+/// shutdown.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<ReadOutcome> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Shutdown);
+        }
+        match stream.read(&mut buf[pos..]) {
+            Ok(0) => {
+                if pos == 0 {
+                    return Ok(ReadOutcome::Closed);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => pos += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        server_version: PROTOCOL_VERSION,
+        message: message.into(),
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Shared) {
+    // Accepted sockets must poll: a blocking read would pin the thread
+    // past shutdown.
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    loop {
+        let mut header = [0u8; FRAME_HEADER];
+        match read_full(&mut stream, &mut header, &shared.shutdown) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Shutdown) | Err(_) => return,
+        }
+        let (len, crc) = match parse_frame_header(&header, shared.cfg.max_frame) {
+            Ok(x) => x,
+            Err(e) => {
+                // The stream is desynchronised after a bad header: answer
+                // and close.
+                let code = match e {
+                    WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+                    _ => ErrorCode::Malformed,
+                };
+                let _ = write_frame(&mut stream, &error_response(code, e.to_string()).encode());
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut payload, &shared.shutdown) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Closed) | Ok(ReadOutcome::Shutdown) | Err(_) => return,
+        }
+        let req = match check_payload(crc, &payload).and_then(|()| Request::decode(&payload)) {
+            Ok(req) => req,
+            Err(e) => {
+                let code = match e {
+                    WireError::VersionMismatch { .. } => ErrorCode::VersionMismatch,
+                    _ => ErrorCode::Malformed,
+                };
+                let _ = write_frame(&mut stream, &error_response(code, e.to_string()).encode());
+                return;
+            }
+        };
+        let shutdown_after = matches!(req, Request::Shutdown);
+        let resp = handle_request(req, shared);
+        if write_frame(&mut stream, &resp.encode()).is_err() {
+            return;
+        }
+        if shutdown_after {
+            return;
+        }
+    }
+}
+
+fn handle_request(req: Request, shared: &Shared) -> Response {
+    let svc = shared.service.as_ref();
+    match req {
+        // Control-plane requests bypass admission: they must stay
+        // answerable under overload.
+        Request::Ping => Response::Pong {
+            version: PROTOCOL_VERSION,
+            schema: svc.schema().to_line(),
+            len: svc.len(),
+        },
+        Request::Stats => Response::Stats {
+            schema: svc.schema().to_line(),
+            len: svc.len(),
+            storage_bytes: svc.storage_bytes(),
+            num_pivots: svc.num_pivots(),
+            served: shared.admission.served_count(),
+            shed: shared.admission.shed_count(),
+        },
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Shutdown
+        }
+        // Everything else is work and must hold an admission permit.
+        work => {
+            let deadline = Deadline::from_ms(work.deadline_ms());
+            let permit = match shared.admission.admit(deadline, &shared.shutdown) {
+                Ok(p) => p,
+                Err(AdmitError::Overloaded) => {
+                    return error_response(ErrorCode::Overloaded, "request queue full")
+                }
+                Err(AdmitError::DeadlineExceeded) => {
+                    return error_response(
+                        ErrorCode::DeadlineExceeded,
+                        "deadline expired while queued",
+                    )
+                }
+                Err(AdmitError::ShuttingDown) => {
+                    return error_response(ErrorCode::ShuttingDown, "server is draining")
+                }
+            };
+            let resp = execute(work, deadline, shared);
+            drop(permit);
+            resp
+        }
+    }
+}
+
+fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
+    let svc = shared.service.as_ref();
+    let threads = shared.cfg.worker_threads;
+    let result = match req {
+        Request::Range { radius, obj, .. } => svc
+            .range(&obj, radius)
+            .map(|(hits, stats)| Response::Range { hits, stats }),
+        Request::Knn { k, obj, .. } => svc
+            .knn(&obj, k as usize)
+            .map(|(hits, stats)| Response::Knn { hits, stats }),
+        Request::Insert { obj, .. } => svc.insert(&obj).map(|stats| Response::Insert { stats }),
+        Request::Delete { obj, .. } => svc
+            .delete(&obj)
+            .map(|(found, stats)| Response::Delete { found, stats }),
+        Request::BatchRange { radius, objs, .. } => svc
+            .range_batch(&objs, radius, threads, deadline)
+            .map(|queries| Response::BatchRange { queries }),
+        Request::BatchKnn { k, objs, .. } => svc
+            .knn_batch(&objs, k as usize, threads, deadline)
+            .map(|queries| Response::BatchKnn { queries }),
+        Request::Ping | Request::Stats | Request::Shutdown => {
+            unreachable!("control-plane requests are handled before admission")
+        }
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(ServiceError::Malformed(m)) => error_response(ErrorCode::Malformed, m),
+        Err(ServiceError::DeadlineExceeded) => error_response(
+            ErrorCode::DeadlineExceeded,
+            "deadline expired mid-execution",
+        ),
+        Err(ServiceError::Internal(m)) => error_response(ErrorCode::Internal, m),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal handling (installed by the host binary, e.g. `spb-cli serve`).
+// ---------------------------------------------------------------------
+
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT/SIGTERM to a flag readable via
+/// [`signal_shutdown_requested`], so a serving process can drain and
+/// checkpoint instead of dying mid-write. No-op outside Unix.
+pub fn install_signal_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// True once a signal routed by [`install_signal_handler`] has arrived.
+pub fn signal_shutdown_requested() -> bool {
+    SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Serves until shutdown is requested by signal or by a remote
+/// `Shutdown` request, then drains and checkpoints. This is the blocking
+/// entry point `spb-cli serve` uses.
+pub fn serve_until_shutdown(
+    service: Box<dyn IndexService>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+    mut on_start: impl FnMut(SocketAddr),
+) -> io::Result<()> {
+    let handle = serve(service, addr, cfg)?;
+    on_start(handle.addr());
+    while !handle.is_shutting_down() && !signal_shutdown_requested() {
+        thread::sleep(Duration::from_millis(50));
+    }
+    handle.join()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::schema::Schema;
+    use crate::service::TreeService;
+    use crate::wire::WireStats;
+    use spb_core::{SpbConfig, SpbTree};
+    use spb_metric::{dataset, MetricObject};
+    use spb_storage::TempDir;
+    use std::io::Write;
+
+    fn start_words_server(dir: &TempDir, n: usize, seed: u64, cfg: ServerConfig) -> ServerHandle {
+        let data = dataset::words(n, seed);
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let svc = TreeService::new(tree, Schema::Words { max_len: 40 });
+        serve(Box::new(svc), "127.0.0.1:0", cfg).unwrap()
+    }
+
+    #[test]
+    fn ping_range_insert_roundtrip() {
+        let dir = TempDir::new("srv-roundtrip");
+        let handle = start_words_server(&dir, 200, 81, ServerConfig::default());
+        let mut c = Client::connect(handle.addr()).unwrap();
+
+        let (version, schema, len) = c.ping().unwrap();
+        assert_eq!(version, PROTOCOL_VERSION);
+        assert_eq!(schema, "words 40");
+        assert_eq!(len, 200);
+
+        let q = dataset::words(200, 81)[0].encoded();
+        let (hits, stats) = c.range(&q, 1.0, 0).unwrap();
+        assert!(hits.iter().any(|(_, o)| o == &q), "query object is a hit");
+        assert!(stats.compdists > 0);
+
+        let novel = spb_metric::Word::new("zzzzserver").encoded();
+        let _stats: WireStats = c.insert(&novel, 0).unwrap();
+        let (_, _, len) = c.ping().unwrap();
+        assert_eq!(len, 201);
+        let (found, _) = c.delete(&novel, 0).unwrap();
+        assert!(found);
+
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_get_typed_errors() {
+        let dir = TempDir::new("srv-malformed");
+        let cfg = ServerConfig {
+            max_frame: 1024,
+            ..ServerConfig::default()
+        };
+        let handle = start_words_server(&dir, 50, 82, cfg);
+
+        // Oversized: header announces more than max_frame.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(4096u32).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        s.write_all(&frame).unwrap();
+        let payload = crate::wire::read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // Corrupt payload: valid header, wrong CRC.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let payload_bytes = Request::Ping.encode();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload_bytes.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        frame.extend_from_slice(&payload_bytes);
+        s.write_all(&frame).unwrap();
+        let payload = crate::wire::read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        // Wrong protocol version.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let mut payload_bytes = Request::Ping.encode();
+        payload_bytes[0] = 9;
+        write_frame(&mut s, &payload_bytes).unwrap();
+        let payload = crate::wire::read_frame(&mut s, DEFAULT_MAX_FRAME).unwrap();
+        match Response::decode(&payload).unwrap() {
+            Response::Error {
+                code,
+                server_version,
+                ..
+            } => {
+                assert_eq!(code, ErrorCode::VersionMismatch);
+                assert_eq!(server_version, PROTOCOL_VERSION);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn remote_shutdown_drains_and_checkpoints() {
+        let dir = TempDir::new("srv-shutdown");
+        let handle = start_words_server(&dir, 100, 83, ServerConfig::default());
+        let addr = handle.addr();
+        let mut c = Client::connect(addr).unwrap();
+        c.shutdown().unwrap();
+        assert!(handle.is_shutting_down());
+        handle.join().unwrap();
+        // The port is released and the index reopens cleanly (the
+        // checkpoint left no WAL to replay).
+        assert!(Client::connect(addr).is_err());
+        let report = spb_core::recover_dir(dir.path()).unwrap();
+        assert!(
+            report.clean(),
+            "graceful shutdown leaves nothing to recover"
+        );
+    }
+}

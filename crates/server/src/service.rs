@@ -1,0 +1,338 @@
+//! Request execution against an index, behind a type-erased trait.
+//!
+//! The wire protocol carries objects as opaque byte strings, so the
+//! server does not need to be generic over the object type: a
+//! [`TreeService`] wraps one concrete `SpbTree<O, D>` and exposes it as a
+//! `dyn` [`IndexService`] that decodes object bytes (via
+//! [`MetricObject::try_decode`] — malformed bytes become a typed
+//! [`ServiceError::Malformed`], never a panic), runs the query, and
+//! re-encodes results.
+//!
+//! Batches run on the tree's [`range_batch`](SpbTree::range_batch) /
+//! [`knn_batch`](SpbTree::knn_batch) fan-out, sliced into traversal
+//! batches of `threads` queries so a request's deadline is checked
+//! *between* slices: an expired budget stops the batch with
+//! [`ServiceError::DeadlineExceeded`] instead of running to completion.
+//! Per-query results and stats are unaffected by the slicing — each
+//! query carries its own collector against a simulated cold cache — so
+//! remote batches stay byte-identical to in-process ones.
+
+use std::fmt;
+use std::io;
+
+use spb_core::SpbTree;
+use spb_metric::{Distance, MetricObject};
+
+use crate::admission::Deadline;
+use crate::schema::Schema;
+use crate::wire::{WireHit, WireNn, WireStats};
+
+/// Why the service refused or failed a request.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Object bytes in the request don't decode under the index schema.
+    Malformed(String),
+    /// The request's deadline expired mid-execution.
+    DeadlineExceeded,
+    /// The index itself failed (I/O error or invariant violation).
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Internal(e.to_string())
+    }
+}
+
+/// A queryable index, erased over the object and distance types.
+pub trait IndexService: Send + Sync {
+    /// The index's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Number of indexed objects.
+    fn len(&self) -> u64;
+
+    /// True iff the index holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total storage in bytes (B⁺-tree + RAF pages).
+    fn storage_bytes(&self) -> u64;
+
+    /// Number of pivots in the pivot table.
+    fn num_pivots(&self) -> u32;
+
+    /// `RQ(q, r)` for an encoded query object.
+    fn range(&self, obj: &[u8], radius: f64) -> Result<(Vec<WireHit>, WireStats), ServiceError>;
+
+    /// `kNN(q, k)` for an encoded query object.
+    fn knn(&self, obj: &[u8], k: usize) -> Result<(Vec<WireNn>, WireStats), ServiceError>;
+
+    /// Inserts one encoded object.
+    fn insert(&self, obj: &[u8]) -> Result<WireStats, ServiceError>;
+
+    /// Deletes one encoded object; `found` reports whether it existed.
+    fn delete(&self, obj: &[u8]) -> Result<(bool, WireStats), ServiceError>;
+
+    /// A batch of range queries sharing one radius, fanned over
+    /// `threads` workers, deadline-checked between traversal batches.
+    fn range_batch(
+        &self,
+        objs: &[Vec<u8>],
+        radius: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ServiceError>;
+
+    /// A batch of kNN queries sharing one `k`.
+    fn knn_batch(
+        &self,
+        objs: &[Vec<u8>],
+        k: usize,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ServiceError>;
+
+    /// Flushes dirty pages and resets the WAL (used by graceful
+    /// shutdown so a clean exit leaves nothing to recover).
+    fn checkpoint(&self) -> io::Result<()>;
+}
+
+/// [`IndexService`] over one concrete `SpbTree<O, D>`.
+pub struct TreeService<O: MetricObject, D: Distance<O>> {
+    tree: SpbTree<O, D>,
+    schema: Schema,
+}
+
+impl<O: MetricObject, D: Distance<O>> TreeService<O, D> {
+    /// Wraps a tree and the schema it was built over.
+    pub fn new(tree: SpbTree<O, D>, schema: Schema) -> Self {
+        TreeService { tree, schema }
+    }
+
+    /// The wrapped tree (tests use this to compare against in-process
+    /// queries).
+    pub fn tree(&self) -> &SpbTree<O, D> {
+        &self.tree
+    }
+
+    fn decode_obj(&self, obj: &[u8]) -> Result<O, ServiceError> {
+        O::try_decode(obj).ok_or_else(|| {
+            ServiceError::Malformed(format!(
+                "object bytes do not decode under schema {:?}",
+                self.schema.to_line()
+            ))
+        })
+    }
+
+    fn decode_objs(&self, objs: &[Vec<u8>]) -> Result<Vec<O>, ServiceError> {
+        objs.iter().map(|o| self.decode_obj(o)).collect()
+    }
+}
+
+/// How many queries run between deadline checks in a batch request: one
+/// traversal batch per worker pass.
+fn slice_size(threads: usize) -> usize {
+    threads.max(1)
+}
+
+impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.tree.storage_bytes()
+    }
+
+    fn num_pivots(&self) -> u32 {
+        self.tree.table().num_pivots() as u32
+    }
+
+    fn range(&self, obj: &[u8], radius: f64) -> Result<(Vec<WireHit>, WireStats), ServiceError> {
+        let q = self.decode_obj(obj)?;
+        let (hits, stats) = self.tree.range(&q, radius)?;
+        let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
+        Ok((hits, WireStats::from(&stats)))
+    }
+
+    fn knn(&self, obj: &[u8], k: usize) -> Result<(Vec<WireNn>, WireStats), ServiceError> {
+        let q = self.decode_obj(obj)?;
+        let (nn, stats) = self.tree.knn(&q, k)?;
+        let nn = nn
+            .into_iter()
+            .map(|(id, o, d)| (id, d, o.encoded()))
+            .collect();
+        Ok((nn, WireStats::from(&stats)))
+    }
+
+    fn insert(&self, obj: &[u8]) -> Result<WireStats, ServiceError> {
+        let o = self.decode_obj(obj)?;
+        let stats = self.tree.insert(&o)?;
+        Ok(WireStats::from(&stats))
+    }
+
+    fn delete(&self, obj: &[u8]) -> Result<(bool, WireStats), ServiceError> {
+        let o = self.decode_obj(obj)?;
+        let (found, stats) = self.tree.delete(&o)?;
+        Ok((found, WireStats::from(&stats)))
+    }
+
+    fn range_batch(
+        &self,
+        objs: &[Vec<u8>],
+        radius: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ServiceError> {
+        let qs = self.decode_objs(objs)?;
+        let pairs: Vec<(O, f64)> = qs.into_iter().map(|q| (q, radius)).collect();
+        let mut out = Vec::with_capacity(pairs.len());
+        for slice in pairs.chunks(slice_size(threads)) {
+            if deadline.expired() {
+                return Err(ServiceError::DeadlineExceeded);
+            }
+            for (hits, stats) in self.tree.range_batch(slice, threads)? {
+                let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
+                out.push((hits, WireStats::from(&stats)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn knn_batch(
+        &self,
+        objs: &[Vec<u8>],
+        k: usize,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ServiceError> {
+        let qs = self.decode_objs(objs)?;
+        let mut out = Vec::with_capacity(qs.len());
+        for slice in qs.chunks(slice_size(threads)) {
+            if deadline.expired() {
+                return Err(ServiceError::DeadlineExceeded);
+            }
+            for (nn, stats) in self.tree.knn_batch(slice, k, threads)? {
+                let nn = nn
+                    .into_iter()
+                    .map(|(id, o, d)| (id, d, o.encoded()))
+                    .collect();
+                out.push((nn, WireStats::from(&stats)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn checkpoint(&self) -> io::Result<()> {
+        self.tree.checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_core::SpbConfig;
+    use spb_metric::dataset;
+    use spb_storage::TempDir;
+
+    fn words_service(n: usize, seed: u64, dir: &TempDir) -> impl IndexService {
+        let data = dataset::words(n, seed);
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        TreeService::new(tree, Schema::Words { max_len: 40 })
+    }
+
+    #[test]
+    fn service_range_matches_tree_range() {
+        let dir = TempDir::new("svc-range");
+        let data = dataset::words(300, 71);
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let svc = TreeService::new(tree, Schema::Words { max_len: 40 });
+
+        let q = data[3].encoded();
+        let (hits, _) = svc.range(&q, 2.0).unwrap();
+        svc.tree().flush_caches();
+        let (want, _) = svc.tree().range(&data[3], 2.0).unwrap();
+        let mut got_ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        let mut want_ids: Vec<u32> = want.iter().map(|&(id, _)| id).collect();
+        got_ids.sort_unstable();
+        want_ids.sort_unstable();
+        assert_eq!(got_ids, want_ids);
+    }
+
+    #[test]
+    fn malformed_object_bytes_are_typed_errors() {
+        let dir = TempDir::new("svc-malformed");
+        let svc = words_service(100, 72, &dir);
+        // Invalid UTF-8 can never decode as a Word.
+        let err = svc.range(&[0xff, 0xfe], 1.0).unwrap_err();
+        assert!(matches!(err, ServiceError::Malformed(_)), "{err}");
+        let err = svc.insert(&[0xff]).unwrap_err();
+        assert!(matches!(err, ServiceError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_stops_a_batch() {
+        let dir = TempDir::new("svc-deadline");
+        let svc = words_service(200, 73, &dir);
+        let objs: Vec<Vec<u8>> = (0..32).map(|_| b"carrot".to_vec()).collect();
+        let deadline = Deadline::from_ms(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = svc.range_batch(&objs, 2.0, 2, deadline).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded), "{err}");
+    }
+
+    #[test]
+    fn batch_slicing_preserves_per_query_results() {
+        let dir = TempDir::new("svc-slice");
+        let data = dataset::words(300, 74);
+        let tree = SpbTree::build(
+            dir.path(),
+            &data,
+            dataset::words_metric(),
+            &SpbConfig::default(),
+        )
+        .unwrap();
+        let svc = TreeService::new(tree, Schema::Words { max_len: 40 });
+        let objs: Vec<Vec<u8>> = data.iter().take(10).map(|o| o.encoded()).collect();
+
+        let via_svc = svc.range_batch(&objs, 2.0, 2, Deadline::none()).unwrap();
+        let pairs: Vec<_> = data.iter().take(10).map(|q| (q.clone(), 2.0)).collect();
+        let direct = svc.tree().range_batch(&pairs, 2).unwrap();
+        assert_eq!(via_svc.len(), direct.len());
+        for ((hits, stats), (want_hits, want_stats)) in via_svc.iter().zip(&direct) {
+            assert_eq!(hits.len(), want_hits.len());
+            assert_eq!(stats.compdists, want_stats.compdists);
+            assert_eq!(stats.page_accesses, want_stats.page_accesses);
+        }
+    }
+}

@@ -1,0 +1,1039 @@
+//! The `spb-server` wire protocol: length-prefixed, CRC-framed, versioned
+//! binary messages.
+//!
+//! ## Frame layout
+//!
+//! Every message — request or response — travels in one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! payload = [version: u8] [opcode: u8] [body]
+//! ```
+//!
+//! The CRC is the same reflected IEEE CRC-32 the WAL and page footers use
+//! ([`spb_storage::checksum::crc32`]), so a torn or corrupted frame is
+//! detected before any of its bytes are interpreted. `len` counts the
+//! payload only and is bounded by the receiver's configured maximum frame
+//! size; an oversized header is rejected *before* any allocation.
+//!
+//! ## Requests and responses
+//!
+//! Request opcodes occupy `0x01..=0x0F`; a successful response echoes the
+//! request opcode with the top bit set (`op | 0x80`); every failure uses
+//! the single error opcode `0xFF` carrying a typed [`ErrorCode`] plus a
+//! human-readable message. Metric objects cross the wire in their
+//! [`MetricObject::encode`](spb_metric::MetricObject) byte form, wrapped
+//! as `[len: u32][bytes]`; the server decodes them against its schema and
+//! answers `Malformed` (never panics) when the bytes don't parse.
+//!
+//! ## Versioning
+//!
+//! Byte 0 of every payload is the protocol version
+//! ([`PROTOCOL_VERSION`]). A server receiving a different version answers
+//! `ErrorCode::VersionMismatch` (its own version rides in the error body)
+//! and closes the connection; a client does the symmetric check on
+//! responses. Decoding is total: any byte sequence either decodes to a
+//! typed message or returns a typed [`WireError`] — malformed, truncated,
+//! or oversized input never panics (property-tested in
+//! `tests/wire_fuzz.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use spb_core::QueryStats;
+use spb_storage::crc32;
+
+/// Version byte every payload starts with.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame header size: payload length + payload CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Default maximum payload size either side accepts (8 MiB).
+pub const DEFAULT_MAX_FRAME: u32 = 8 << 20;
+
+// Request opcodes.
+const OP_PING: u8 = 0x01;
+const OP_RANGE: u8 = 0x02;
+const OP_KNN: u8 = 0x03;
+const OP_INSERT: u8 = 0x04;
+const OP_DELETE: u8 = 0x05;
+const OP_BATCH_RANGE: u8 = 0x06;
+const OP_BATCH_KNN: u8 = 0x07;
+const OP_STATS: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+/// Response opcode for every failure.
+const OP_ERROR: u8 = 0xFF;
+/// Successful responses echo the request opcode with this bit set.
+const RESP_BIT: u8 = 0x80;
+
+/// Typed decoding/framing failure. Every malformed, truncated or
+/// oversized input maps to one of these — never a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The input ended before the message did.
+    Truncated,
+    /// The payload decoded but left unconsumed bytes.
+    Trailing(usize),
+    /// The frame's CRC does not match its payload.
+    BadCrc {
+        /// CRC stored in the frame header.
+        expected: u32,
+        /// CRC of the received payload bytes.
+        got: u32,
+    },
+    /// The frame header announces a payload beyond the configured limit
+    /// (or an impossible empty payload).
+    FrameTooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// Receiver's limit.
+        max: u32,
+    },
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Version byte the peer sent.
+        got: u8,
+    },
+    /// Transport-level failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::Trailing(n) => write!(f, "{n} trailing byte(s) after message"),
+            WireError::BadCrc { expected, got } => {
+                write!(
+                    f,
+                    "frame CRC mismatch (header {expected:#010x}, payload {got:#010x})"
+                )
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds limit of {max}")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::VersionMismatch { got } => {
+                write!(
+                    f,
+                    "peer speaks protocol version {got}, this side speaks {PROTOCOL_VERSION}"
+                )
+            }
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Why the server refused or failed a request. The numeric value is the
+/// byte on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission control shed the request: queue full. Retry later.
+    Overloaded = 1,
+    /// The request's deadline passed before (or while) it executed.
+    DeadlineExceeded = 2,
+    /// Client and server protocol versions differ.
+    VersionMismatch = 3,
+    /// The request decoded at the frame level but its contents are
+    /// invalid (bad opcode, bad object bytes, CRC failure, …).
+    Malformed = 4,
+    /// The request frame exceeds the server's maximum frame size.
+    FrameTooLarge = 5,
+    /// The request was valid but execution failed server-side.
+    Internal = 6,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 7,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::VersionMismatch,
+            4 => ErrorCode::Malformed,
+            5 => ErrorCode::FrameTooLarge,
+            6 => ErrorCode::Internal,
+            7 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline exceeded",
+            ErrorCode::VersionMismatch => "protocol version mismatch",
+            ErrorCode::Malformed => "malformed request",
+            ErrorCode::FrameTooLarge => "frame too large",
+            ErrorCode::Internal => "internal error",
+            ErrorCode::ShuttingDown => "shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-query cost metrics in wire form (a serialised
+/// [`QueryStats`](spb_core::QueryStats); `duration` travels as
+/// nanoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Distance computations.
+    pub compdists: u64,
+    /// Total page accesses.
+    pub page_accesses: u64,
+    /// B⁺-tree share of the page accesses.
+    pub btree_pa: u64,
+    /// RAF share of the page accesses.
+    pub raf_pa: u64,
+    /// fsyncs (updates only).
+    pub fsyncs: u64,
+    /// Server-side wall-clock nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl From<&QueryStats> for WireStats {
+    fn from(s: &QueryStats) -> Self {
+        WireStats {
+            compdists: s.compdists,
+            page_accesses: s.page_accesses,
+            btree_pa: s.btree_pa,
+            raf_pa: s.raf_pa,
+            fsyncs: s.fsyncs,
+            duration_nanos: s.duration.as_nanos() as u64,
+        }
+    }
+}
+
+impl From<&WireStats> for QueryStats {
+    fn from(w: &WireStats) -> Self {
+        QueryStats {
+            compdists: w.compdists,
+            page_accesses: w.page_accesses,
+            btree_pa: w.btree_pa,
+            raf_pa: w.raf_pa,
+            fsyncs: w.fsyncs,
+            duration: Duration::from_nanos(w.duration_nanos),
+        }
+    }
+}
+
+/// A decoded client request. Objects are opaque
+/// [`MetricObject::encode`](spb_metric::MetricObject) byte strings; the
+/// service decodes them against its schema. `deadline_ms` is a relative
+/// budget in milliseconds measured from receipt (`0` = no deadline).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness + handshake: the response carries the server's protocol
+    /// version and schema so clients can encode objects correctly.
+    Ping,
+    /// `RQ(q, r)`.
+    Range {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Search radius.
+        radius: f64,
+        /// Encoded query object.
+        obj: Vec<u8>,
+    },
+    /// `kNN(q, k)`.
+    Knn {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Neighbour count.
+        k: u32,
+        /// Encoded query object.
+        obj: Vec<u8>,
+    },
+    /// Insert one object.
+    Insert {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Encoded object.
+        obj: Vec<u8>,
+    },
+    /// Delete one object equal to the payload.
+    Delete {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Encoded object.
+        obj: Vec<u8>,
+    },
+    /// A batch of range queries sharing one radius, fanned across the
+    /// server's worker pool.
+    BatchRange {
+        /// Relative deadline in ms (0 = none), enforced between
+        /// traversal batches.
+        deadline_ms: u32,
+        /// Search radius.
+        radius: f64,
+        /// Encoded query objects.
+        objs: Vec<Vec<u8>>,
+    },
+    /// A batch of kNN queries sharing one `k`.
+    BatchKnn {
+        /// Relative deadline in ms (0 = none), enforced between
+        /// traversal batches.
+        deadline_ms: u32,
+        /// Neighbour count.
+        k: u32,
+        /// Encoded query objects.
+        objs: Vec<Vec<u8>>,
+    },
+    /// Index + service statistics.
+    Stats,
+    /// Ask the server to drain in-flight work, checkpoint and exit.
+    Shutdown,
+}
+
+/// One range hit: object id plus encoded object.
+pub type WireHit = (u32, Vec<u8>);
+/// One kNN hit: object id, distance, encoded object.
+pub type WireNn = (u32, f64, Vec<u8>);
+
+/// A decoded server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Server protocol version.
+        version: u8,
+        /// The index's `cli.schema` line (how to encode objects).
+        schema: String,
+        /// Number of indexed objects.
+        len: u64,
+    },
+    /// Answer to [`Request::Range`].
+    Range {
+        /// Matching objects.
+        hits: Vec<WireHit>,
+        /// Per-query costs.
+        stats: WireStats,
+    },
+    /// Answer to [`Request::Knn`].
+    Knn {
+        /// Neighbours in ascending distance order.
+        hits: Vec<WireNn>,
+        /// Per-query costs.
+        stats: WireStats,
+    },
+    /// Answer to [`Request::Insert`].
+    Insert {
+        /// Update costs (includes fsyncs).
+        stats: WireStats,
+    },
+    /// Answer to [`Request::Delete`].
+    Delete {
+        /// Whether an object was removed.
+        found: bool,
+        /// Update costs.
+        stats: WireStats,
+    },
+    /// Answer to [`Request::BatchRange`]: per-query hits and stats in
+    /// input order.
+    BatchRange {
+        /// One `(hits, stats)` per query.
+        queries: Vec<(Vec<WireHit>, WireStats)>,
+    },
+    /// Answer to [`Request::BatchKnn`].
+    BatchKnn {
+        /// One `(neighbours, stats)` per query.
+        queries: Vec<(Vec<WireNn>, WireStats)>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The index's schema line.
+        schema: String,
+        /// Number of indexed objects.
+        len: u64,
+        /// Total storage in bytes.
+        storage_bytes: u64,
+        /// Number of pivots.
+        num_pivots: u32,
+        /// Requests served since startup.
+        served: u64,
+        /// Requests shed by admission control since startup.
+        shed: u64,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server drains and exits
+    /// after sending this.
+    Shutdown,
+    /// Any failure.
+    Error {
+        /// Typed failure class.
+        code: ErrorCode,
+        /// The responding server's protocol version (lets a client
+        /// diagnose `VersionMismatch`).
+        server_version: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoding. All integers little-endian; byte strings and UTF-8
+// strings are length-prefixed with a u32.
+// ---------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Bounded decoding cursor over a payload.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed byte string. The length is validated against the
+    /// remaining payload before any allocation, so a corrupt length
+    /// cannot trigger a huge allocation.
+    fn lbytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn lstr(&mut self) -> Result<String, WireError> {
+        let b = self.lbytes()?;
+        String::from_utf8(b).map_err(|_| WireError::Truncated)
+    }
+
+    fn stats(&mut self) -> Result<WireStats, WireError> {
+        Ok(WireStats {
+            compdists: self.u64()?,
+            page_accesses: self.u64()?,
+            btree_pa: self.u64()?,
+            raf_pa: self.u64()?,
+            fsyncs: self.u64()?,
+            duration_nanos: self.u64()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &WireStats) {
+    out.extend_from_slice(&s.compdists.to_le_bytes());
+    out.extend_from_slice(&s.page_accesses.to_le_bytes());
+    out.extend_from_slice(&s.btree_pa.to_le_bytes());
+    out.extend_from_slice(&s.raf_pa.to_le_bytes());
+    out.extend_from_slice(&s.fsyncs.to_le_bytes());
+    out.extend_from_slice(&s.duration_nanos.to_le_bytes());
+}
+
+fn put_hits(out: &mut Vec<u8>, hits: &[WireHit]) {
+    out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+    for (id, obj) in hits {
+        out.extend_from_slice(&id.to_le_bytes());
+        put_bytes(out, obj);
+    }
+}
+
+fn get_hits(c: &mut Cur<'_>) -> Result<Vec<WireHit>, WireError> {
+    let n = c.u32()?;
+    let mut hits = Vec::new();
+    for _ in 0..n {
+        let id = c.u32()?;
+        let obj = c.lbytes()?;
+        hits.push((id, obj));
+    }
+    Ok(hits)
+}
+
+fn put_nns(out: &mut Vec<u8>, nns: &[WireNn]) {
+    out.extend_from_slice(&(nns.len() as u32).to_le_bytes());
+    for (id, d, obj) in nns {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&d.to_bits().to_le_bytes());
+        put_bytes(out, obj);
+    }
+}
+
+fn get_nns(c: &mut Cur<'_>) -> Result<Vec<WireNn>, WireError> {
+    let n = c.u32()?;
+    let mut nns = Vec::new();
+    for _ in 0..n {
+        let id = c.u32()?;
+        let d = c.f64()?;
+        let obj = c.lbytes()?;
+        nns.push((id, d, obj));
+    }
+    Ok(nns)
+}
+
+fn get_objs(c: &mut Cur<'_>) -> Result<Vec<Vec<u8>>, WireError> {
+    let n = c.u32()?;
+    let mut objs = Vec::new();
+    for _ in 0..n {
+        objs.push(c.lbytes()?);
+    }
+    Ok(objs)
+}
+
+impl Request {
+    /// Serialises into a payload (version + opcode + body, no frame
+    /// header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Ping => out.push(OP_PING),
+            Request::Range {
+                deadline_ms,
+                radius,
+                obj,
+            } => {
+                out.push(OP_RANGE);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&radius.to_bits().to_le_bytes());
+                put_bytes(&mut out, obj);
+            }
+            Request::Knn {
+                deadline_ms,
+                k,
+                obj,
+            } => {
+                out.push(OP_KNN);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                put_bytes(&mut out, obj);
+            }
+            Request::Insert { deadline_ms, obj } => {
+                out.push(OP_INSERT);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_bytes(&mut out, obj);
+            }
+            Request::Delete { deadline_ms, obj } => {
+                out.push(OP_DELETE);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_bytes(&mut out, obj);
+            }
+            Request::BatchRange {
+                deadline_ms,
+                radius,
+                objs,
+            } => {
+                out.push(OP_BATCH_RANGE);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&radius.to_bits().to_le_bytes());
+                out.extend_from_slice(&(objs.len() as u32).to_le_bytes());
+                for o in objs {
+                    put_bytes(&mut out, o);
+                }
+            }
+            Request::BatchKnn {
+                deadline_ms,
+                k,
+                objs,
+            } => {
+                out.push(OP_BATCH_KNN);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&(objs.len() as u32).to_le_bytes());
+                for o in objs {
+                    put_bytes(&mut out, o);
+                }
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a request payload. Total: any input returns a request or a
+    /// typed error, never panics.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cur::new(payload);
+        let version = c.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch { got: version });
+        }
+        let op = c.u8()?;
+        let req = match op {
+            OP_PING => Request::Ping,
+            OP_RANGE => Request::Range {
+                deadline_ms: c.u32()?,
+                radius: c.f64()?,
+                obj: c.lbytes()?,
+            },
+            OP_KNN => Request::Knn {
+                deadline_ms: c.u32()?,
+                k: c.u32()?,
+                obj: c.lbytes()?,
+            },
+            OP_INSERT => Request::Insert {
+                deadline_ms: c.u32()?,
+                obj: c.lbytes()?,
+            },
+            OP_DELETE => Request::Delete {
+                deadline_ms: c.u32()?,
+                obj: c.lbytes()?,
+            },
+            OP_BATCH_RANGE => Request::BatchRange {
+                deadline_ms: c.u32()?,
+                radius: c.f64()?,
+                objs: get_objs(&mut c)?,
+            },
+            OP_BATCH_KNN => Request::BatchKnn {
+                deadline_ms: c.u32()?,
+                k: c.u32()?,
+                objs: get_objs(&mut c)?,
+            },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// The request's relative deadline, if any.
+    pub fn deadline_ms(&self) -> u32 {
+        match self {
+            Request::Range { deadline_ms, .. }
+            | Request::Knn { deadline_ms, .. }
+            | Request::Insert { deadline_ms, .. }
+            | Request::Delete { deadline_ms, .. }
+            | Request::BatchRange { deadline_ms, .. }
+            | Request::BatchKnn { deadline_ms, .. } => *deadline_ms,
+            Request::Ping | Request::Stats | Request::Shutdown => 0,
+        }
+    }
+}
+
+impl Response {
+    /// Serialises into a payload (version + opcode + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![PROTOCOL_VERSION];
+        match self {
+            Response::Pong {
+                version,
+                schema,
+                len,
+            } => {
+                out.push(OP_PING | RESP_BIT);
+                out.push(*version);
+                put_bytes(&mut out, schema.as_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            Response::Range { hits, stats } => {
+                out.push(OP_RANGE | RESP_BIT);
+                put_stats(&mut out, stats);
+                put_hits(&mut out, hits);
+            }
+            Response::Knn { hits, stats } => {
+                out.push(OP_KNN | RESP_BIT);
+                put_stats(&mut out, stats);
+                put_nns(&mut out, hits);
+            }
+            Response::Insert { stats } => {
+                out.push(OP_INSERT | RESP_BIT);
+                put_stats(&mut out, stats);
+            }
+            Response::Delete { found, stats } => {
+                out.push(OP_DELETE | RESP_BIT);
+                out.push(u8::from(*found));
+                put_stats(&mut out, stats);
+            }
+            Response::BatchRange { queries } => {
+                out.push(OP_BATCH_RANGE | RESP_BIT);
+                out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+                for (hits, stats) in queries {
+                    put_stats(&mut out, stats);
+                    put_hits(&mut out, hits);
+                }
+            }
+            Response::BatchKnn { queries } => {
+                out.push(OP_BATCH_KNN | RESP_BIT);
+                out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+                for (nns, stats) in queries {
+                    put_stats(&mut out, stats);
+                    put_nns(&mut out, nns);
+                }
+            }
+            Response::Stats {
+                schema,
+                len,
+                storage_bytes,
+                num_pivots,
+                served,
+                shed,
+            } => {
+                out.push(OP_STATS | RESP_BIT);
+                put_bytes(&mut out, schema.as_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&storage_bytes.to_le_bytes());
+                out.extend_from_slice(&num_pivots.to_le_bytes());
+                out.extend_from_slice(&served.to_le_bytes());
+                out.extend_from_slice(&shed.to_le_bytes());
+            }
+            Response::Shutdown => out.push(OP_SHUTDOWN | RESP_BIT),
+            Response::Error {
+                code,
+                server_version,
+                message,
+            } => {
+                out.push(OP_ERROR);
+                out.push(*code as u8);
+                out.push(*server_version);
+                put_bytes(&mut out, message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a response payload. Total, like [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cur::new(payload);
+        let version = c.u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::VersionMismatch { got: version });
+        }
+        let op = c.u8()?;
+        let resp = match op {
+            x if x == OP_PING | RESP_BIT => Response::Pong {
+                version: c.u8()?,
+                schema: c.lstr()?,
+                len: c.u64()?,
+            },
+            x if x == OP_RANGE | RESP_BIT => Response::Range {
+                stats: c.stats()?,
+                hits: get_hits(&mut c)?,
+            },
+            x if x == OP_KNN | RESP_BIT => Response::Knn {
+                stats: c.stats()?,
+                hits: get_nns(&mut c)?,
+            },
+            x if x == OP_INSERT | RESP_BIT => Response::Insert { stats: c.stats()? },
+            x if x == OP_DELETE | RESP_BIT => Response::Delete {
+                found: c.u8()? != 0,
+                stats: c.stats()?,
+            },
+            x if x == OP_BATCH_RANGE | RESP_BIT => {
+                let n = c.u32()?;
+                let mut queries = Vec::new();
+                for _ in 0..n {
+                    let stats = c.stats()?;
+                    let hits = get_hits(&mut c)?;
+                    queries.push((hits, stats));
+                }
+                Response::BatchRange { queries }
+            }
+            x if x == OP_BATCH_KNN | RESP_BIT => {
+                let n = c.u32()?;
+                let mut queries = Vec::new();
+                for _ in 0..n {
+                    let stats = c.stats()?;
+                    let nns = get_nns(&mut c)?;
+                    queries.push((nns, stats));
+                }
+                Response::BatchKnn { queries }
+            }
+            x if x == OP_STATS | RESP_BIT => Response::Stats {
+                schema: c.lstr()?,
+                len: c.u64()?,
+                storage_bytes: c.u64()?,
+                num_pivots: c.u32()?,
+                served: c.u64()?,
+                shed: c.u64()?,
+            },
+            x if x == OP_SHUTDOWN | RESP_BIT => Response::Shutdown,
+            OP_ERROR => {
+                let code = ErrorCode::from_byte(c.u8()?).ok_or(WireError::BadOpcode(OP_ERROR))?;
+                Response::Error {
+                    code,
+                    server_version: c.u8()?,
+                    message: c.lstr()?,
+                }
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Wraps a payload in a frame (header + CRC) and writes it out.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Parses a frame header into `(payload_len, payload_crc)`, validating
+/// the length against `max` before anything is allocated.
+pub fn parse_frame_header(header: &[u8; FRAME_HEADER], max: u32) -> Result<(u32, u32), WireError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len == 0 || len > max {
+        return Err(WireError::FrameTooLarge { len, max });
+    }
+    Ok((len, crc))
+}
+
+/// Verifies a received payload against its header CRC.
+pub fn check_payload(expected_crc: u32, payload: &[u8]) -> Result<(), WireError> {
+    let got = crc32(payload);
+    if got != expected_crc {
+        return Err(WireError::BadCrc {
+            expected: expected_crc,
+            got,
+        });
+    }
+    Ok(())
+}
+
+/// Reads one complete frame (blocking) and returns its verified payload.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; FRAME_HEADER];
+    r.read_exact(&mut header)?;
+    let (len, crc) = parse_frame_header(&header, max)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    check_payload(crc, &payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let payload = req.encode();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let payload = resp.encode();
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+    }
+
+    fn stats() -> WireStats {
+        WireStats {
+            compdists: 12,
+            page_accesses: 34,
+            btree_pa: 20,
+            raf_pa: 14,
+            fsyncs: 1,
+            duration_nanos: 5_000,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Range {
+            deadline_ms: 250,
+            radius: 2.5,
+            obj: b"carrot".to_vec(),
+        });
+        roundtrip_req(Request::Knn {
+            deadline_ms: 0,
+            k: 10,
+            obj: vec![],
+        });
+        roundtrip_req(Request::Insert {
+            deadline_ms: 1,
+            obj: b"x".to_vec(),
+        });
+        roundtrip_req(Request::Delete {
+            deadline_ms: 0,
+            obj: b"y".to_vec(),
+        });
+        roundtrip_req(Request::BatchRange {
+            deadline_ms: 100,
+            radius: 1.0,
+            objs: vec![b"a".to_vec(), vec![], b"ccc".to_vec()],
+        });
+        roundtrip_req(Request::BatchKnn {
+            deadline_ms: 0,
+            k: 3,
+            objs: vec![b"q".to_vec()],
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong {
+            version: PROTOCOL_VERSION,
+            schema: "words 11".to_owned(),
+            len: 42,
+        });
+        roundtrip_resp(Response::Range {
+            hits: vec![(1, b"carrot".to_vec()), (9, vec![])],
+            stats: stats(),
+        });
+        roundtrip_resp(Response::Knn {
+            hits: vec![(1, 0.0, b"q".to_vec()), (2, 1.5, b"w".to_vec())],
+            stats: stats(),
+        });
+        roundtrip_resp(Response::Insert { stats: stats() });
+        roundtrip_resp(Response::Delete {
+            found: true,
+            stats: stats(),
+        });
+        roundtrip_resp(Response::BatchRange {
+            queries: vec![(vec![(7, b"z".to_vec())], stats()), (vec![], stats())],
+        });
+        roundtrip_resp(Response::BatchKnn {
+            queries: vec![(vec![(7, 0.25, b"z".to_vec())], stats())],
+        });
+        roundtrip_resp(Response::Stats {
+            schema: "vectors 2 16".to_owned(),
+            len: 1000,
+            storage_bytes: 1 << 20,
+            num_pivots: 5,
+            served: 17,
+            shed: 3,
+        });
+        roundtrip_resp(Response::Shutdown);
+        roundtrip_resp(Response::Error {
+            code: ErrorCode::Overloaded,
+            server_version: PROTOCOL_VERSION,
+            message: "queue full".to_owned(),
+        });
+    }
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let req = Request::Range {
+            deadline_ms: 0,
+            radius: 2.0,
+            obj: b"carrot".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.encode()).unwrap();
+        let payload = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice(), 1024).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping.encode()).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, WireError::BadCrc { .. }), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut payload = Request::Ping.encode();
+        payload[0] = 99;
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(
+            matches!(err, WireError::VersionMismatch { got: 99 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Request::Stats.encode();
+        payload.push(0);
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Trailing(1))
+        ));
+    }
+
+    #[test]
+    fn bogus_object_length_cannot_overallocate() {
+        // A Range request whose object claims 4 GiB: lbytes validates the
+        // length against the remaining payload before allocating.
+        let mut payload = vec![PROTOCOL_VERSION, OP_RANGE];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // object "length"
+        payload.extend_from_slice(b"xy"); // but only 2 bytes follow
+        assert!(matches!(
+            Request::decode(&payload),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn stats_survive_querystats_conversion() {
+        let w = stats();
+        let q: QueryStats = (&w).into();
+        assert_eq!(WireStats::from(&q), w);
+    }
+}

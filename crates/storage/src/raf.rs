@@ -28,6 +28,14 @@ const MAGIC: u64 = 0x5350_4252_4146_3031; // "SPBRAF01"
 const HEADER_TAIL_OFF: usize = 8;
 const ENTRY_HEADER: usize = 8; // id: u32, len: u32
 
+/// Typed error for a structurally invalid record reference.
+fn bad_record(ptr: RafPtr, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt RAF record at offset {}: {why}", ptr.offset),
+    )
+}
+
 /// Location of an entry inside the RAF (absolute byte offset of its
 /// header). This is the `ptr` a B⁺-tree leaf entry stores.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -194,11 +202,21 @@ impl Raf {
     /// learns exactly which pool accesses *its* fetch issued, without
     /// diffing the pool's shared counters.
     pub fn get_traced(&self, ptr: RafPtr, trace: &mut dyn FnMut(u64)) -> io::Result<RafEntry> {
+        let tail = self.tail.load(Ordering::SeqCst);
+        if ptr.offset + ENTRY_HEADER as u64 > tail {
+            return Err(bad_record(ptr, "entry header past tail"));
+        }
         let mut header = [0u8; ENTRY_HEADER];
         self.read_bytes(ptr.offset, &mut header, trace)?;
         let id = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        let mut bytes = vec![0u8; len];
+        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as u64;
+        // Validate the recorded length against the tail *before* the
+        // allocation: a corrupt length must yield a typed error, not an
+        // attempt to allocate (up to) 4 GiB and read past the file.
+        if ptr.offset + ENTRY_HEADER as u64 + len > tail {
+            return Err(bad_record(ptr, "entry length past tail"));
+        }
+        let mut bytes = vec![0u8; len as usize];
         self.read_bytes(ptr.offset + ENTRY_HEADER as u64, &mut bytes, trace)?;
         Ok(RafEntry { id, bytes })
     }
@@ -211,10 +229,18 @@ impl Raf {
         buf: &mut [u8],
         trace: &mut dyn FnMut(u64),
     ) -> io::Result<()> {
-        assert!(
-            off + buf.len() as u64 <= self.tail.load(Ordering::SeqCst),
-            "RAF read past tail"
-        );
+        if off + buf.len() as u64 > self.tail.load(Ordering::SeqCst) {
+            // A stale/corrupt pointer (e.g. from a damaged B⁺-tree leaf)
+            // must surface as a typed error, not a panic.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "RAF read of {} byte(s) at offset {off} past tail {}",
+                    buf.len(),
+                    self.tail.load(Ordering::SeqCst)
+                ),
+            ));
+        }
         let mut filled = 0usize;
         while filled < buf.len() {
             let page_no = off / PAGE_DATA_SIZE as u64;
@@ -380,6 +406,26 @@ mod tests {
         );
         assert_eq!(raf.get(p3).unwrap().bytes.len(), 10_000);
         assert_eq!(raf.get(p3).unwrap().id, 3);
+    }
+
+    #[test]
+    fn bogus_pointers_are_typed_errors_not_panics() {
+        let dir = TempDir::new("raf-bogus-ptr");
+        let raf = Raf::create(&dir.path().join("o.raf"), 8).unwrap();
+        let p = raf.append(1, b"hello").unwrap();
+
+        // Offset past the tail: the entry header itself is out of range.
+        let err = raf.get(RafPtr { offset: 1 << 40 }).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        // Offset inside the payload: the bytes there reinterpret as a
+        // header whose length runs past the tail.
+        let err = raf
+            .get(RafPtr {
+                offset: p.offset + 5,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
     }
 
     #[test]

@@ -314,3 +314,99 @@ fn concurrent_inserts_then_queries_see_everything() {
         );
     }
 }
+
+#[test]
+fn mixed_read_write_batch_stress() {
+    // The reader–writer latch under real contention: writer threads churn
+    // insert/delete of novel objects while reader threads run range
+    // batches. Readers must always see a consistent index — every
+    // baseline answer present, no torn state, no panics — and once the
+    // writers finish (each insert matched by a delete) the index must be
+    // exactly the baseline again.
+    let data = dataset::words(1_500, 1007);
+    let metric = dataset::words_metric();
+    let dir = TempDir::new("conc-mixed");
+    let cfg = SpbConfig {
+        cache_shards: 4,
+        ..SpbConfig::default()
+    };
+    let tree = Arc::new(SpbTree::build(dir.path(), &data, metric, &cfg).unwrap());
+    let data = Arc::new(data);
+    let r = 1.0;
+
+    // Baseline answers; writers only touch "zz"-prefixed words (disjoint
+    // from the random baseline vocabulary), so a reader's answer set
+    // restricted to baseline ids must equal the serial baseline answer.
+    let baseline_len = tree.len();
+    let queries: Vec<_> = data[..16].iter().map(|q| (q.clone(), r)).collect();
+    let expected: Vec<Vec<u32>> = tree
+        .range_batch(&queries, 1)
+        .unwrap()
+        .into_iter()
+        .map(|(hits, _)| {
+            let mut ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    let writers_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..2)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            thread::spawn(move || {
+                for i in 0..60 {
+                    let w = spb::metric::Word::new(format!("zzwriter{t}x{i}"));
+                    tree.insert(&w).unwrap();
+                    let (found, _) = tree.delete(&w).unwrap();
+                    assert!(found, "writer {t}: own insert {i} must be deletable");
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..4)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let queries = queries.clone();
+            let expected = expected.clone();
+            let writers_done = Arc::clone(&writers_done);
+            thread::spawn(move || {
+                let mut rounds = 0;
+                while !writers_done.load(std::sync::atomic::Ordering::SeqCst) || rounds < 3 {
+                    let got = tree.range_batch(&queries, 1 + (t % 3)).unwrap();
+                    for (i, (hits, _)) in got.iter().enumerate() {
+                        let mut ids: Vec<u32> = hits
+                            .iter()
+                            .filter(|(_, w)| !w.as_str().starts_with("zzwriter"))
+                            .map(|&(id, _)| id)
+                            .collect();
+                        ids.sort_unstable();
+                        assert_eq!(ids, expected[i], "reader {t}, round {rounds}, query {i}");
+                    }
+                    rounds += 1;
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().expect("no panics in writer threads");
+    }
+    writers_done.store(true, std::sync::atomic::Ordering::SeqCst);
+    for h in readers {
+        h.join().expect("no panics in reader threads");
+    }
+
+    // Every writer deleted what it inserted: back to the exact baseline.
+    assert_eq!(tree.len(), baseline_len);
+    let final_ids: Vec<Vec<u32>> = tree
+        .range_batch(&queries, 2)
+        .unwrap()
+        .into_iter()
+        .map(|(hits, _)| {
+            let mut ids: Vec<u32> = hits.into_iter().map(|(id, _)| id).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect();
+    assert_eq!(final_ids, expected);
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests for the network query service: the remote path must
+//! be a *transparent* proxy for the in-process batch APIs — byte-identical
+//! results and identical per-query cost metrics — and the admission layer
+//! must enforce its load-shedding and deadline contracts under real
+//! concurrent TCP load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spb::metric::{dataset, MetricObject, Word};
+use spb::storage::TempDir;
+use spb::{SpbConfig, SpbTree};
+use spb_server::{
+    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Schema,
+    ServerConfig,
+};
+
+const RADIUS: f64 = 2.0;
+const K: u32 = 5;
+const CACHE_PAGES: usize = 32;
+const SHARDS: usize = 4;
+
+/// Builds a words index with its `cli.schema` and returns the dataset.
+fn build_words(dir: &TempDir, n: usize, seed: u64) -> (Vec<Word>, usize) {
+    let data = dataset::words(n, seed);
+    let max_len = data.iter().map(Word::len).max().unwrap_or(1);
+    let tree = SpbTree::build(
+        dir.path(),
+        &data,
+        spb::metric::EditDistance::new(max_len),
+        &SpbConfig::default(),
+    )
+    .unwrap();
+    drop(tree);
+    std::fs::write(schema_path(dir.path()), Schema::Words { max_len }.to_line()).unwrap();
+    (data, max_len)
+}
+
+fn start_server(dir: &TempDir, cfg: ServerConfig) -> spb_server::ServerHandle {
+    let service = open_index(dir.path(), CACHE_PAGES, SHARDS).unwrap();
+    serve(service, "127.0.0.1:0", cfg).unwrap()
+}
+
+/// The tentpole acceptance check: remote batch range and kNN return
+/// byte-identical hits and identical `QueryStats` (minus wall-clock) to
+/// the in-process batch APIs over the same index directory.
+#[test]
+fn remote_batches_are_byte_identical_to_in_process() {
+    let dir = TempDir::new("e2e-identical");
+    let (data, max_len) = build_words(&dir, 600, 42);
+    let queries: Vec<Word> = data[..24].to_vec();
+
+    // In-process reference, opened exactly like the server opens it
+    // (same cache capacity and striping — per-query stats are computed
+    // against a simulated cold cache of the pool's capacity, so the
+    // configurations must match for identical numbers).
+    let tree = SpbTree::open_sharded(
+        dir.path(),
+        spb::metric::EditDistance::new(max_len),
+        CACHE_PAGES,
+        true,
+        SHARDS,
+    )
+    .unwrap();
+    let pairs: Vec<(Word, f64)> = queries.iter().map(|q| (q.clone(), RADIUS)).collect();
+    let local_range = tree.range_batch(&pairs, SHARDS).unwrap();
+    let local_knn = tree.knn_batch(&queries, K as usize, SHARDS).unwrap();
+    drop(tree); // release the directory before the server opens it
+
+    let server = start_server(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let objs: Vec<Vec<u8>> = queries.iter().map(MetricObject::encoded).collect();
+
+    let remote_range = client.batch_range(objs.clone(), RADIUS, 0).unwrap();
+    assert_eq!(remote_range.len(), local_range.len());
+    for (i, ((r_hits, r_stats), (l_hits, l_stats))) in
+        remote_range.iter().zip(&local_range).enumerate()
+    {
+        let local_bytes: Vec<(u32, Vec<u8>)> =
+            l_hits.iter().map(|(id, w)| (*id, w.encoded())).collect();
+        assert_eq!(r_hits, &local_bytes, "range query {i}: hits differ");
+        assert_eq!(r_stats.compdists, l_stats.compdists, "range query {i}");
+        assert_eq!(
+            r_stats.page_accesses, l_stats.page_accesses,
+            "range query {i}"
+        );
+        assert_eq!(r_stats.btree_pa, l_stats.btree_pa, "range query {i}");
+        assert_eq!(r_stats.raf_pa, l_stats.raf_pa, "range query {i}");
+        assert_eq!(r_stats.fsyncs, l_stats.fsyncs, "range query {i}");
+    }
+
+    let remote_knn = client.batch_knn(objs, K, 0).unwrap();
+    assert_eq!(remote_knn.len(), local_knn.len());
+    for (i, ((r_nn, r_stats), (l_nn, l_stats))) in remote_knn.iter().zip(&local_knn).enumerate() {
+        let local_bytes: Vec<(u32, f64, Vec<u8>)> = l_nn
+            .iter()
+            .map(|(id, w, d)| (*id, *d, w.encoded()))
+            .collect();
+        assert_eq!(r_nn, &local_bytes, "knn query {i}: neighbours differ");
+        assert_eq!(r_stats.compdists, l_stats.compdists, "knn query {i}");
+        assert_eq!(
+            r_stats.page_accesses, l_stats.page_accesses,
+            "knn query {i}"
+        );
+        assert_eq!(r_stats.btree_pa, l_stats.btree_pa, "knn query {i}");
+        assert_eq!(r_stats.raf_pa, l_stats.raf_pa, "knn query {i}");
+        assert_eq!(r_stats.fsyncs, l_stats.fsyncs, "knn query {i}");
+    }
+}
+
+/// Eight clients hammering a gate with one slot and no queue: the server
+/// must shed (bounded queue, typed `Overloaded`) yet keep serving what
+/// it admits — never collapse, never queue without bound.
+#[test]
+fn overload_sheds_with_bounded_queue() {
+    let dir = TempDir::new("e2e-overload");
+    let (data, _) = build_words(&dir, 400, 43);
+    let server = start_server(
+        &dir,
+        ServerConfig {
+            admission: AdmissionConfig {
+                max_inflight: 1,
+                max_queue: 0,
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.addr();
+    let shed = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let queries: Arc<Vec<Vec<u8>>> =
+        Arc::new(data[..16].iter().map(MetricObject::encoded).collect());
+
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let (shed, ok, queries) = (Arc::clone(&shed), Arc::clone(&ok), Arc::clone(&queries));
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..30 {
+                    match client.range(&queries[(c + i) % queries.len()], RADIUS, 0) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server {
+                            code: ErrorCode::Overloaded,
+                            ..
+                        }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("client {c}: unexpected failure {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let (shed, ok) = (shed.load(Ordering::Relaxed), ok.load(Ordering::Relaxed));
+    assert!(shed > 0, "8 clients vs 1 slot must shed ({ok} ok)");
+    assert!(ok > 0, "admitted requests must succeed ({shed} shed)");
+    assert_eq!(shed + ok, 8 * 30, "every request got a definite answer");
+    assert_eq!(server.shed_count(), shed, "server counts what clients saw");
+}
+
+/// A request whose deadline cannot be met is answered
+/// `DeadlineExceeded`, checked both at admission and between the
+/// service's traversal batches.
+#[test]
+fn expired_deadlines_get_typed_errors() {
+    let dir = TempDir::new("e2e-deadline");
+    let (data, _) = build_words(&dir, 2_000, 44);
+    let server = start_server(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A large batch with a 1 ms budget: the deadline check between
+    // traversal slices must trip long before the batch completes.
+    let objs: Vec<Vec<u8>> = data[..256].iter().map(MetricObject::encoded).collect();
+    let err = client.batch_range(objs, RADIUS, 1).unwrap_err();
+    match err {
+        ClientError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => {}
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+
+    // The connection survives a deadline miss: the next request works.
+    let (_, stats) = client.range(&data[0].encoded(), RADIUS, 0).unwrap();
+    assert!(stats.compdists > 0);
+}
