@@ -11,6 +11,8 @@
 //! Output is plain text tables on stdout; `EXPERIMENTS.md` records a full
 //! `--scale default` run against the paper's numbers.
 
+#![forbid(unsafe_code)]
+
 use spb_bench::experiments as exp;
 use spb_bench::Scale;
 

@@ -15,6 +15,8 @@
 //! by what factor, where crossovers appear — is preserved across scales;
 //! see DESIGN.md §3.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod experiments;
 pub mod runner;

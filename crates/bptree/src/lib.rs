@@ -21,6 +21,8 @@
 //! access for the query algorithms that drive their own traversals (RQA,
 //! NNA, SJA).
 
+#![forbid(unsafe_code)]
+
 mod node;
 mod tree;
 

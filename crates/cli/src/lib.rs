@@ -11,6 +11,8 @@
 //! The schema is recorded in the index directory (`cli.schema`) at build
 //! time so query commands need only `--index`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::io::{self, BufRead};
 use std::net::SocketAddr;

@@ -38,7 +38,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// [`SpbTree::range`] per query (under the paper's flush-before-query
     /// protocol), for any thread count.
     pub fn range_batch(&self, queries: &[(O, f64)], threads: usize) -> io::Result<RangeBatch<O>> {
-        let _guard = self.latch.read();
+        let _guard = self.latch_shared();
         let pool = WorkerPool::new(threads);
         pool.map(queries, |_, (q, r)| {
             let mut col = self.collector();
@@ -64,7 +64,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         traversal: Traversal,
         threads: usize,
     ) -> io::Result<KnnBatch<O>> {
-        let _guard = self.latch.read();
+        let _guard = self.latch_shared();
         let pool = WorkerPool::new(threads);
         pool.map(queries, |_, q| {
             let mut col = self.collector();

@@ -21,7 +21,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `|RQ(q, O, r)|` — the number of objects within distance `r` of `q`,
     /// computed with as little I/O as the pruning lemmas allow.
     pub fn range_count(&self, q: &O, r: f64) -> io::Result<(u64, QueryStats)> {
-        let _guard = self.latch.read();
+        let _guard = self.latch_shared();
         let mut col = self.collector();
         let mut count = 0u64;
         if !self.is_empty() && r >= 0.0 {

@@ -123,8 +123,8 @@ pub fn similarity_join<O: MetricObject, D: Distance<O>>(
         "join trees must share one pivot table"
     );
 
-    let _guard_q = spb_q.latch.read();
-    let _guard_o = spb_o.latch.read();
+    let _guard_q = spb_q.latch_shared();
+    let _guard_o = spb_o.latch_shared();
     let start = Instant::now();
     // One collector per tree so each side's B⁺-tree/RAF accesses meet the
     // right accounting cache; distances are counted on the Q side.
@@ -298,8 +298,8 @@ pub fn similarity_join_parallel<O: MetricObject, D: Distance<O>>(
         "join trees must share one pivot table"
     );
 
-    let _guard_q = spb_q.latch.read();
-    let _guard_o = spb_o.latch.read();
+    let _guard_q = spb_q.latch_shared();
+    let _guard_o = spb_o.latch_shared();
     let start = Instant::now();
     let mut setup = spb_q.collector();
 

@@ -116,7 +116,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     }
 
     fn knn_full(&self, q: &O, k: usize, traversal: Traversal, alpha: f64) -> KnnResult<O> {
-        let _guard = self.latch.read();
+        let _guard = self.latch_shared();
         let mut col = self.collector();
         let out = self.knn_locked(q, k, traversal, alpha, &mut col)?;
         Ok((out, col.finish()))

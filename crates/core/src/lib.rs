@@ -63,6 +63,8 @@
 //! assert_eq!(nn[0].2, 0.0); // the word itself
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod batch;
 mod config;
 mod cost;

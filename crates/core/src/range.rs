@@ -49,7 +49,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `RQ(q, O, r)`: all indexed objects within distance `r` of `q`
     /// (Definition 2), with the query's cost metrics.
     pub fn range(&self, q: &O, r: f64) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
-        let _guard = self.latch.read();
+        let _guard = self.latch_shared();
         let mut col = self.collector();
         let result = self.range_locked(q, r, &mut col)?;
         Ok((result, col.finish()))

@@ -6,11 +6,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use spb_bptree::BPlusTree;
 use spb_metric::{CountingDistance, DistCounter, Distance, MetricObject};
 use spb_pivots::select_pivots;
 use spb_sfc::Sfc;
+use spb_storage::lockrank::{self, HeldRank, LockRank};
 use spb_storage::{atomic_write_file, IoStats, Raf, RafPtr, Wal, WalFileTag};
 
 use crate::config::SpbConfig;
@@ -107,8 +108,24 @@ pub struct SpbTree<O: MetricObject, D: Distance<O>> {
     /// written one at a time). Queries are fully concurrent with each
     /// other; updates serialise with everything. `parking_lot` rather
     /// than std: no poisoning, so one panicked query in a long-lived
-    /// server process cannot wedge every later request.
-    pub(crate) latch: RwLock<()>,
+    /// server process cannot wedge every later request. Acquired only
+    /// through [`SpbTree::latch_shared`] / [`SpbTree::latch_exclusive`],
+    /// which register the hold with the debug lock-rank checker.
+    latch: RwLock<()>,
+}
+
+/// Shared hold of the tree's structure latch, registered with the
+/// lock-rank checker (rank: tree latch, below buffer-pool shards and the
+/// WAL). The lock releases before the rank registration pops.
+pub(crate) struct TreeLatchShared<'a> {
+    _guard: RwLockReadGuard<'a, ()>,
+    _held: HeldRank,
+}
+
+/// Exclusive hold of the tree's structure latch; see [`TreeLatchShared`].
+pub(crate) struct TreeLatchExclusive<'a> {
+    _guard: RwLockWriteGuard<'a, ()>,
+    _held: HeldRank,
 }
 
 impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
@@ -494,11 +511,12 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     // ------------------------------------------------------------------
 
     /// Starts staging page writes in both pagers (durable mode only).
-    fn txn_begin(&self) {
+    fn txn_begin(&self) -> io::Result<()> {
         if self.wal.is_some() {
-            self.btree.pool().pager().txn_begin();
-            self.raf.pool().pager().txn_begin();
+            self.btree.pool().pager().txn_begin()?;
+            self.raf.pool().pager().txn_begin()?;
         }
+        Ok(())
     }
 
     /// Commits the staged update: WAL (page images + meta, one fsync),
@@ -508,8 +526,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         let Some(wal) = &self.wal else {
             return self.write_meta();
         };
-        let btree_pages = self.btree.pool().pager().txn_pages();
-        let raf_pages = self.raf.pool().pager().txn_pages();
+        let btree_pages = self.btree.pool().pager().txn_pages()?;
+        let raf_pages = self.raf.pool().pager().txn_pages()?;
         if btree_pages.is_empty() && raf_pages.is_empty() {
             // Nothing changed (e.g. a delete that found no match): close
             // the empty transaction without spending an fsync.
@@ -517,7 +535,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             self.raf.pool().pager().txn_commit()?;
             return Ok(());
         }
-        let txid = wal.begin();
+        let txid = wal.begin()?;
         for (id, page) in &btree_pages {
             wal.log_page(txid, WalFileTag::BTree, id.0, page.bytes());
         }
@@ -559,7 +577,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// write latch: syncing page images while an update stages new ones
     /// could truncate the log with uncommitted work in flight.
     pub fn checkpoint(&self) -> io::Result<()> {
-        let _guard = self.latch.write();
+        let _guard = self.latch_exclusive();
         self.checkpoint_locked()
     }
 
@@ -580,11 +598,15 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// through the WAL (a crash either keeps it entirely or loses it
     /// entirely — never a B⁺-tree entry pointing at an unwritten object).
     pub fn insert(&self, o: &O) -> io::Result<QueryStats> {
-        let _guard = self.latch.write();
+        let _guard = self.latch_exclusive();
         let snap = self.snapshot();
         let len_before = self.len.load(Ordering::SeqCst);
         let next_id_before = self.next_id.load(Ordering::SeqCst);
-        self.txn_begin();
+        if let Err(e) = self.txn_begin() {
+            // Nothing staged yet, but abort whichever pager did begin.
+            self.txn_rollback(len_before, next_id_before);
+            return Err(e);
+        }
         let result = (|| {
             let phi = self.table.phi(&self.metric, o);
             let cell = self.table.cell_of_phi(&phi);
@@ -615,11 +637,14 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// object was removed. The B⁺-tree entry is removed; the RAF record is
     /// only marked freed (reclaimed by rebuilding, as in the paper).
     pub fn delete(&self, o: &O) -> io::Result<(bool, QueryStats)> {
-        let _guard = self.latch.write();
+        let _guard = self.latch_exclusive();
         let snap = self.snapshot();
         let len_before = self.len.load(Ordering::SeqCst);
         let next_id_before = self.next_id.load(Ordering::SeqCst);
-        self.txn_begin();
+        if let Err(e) = self.txn_begin() {
+            self.txn_rollback(len_before, next_id_before);
+            return Err(e);
+        }
         let result = (|| {
             let phi = self.table.phi(&self.metric, o);
             let cell = self.table.cell_of_phi(&phi);
@@ -659,6 +684,30 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     // exclusive latch, so the shared counters are exact for them (and
     // capture writes and fsyncs, which queries never issue).
     // ------------------------------------------------------------------
+
+    /// Takes the structure latch shared (queries). The rank check runs
+    /// before blocking, so an ordering violation panics (debug builds)
+    /// instead of deadlocking.
+    pub(crate) fn latch_shared(&self) -> TreeLatchShared<'_> {
+        let held = lockrank::acquire_shared(LockRank::TreeLatch);
+        TreeLatchShared {
+            // spb-lint: allow(lock-order) — the sanctioned shared
+            // acquisition site; the rank was registered on the line above.
+            _guard: self.latch.read(),
+            _held: held,
+        }
+    }
+
+    /// Takes the structure latch exclusively (updates, checkpoints).
+    pub(crate) fn latch_exclusive(&self) -> TreeLatchExclusive<'_> {
+        let held = lockrank::acquire(LockRank::TreeLatch);
+        TreeLatchExclusive {
+            // spb-lint: allow(lock-order) — the sanctioned exclusive
+            // acquisition site; the rank was registered on the line above.
+            _guard: self.latch.write(),
+            _held: held,
+        }
+    }
 
     /// A fresh collector sized to the current cache capacities.
     pub(crate) fn collector(&self) -> StatsCollector {

@@ -27,6 +27,8 @@
 //! Every index reports [`spb_core::QueryStats`]-compatible costs so the
 //! experiment harness can print the paper's tables directly.
 
+#![forbid(unsafe_code)]
+
 mod edindex;
 mod mindex;
 mod mtree;

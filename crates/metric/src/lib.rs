@@ -18,6 +18,8 @@
 //! * [`stats`] — distance histograms, pairwise sampling, and the intrinsic
 //!   dimensionality estimator `ρ = µ²/(2σ²)` used to pick the pivot count.
 
+#![forbid(unsafe_code)]
+
 pub mod counter;
 pub mod dataset;
 pub mod distance;

@@ -115,8 +115,16 @@ impl std::fmt::Debug for Permit {
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut c = self.inner.counters.lock().expect("admission mutex");
-        c.running -= 1;
+        // A poisoned mutex means a handler panicked while holding it; the
+        // counters are still sound (each critical section updates them
+        // atomically), so recover the guard rather than panic and leak
+        // the slot.
+        let mut c = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.running = c.running.saturating_sub(1);
         drop(c);
         self.inner.slot_freed.notify_one();
     }
@@ -146,7 +154,10 @@ impl Admission {
     /// the request while holding it.
     pub fn admit(&self, deadline: Deadline, shutdown: &AtomicBool) -> Result<Permit, AdmitError> {
         let inner = &self.inner;
-        let mut c = inner.counters.lock().expect("admission mutex");
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return Err(AdmitError::ShuttingDown);
@@ -175,9 +186,9 @@ impl Admission {
             let (guard, _timeout) = inner
                 .slot_freed
                 .wait_timeout(c, wait)
-                .expect("admission mutex");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             c = guard;
-            c.queued -= 1;
+            c.queued = c.queued.saturating_sub(1);
         }
     }
 

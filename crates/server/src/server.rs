@@ -217,11 +217,11 @@ fn read_full(
     shutdown: &AtomicBool,
 ) -> io::Result<ReadOutcome> {
     let mut pos = 0;
-    while pos < buf.len() {
+    while let Some(dst) = buf.get_mut(pos..).filter(|d| !d.is_empty()) {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(ReadOutcome::Shutdown);
         }
-        match stream.read(&mut buf[pos..]) {
+        match stream.read(dst) {
             Ok(0) => {
                 if pos == 0 {
                     return Ok(ReadOutcome::Closed);
@@ -372,7 +372,13 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
             .knn_batch(&objs, k as usize, threads, deadline)
             .map(|queries| Response::BatchKnn { queries }),
         Request::Ping | Request::Stats | Request::Shutdown => {
-            unreachable!("control-plane requests are handled before admission")
+            // Control-plane requests are answered before admission; if one
+            // reaches here the dispatcher is broken, but a typed error
+            // response beats aborting the worker thread.
+            return error_response(
+                ErrorCode::Internal,
+                "control-plane request reached the execution path",
+            );
         }
     };
     match result {
@@ -400,6 +406,7 @@ extern "C" fn on_signal(_sig: i32) {
 /// Routes SIGINT/SIGTERM to a flag readable via
 /// [`signal_shutdown_requested`], so a serving process can drain and
 /// checkpoint instead of dying mid-write. No-op outside Unix.
+#[allow(unsafe_code)] // fenced: the only unsafe in the workspace, see below
 pub fn install_signal_handler() {
     #[cfg(unix)]
     {
@@ -408,6 +415,9 @@ pub fn install_signal_handler() {
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
+        // spb-lint: allow(no-unsafe) — registering a POSIX signal handler
+        // has no safe std equivalent; the handler body is a single atomic
+        // store, the only async-signal-safe operation it performs.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);

@@ -93,6 +93,8 @@ pub enum WireError {
     },
     /// Unknown opcode byte.
     BadOpcode(u8),
+    /// An error response carried an unknown [`ErrorCode`] byte.
+    BadErrorCode(u8),
     /// The peer speaks a different protocol version.
     VersionMismatch {
         /// Version byte the peer sent.
@@ -117,6 +119,7 @@ impl fmt::Display for WireError {
                 write!(f, "frame payload of {len} bytes exceeds limit of {max}")
             }
             WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadErrorCode(b) => write!(f, "unknown error code {b:#04x}"),
             WireError::VersionMismatch { got } => {
                 write!(
                     f,
@@ -159,8 +162,8 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
-    fn from_byte(b: u8) -> Option<ErrorCode> {
-        Some(match b {
+    fn from_byte(b: u8) -> Result<ErrorCode, WireError> {
+        Ok(match b {
             1 => ErrorCode::Overloaded,
             2 => ErrorCode::DeadlineExceeded,
             3 => ErrorCode::VersionMismatch,
@@ -168,7 +171,9 @@ impl ErrorCode {
             5 => ErrorCode::FrameTooLarge,
             6 => ErrorCode::Internal,
             7 => ErrorCode::ShuttingDown,
-            _ => return None,
+            // Named (not `_`) so a new code added above without a decode
+            // arm still surfaces its byte in the error.
+            unknown => return Err(WireError::BadErrorCode(unknown)),
         })
     }
 }
@@ -411,26 +416,26 @@ impl<'a> Cur<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.b[self.pos..self.pos + n];
+        let s = self
+            .b
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated)?;
         self.pos += n;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        let s = self.take(4)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        let s: [u8; 4] = self.take(4)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u32::from_le_bytes(s))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        let s = self.take(8)?;
-        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+        let s: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(s))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -798,7 +803,7 @@ impl Response {
             },
             x if x == OP_SHUTDOWN | RESP_BIT => Response::Shutdown,
             OP_ERROR => {
-                let code = ErrorCode::from_byte(c.u8()?).ok_or(WireError::BadOpcode(OP_ERROR))?;
+                let code = ErrorCode::from_byte(c.u8()?)?;
                 Response::Error {
                     code,
                     server_version: c.u8()?,
@@ -829,8 +834,9 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Parses a frame header into `(payload_len, payload_crc)`, validating
 /// the length against `max` before anything is allocated.
 pub fn parse_frame_header(header: &[u8; FRAME_HEADER], max: u32) -> Result<(u32, u32), WireError> {
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let [l0, l1, l2, l3, c0, c1, c2, c3] = *header;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
+    let crc = u32::from_le_bytes([c0, c1, c2, c3]);
     if len == 0 || len > max {
         return Err(WireError::FrameTooLarge { len, max });
     }

@@ -16,6 +16,8 @@
 //! `computeSFC` step of Algorithm 1), and the `L∞` lower-bound distance
 //! `MIND` between a query point and a box (Lemma 3).
 
+#![forbid(unsafe_code)]
+
 mod curve;
 mod grid;
 

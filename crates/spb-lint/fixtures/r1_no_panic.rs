@@ -1,0 +1,15 @@
+// Lint fixture: seeded `no-panic` violations. Never compiled — the
+// fixtures directory is excluded from workspace scans and analyzed only
+// by spb-lint's own tests (under a no-panic-zone pseudo path).
+fn decode(buf: &[u8], x: Option<u8>) -> u8 {
+    let a = buf[0];
+    let b = x.unwrap();
+    let c = x.expect("present");
+    if a > 10 {
+        panic!("bad frame");
+    }
+    if b == c {
+        unreachable!();
+    }
+    b
+}

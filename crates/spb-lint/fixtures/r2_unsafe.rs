@@ -1,0 +1,4 @@
+// Lint fixture: seeded `no-unsafe` violation. Never compiled.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

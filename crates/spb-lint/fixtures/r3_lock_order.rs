@@ -1,0 +1,9 @@
+// Lint fixture: seeded `lock-order` violations. Never compiled.
+fn inverted(w: &Wal, tree: &Tree) {
+    let _wal = w.lock_file();
+    let _latch = tree.latch_shared();
+}
+
+fn raw(shard: &Shard) {
+    let _g = shard.inner.lock();
+}

@@ -1,0 +1,7 @@
+// Lint fixture: seeded `catch-all` violation. Never compiled.
+fn decode_record(b: u8) -> Option<u8> {
+    match b {
+        1 => Some(1),
+        _ => None,
+    }
+}

@@ -1,0 +1,9 @@
+// Lint fixture: seeded `dead-variant` violation. Never compiled.
+pub enum ErrorCode {
+    Used = 1,
+    NeverBuilt = 2,
+}
+
+pub fn produce() -> ErrorCode {
+    ErrorCode::Used
+}

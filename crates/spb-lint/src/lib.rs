@@ -1,0 +1,509 @@
+//! The workspace's static-analysis pass (`spb-lint`).
+//!
+//! A dependency-free linter that enforces the invariants the compiler
+//! cannot: panic-free decode paths, a fenced-`unsafe` policy, latch
+//! acquisition order, total `match` coverage in wire/WAL decoding, and
+//! live-ness of every counter and error-code variant. It lexes Rust
+//! source with the hand-rolled [`lexer`] (the build environment is
+//! offline, so no syn/proc-macro machinery) and runs token-level rules
+//! from [`rules`].
+//!
+//! # Rules
+//!
+//! | slug | default | what it enforces |
+//! |------|---------|------------------|
+//! | `no-panic` | deny | no `unwrap`/`expect`/panicking macro/slice index in no-panic zones |
+//! | `no-unsafe` | deny | no `unsafe` anywhere; every crate root forbids it |
+//! | `lock-order` | deny | ranked helpers only; no descending-rank acquisition |
+//! | `catch-all` | deny | no `_ =>` arms in wire/WAL decode functions |
+//! | `dead-variant` | warn | every counter field / error variant referenced outside its definition |
+//! | `bad-allow` | deny | malformed suppression markers |
+//!
+//! # Suppression markers
+//!
+//! A finding is suppressed by a line comment of the form
+//! `spb-lint: allow(<slug>) — <reason>` placed on the offending line or
+//! on its own line directly above (intervening comment lines are fine).
+//! The reason is mandatory: a marker without one is itself reported
+//! under `bad-allow`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lexer::{LexFile, Tok};
+
+/// The rule catalog. Slugs are what appear in diagnostics and in
+/// suppression markers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Panic-capable construct in a no-panic zone.
+    NoPanic,
+    /// `unsafe` code, or a crate root that does not forbid it.
+    NoUnsafe,
+    /// Raw latch/mutex acquisition or descending-rank lock order.
+    LockOrder,
+    /// `_ =>` catch-all arm in a decode function.
+    CatchAll,
+    /// Enum variant / counter field never referenced outside its
+    /// definition.
+    DeadVariant,
+    /// Malformed suppression marker.
+    BadAllow,
+}
+
+impl Rule {
+    /// Stable diagnostic slug, also used in suppression markers.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoUnsafe => "no-unsafe",
+            Rule::LockOrder => "lock-order",
+            Rule::CatchAll => "catch-all",
+            Rule::DeadVariant => "dead-variant",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a marker slug. Named bindings (not `_`) keep the match
+    /// total under this crate's own catch-all rule spirit.
+    pub fn from_slug(s: &str) -> Option<Rule> {
+        match s {
+            "no-panic" => Some(Rule::NoPanic),
+            "no-unsafe" => Some(Rule::NoUnsafe),
+            "lock-order" => Some(Rule::LockOrder),
+            "catch-all" => Some(Rule::CatchAll),
+            "dead-variant" => Some(Rule::DeadVariant),
+            "bad-allow" => Some(Rule::BadAllow),
+            other => {
+                let _ = other;
+                None
+            }
+        }
+    }
+
+    /// Whether the rule denies (fails the build) or warns by default.
+    /// `dead-variant` is advisory unless `--deny-all` promotes it.
+    pub fn denied(self, deny_all: bool) -> bool {
+        match self {
+            Rule::DeadVariant => deny_all,
+            _ => true,
+        }
+    }
+}
+
+/// One finding, addressed `file:line` (1-based, repo-relative path).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// A parsed suppression marker.
+#[derive(Clone, Debug)]
+pub struct AllowMark {
+    /// The suppressed rule.
+    pub rule: Rule,
+    /// Line the marker comment sits on.
+    pub line: u32,
+    /// The code line the marker covers (first code line at or below it).
+    pub covers: u32,
+}
+
+/// One lexed and pre-processed source file.
+#[derive(Debug)]
+pub struct FileData {
+    /// Repo-relative path with forward slashes.
+    pub rel: String,
+    /// Code tokens with `#[cfg(test)]` items removed.
+    pub code: Vec<Tok>,
+    /// Valid suppression markers.
+    pub allows: Vec<AllowMark>,
+}
+
+impl FileData {
+    /// True iff `rule` at `line` is covered by a marker.
+    pub fn allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.covers == line))
+    }
+}
+
+/// Linter configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Promote warn-level rules to deny.
+    pub deny_all: bool,
+}
+
+impl Config {
+    /// The enclosing repository (two levels above this crate), the
+    /// default for `cargo run -p spb-lint`.
+    pub fn repo_default() -> Config {
+        let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        root.pop();
+        root.pop();
+        Config {
+            root,
+            deny_all: false,
+        }
+    }
+}
+
+/// The result of a full scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the build under the given promotion flag.
+    pub fn denied(&self, deny_all: bool) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(move |v| v.rule.denied(deny_all))
+    }
+}
+
+/// Directories under the root that hold workspace sources.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Path fragments that are never scanned: vendored stubs, build
+/// output, and this linter's own known-bad rule fixtures.
+const SKIP_FRAGMENTS: &[&str] = &["third_party/", "target/", "crates/spb-lint/fixtures/"];
+
+/// Runs every rule over the workspace rooted at `cfg.root`.
+pub fn run(cfg: &Config) -> Report {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        collect_rs(&cfg.root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    let mut datas = Vec::new();
+    for path in &files {
+        let rel = rel_path(&cfg.root, path);
+        if SKIP_FRAGMENTS.iter().any(|f| rel.contains(f)) {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        datas.push(analyze(rel, &src, &mut report.violations));
+    }
+
+    for d in &datas {
+        rules::no_panic(d, &mut report.violations);
+        rules::no_unsafe(d, &mut report.violations);
+        rules::lock_order(d, &mut report.violations);
+        rules::catch_all(d, &mut report.violations);
+    }
+    rules::crate_roots(&datas, &mut report.violations);
+    rules::dead_variants(&datas, &mut report.violations);
+
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    report
+}
+
+/// Lexes one file, strips test items, and parses its markers (pushing
+/// `bad-allow` findings for malformed ones).
+pub fn analyze(rel: String, src: &str, out: &mut Vec<Violation>) -> FileData {
+    let lexed = lexer::lex(src);
+    let code = strip_tests(&lexed.toks);
+    let allows = parse_allows(&rel, &lexed, &code, out);
+    FileData { rel, code, allows }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Removes `#[cfg(test)]` items (the attribute, any stacked attributes,
+/// and the item body through its matching brace or terminating `;`).
+/// Test code may use `unwrap`/indexing freely — the rules only govern
+/// production paths.
+pub fn strip_tests(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let mut k = end_of_attr(toks, i);
+            // Stacked attributes between #[cfg(test)] and the item.
+            while k < toks.len()
+                && toks[k].text == "#"
+                && toks.get(k + 1).is_some_and(|t| t.text == "[")
+            {
+                k = end_of_attr(toks, k);
+            }
+            // Skip the item: through a brace-matched body, or to `;`
+            // for brace-less items (`#[cfg(test)] use ...;`).
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "{" => {
+                        k = match_brace(toks, k);
+                        break;
+                    }
+                    ";" => {
+                        k += 1;
+                        break;
+                    }
+                    _ => k += 1,
+                }
+            }
+            i = k;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    toks.len() >= i + texts.len()
+        && texts
+            .iter()
+            .zip(&toks[i..])
+            .all(|(want, tok)| tok.text == *want)
+}
+
+/// From the `#` of an attribute, returns the index past its closing `]`.
+pub(crate) fn end_of_attr(toks: &[Tok], i: usize) -> usize {
+    let mut k = i + 1; // at '['
+    let mut depth = 0usize;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// From the index of a `{`, returns the index past its matching `}`.
+pub(crate) fn match_brace(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = i;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+const MARKER_PREFIX: &str = "spb-lint:";
+
+fn parse_allows(
+    rel: &str,
+    lexed: &LexFile,
+    code: &[Tok],
+    out: &mut Vec<Violation>,
+) -> Vec<AllowMark> {
+    let mut allows = Vec::new();
+    for c in &lexed.comments {
+        // A marker must *begin* the comment (doc-comment `/`/`!` trivia
+        // aside) — prose that merely mentions the grammar, e.g. inside
+        // backticks in this crate's own docs, is not a marker.
+        let t = c.text.trim_start_matches(['/', '!', ' ', '\t']);
+        if !t.starts_with(MARKER_PREFIX) {
+            continue;
+        }
+        let rest = t[MARKER_PREFIX.len()..].trim_start();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: "unrecognized spb-lint marker; expected `allow(<rule>) — <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: "unterminated allow marker: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let slug = inner[..close].trim();
+        let Some(rule) = Rule::from_slug(slug) else {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: format!("allow marker names unknown rule `{slug}`"),
+            });
+            continue;
+        };
+        let reason = inner[close + 1..].trim_start_matches(|ch: char| {
+            ch.is_whitespace() || matches!(ch, '—' | '-' | ':' | ',')
+        });
+        if reason.trim().is_empty() {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: c.line,
+                rule: Rule::BadAllow,
+                message: format!(
+                    "allow({slug}) marker has no justification; write `allow({slug}) — <reason>`"
+                ),
+            });
+            continue;
+        }
+        // The marker covers its own line and the first code line below
+        // it (continuation comment lines in between are fine).
+        let covers = code
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > c.line)
+            .min()
+            .unwrap_or(c.line);
+        allows.push(AllowMark {
+            rule,
+            line: c.line,
+            covers,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(rel: &str, src: &str) -> (FileData, Vec<Violation>) {
+        let mut out = Vec::new();
+        let d = analyze(rel.to_string(), src, &mut out);
+        (d, out)
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn also() {}";
+        let (d, _) = data("a.rs", src);
+        let idents: Vec<_> = d.code.iter().map(|t| t.text.as_str()).collect();
+        assert!(idents.contains(&"live"));
+        assert!(idents.contains(&"also"));
+        assert!(!idents.contains(&"unwrap"));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_stops_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let (d, _) = data("a.rs", src);
+        assert!(d.code.iter().any(|t| t.text == "live"));
+        assert!(!d.code.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn marker_covers_own_and_next_code_line() {
+        let src = "fn f() {\n    // spb-lint: allow(no-panic) — justified here\n    // continuation line\n    x.unwrap();\n}";
+        let (d, bad) = data("a.rs", src);
+        assert!(bad.is_empty());
+        assert_eq!(d.allows.len(), 1);
+        assert!(d.allowed(Rule::NoPanic, 4));
+        assert!(!d.allowed(Rule::NoPanic, 5));
+        assert!(!d.allowed(Rule::NoUnsafe, 4));
+    }
+
+    #[test]
+    fn marker_without_reason_is_reported() {
+        let (_, bad) = data("a.rs", "// spb-lint: allow(no-panic)\nfn f() {}");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, Rule::BadAllow);
+        assert_eq!(bad[0].line, 1);
+    }
+
+    #[test]
+    fn marker_with_unknown_rule_is_reported() {
+        let (_, bad) = data(
+            "a.rs",
+            "// spb-lint: allow(no-such-rule) — because\nfn f() {}",
+        );
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn violation_display_is_path_line_rule() {
+        let v = Violation {
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: Rule::NoPanic,
+            message: "m".into(),
+        };
+        assert_eq!(v.to_string(), "crates/x/src/a.rs:7: [no-panic] m");
+    }
+}

@@ -1,0 +1,65 @@
+//! CLI entry point: `cargo run -p spb-lint [-- --deny-all] [--root DIR]`.
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding and
+//! exits non-zero iff any deny-level finding exists (`--deny-all`
+//! promotes warn-level rules, which is how CI runs it).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = spb_lint::Config::repo_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => cfg.deny_all = true,
+            "--root" => match args.next() {
+                Some(dir) => cfg.root = PathBuf::from(dir),
+                None => {
+                    eprintln!("spb-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "spb-lint: workspace static analysis\n\n\
+                     USAGE: spb-lint [--deny-all] [--root DIR]\n\n\
+                     --deny-all   promote warn-level rules (dead-variant) to deny\n\
+                     --root DIR   scan DIR instead of this workspace\n\n\
+                     Rules: no-panic, no-unsafe, lock-order, catch-all, dead-variant,\n\
+                     bad-allow. See DESIGN.md §10 for the catalog and the allow-marker\n\
+                     grammar."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("spb-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = spb_lint::run(&cfg);
+    let mut denied = 0usize;
+    let mut warned = 0usize;
+    for v in &report.violations {
+        if v.rule.denied(cfg.deny_all) {
+            denied += 1;
+            eprintln!("{v}");
+        } else {
+            warned += 1;
+            eprintln!("warning: {v}");
+        }
+    }
+    eprintln!(
+        "spb-lint: {} file(s) scanned, {} error(s), {} warning(s)",
+        report.files_scanned, denied, warned
+    );
+    if denied > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

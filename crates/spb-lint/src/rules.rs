@@ -1,0 +1,681 @@
+//! The rule implementations. Each rule is a pure function over one (or
+//! all) [`FileData`]s pushing [`Violation`]s; suppression markers are
+//! honored via [`FileData::allowed`].
+
+use std::collections::HashSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::{end_of_attr, match_brace, FileData, Rule, Violation};
+
+/// Files where *nothing* may panic: every byte read off disk or off the
+/// wire flows through these, so a malformed input must surface as a
+/// typed error, never a unwind. Paths are repo-relative.
+pub const NO_PANIC_ZONES: &[&str] = &[
+    "crates/server/src/wire.rs",
+    "crates/server/src/server.rs",
+    "crates/storage/src/raf.rs",
+    "crates/storage/src/pager.rs",
+    "crates/storage/src/wal.rs",
+];
+
+/// Macros that unwind on reach. `debug_assert*` is deliberately absent:
+/// debug-only invariant checks are encouraged in the zones.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that can directly precede `[` without it being an indexing
+/// expression (slice patterns `let [a, b] = ..`, types `&mut [u8]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "as", "if", "else", "match", "return", "break", "continue", "move",
+    "dyn", "impl", "fn", "where", "for", "while", "loop", "const", "static", "use", "pub", "crate",
+    "super", "mod", "type", "struct", "enum", "union", "trait", "unsafe", "async", "await", "box",
+    "yield",
+];
+
+fn push(d: &FileData, out: &mut Vec<Violation>, rule: Rule, line: u32, message: String) {
+    if d.allowed(rule, line) {
+        return;
+    }
+    out.push(Violation {
+        file: d.rel.clone(),
+        line,
+        rule,
+        message,
+    });
+}
+
+/// R1 — `no-panic`: no `unwrap`/`expect`, no panicking macro, no
+/// direct slice/array indexing inside the no-panic zones.
+pub fn no_panic(d: &FileData, out: &mut Vec<Violation>) {
+    if !NO_PANIC_ZONES.contains(&d.rel.as_str()) {
+        return;
+    }
+    let toks = &d.code;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                let prev_dot = i > 0 && toks[i - 1].text == ".";
+                let next = toks.get(i + 1).map(|n| n.text.as_str());
+                if prev_dot && next == Some("(") && matches!(t.text.as_str(), "unwrap" | "expect") {
+                    push(
+                        d,
+                        out,
+                        Rule::NoPanic,
+                        t.line,
+                        format!(
+                            "`.{}()` in a no-panic zone; return a typed error instead",
+                            t.text
+                        ),
+                    );
+                }
+                if next == Some("!") && PANIC_MACROS.contains(&t.text.as_str()) {
+                    let after = toks.get(i + 2).map(|n| n.text.as_str());
+                    if matches!(after, Some("(") | Some("[") | Some("{")) {
+                        push(
+                            d,
+                            out,
+                            Rule::NoPanic,
+                            t.line,
+                            format!(
+                                "`{}!` in a no-panic zone; malformed input must become a \
+                                 typed error, not an unwind",
+                                t.text
+                            ),
+                        );
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "[" && i > 0 => {
+                let p = &toks[i - 1];
+                let indexing = match p.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Punct => p.text == ")" || p.text == "]",
+                    _ => false,
+                };
+                if indexing {
+                    push(
+                        d,
+                        out,
+                        Rule::NoPanic,
+                        t.line,
+                        "slice/array indexing can panic in a no-panic zone; use `.get()` / \
+                         `split_at` / pattern destructuring"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R2 (site half) — `no-unsafe`: no `unsafe` token anywhere in the
+/// workspace. A vetted FFI site may carry an allow marker; everything
+/// else is a finding.
+pub fn no_unsafe(d: &FileData, out: &mut Vec<Violation>) {
+    for t in &d.code {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            push(
+                d,
+                out,
+                Rule::NoUnsafe,
+                t.line,
+                "`unsafe` is forbidden workspace-wide; if this site is unavoidable, fence it \
+                 with a justified allow marker"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// R2 (attribute half) — every crate root must carry
+/// `#![forbid(unsafe_code)]`. `#![deny(unsafe_code)]` is accepted only
+/// when the crate actually contains a fenced, allow-marked `unsafe`
+/// site (forbid cannot be overridden item-locally, so such a crate
+/// cannot use it).
+pub fn crate_roots(datas: &[FileData], out: &mut Vec<Violation>) {
+    let fenced: HashSet<String> = datas
+        .iter()
+        .filter(|d| d.allows.iter().any(|a| a.rule == Rule::NoUnsafe))
+        .map(|d| crate_prefix(&d.rel))
+        .collect();
+    for d in datas {
+        if !is_crate_root(&d.rel) {
+            continue;
+        }
+        match unsafe_attr(&d.code) {
+            Some(("forbid", _)) => {}
+            Some(("deny", line)) => {
+                if !fenced.contains(&crate_prefix(&d.rel)) {
+                    push(
+                        d,
+                        out,
+                        Rule::NoUnsafe,
+                        line,
+                        "crate root uses `#![deny(unsafe_code)]` but the crate has no fenced \
+                         allow-marked unsafe site; use `#![forbid(unsafe_code)]`"
+                            .to_string(),
+                    );
+                }
+            }
+            Some((other, line)) => {
+                // `allow(unsafe_code)` / `warn(unsafe_code)` and friends.
+                push(
+                    d,
+                    out,
+                    Rule::NoUnsafe,
+                    line,
+                    format!(
+                        "crate root weakens the unsafe policy with `#![{other}(unsafe_code)]`; \
+                         use `#![forbid(unsafe_code)]`"
+                    ),
+                );
+            }
+            None => {
+                push(
+                    d,
+                    out,
+                    Rule::NoUnsafe,
+                    1,
+                    "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                );
+            }
+        }
+    }
+}
+
+fn is_crate_root(rel: &str) -> bool {
+    if rel == "src/lib.rs" || rel == "src/main.rs" {
+        return true;
+    }
+    rel.strip_prefix("crates/").is_some_and(|rest| {
+        rest.ends_with("/src/lib.rs")
+            || rest.ends_with("/src/main.rs")
+            || rest.contains("/src/bin/")
+    })
+}
+
+fn crate_prefix(rel: &str) -> String {
+    match rel.strip_prefix("crates/") {
+        Some(rest) => format!("crates/{}", rest.split('/').next().unwrap_or_default()),
+        None => "src".to_string(),
+    }
+}
+
+/// Finds the first `#![<lint>(unsafe_code)]` inner attribute; returns
+/// the lint name and its line.
+fn unsafe_attr(toks: &[Tok]) -> Option<(&str, u32)> {
+    for i in 0..toks.len().saturating_sub(7) {
+        if toks[i].text == "#"
+            && toks[i + 1].text == "!"
+            && toks[i + 2].text == "["
+            && toks[i + 3].kind == TokKind::Ident
+            && toks[i + 4].text == "("
+            && toks[i + 5].text == "unsafe_code"
+            && toks[i + 6].text == ")"
+            && toks[i + 7].text == "]"
+        {
+            return Some((toks[i + 3].text.as_str(), toks[i + 3].line));
+        }
+    }
+    None
+}
+
+/// The declared lock order. Rank must strictly ascend along any
+/// acquisition chain; equal ranks are legal only when *both* holds are
+/// shared (the similarity join holds two tree latches shared).
+///
+/// Table: helper name → (rank, shared). These are the only sanctioned
+/// acquisition helpers; see the raw-pattern half below for the ban on
+/// bypassing them.
+pub const RANKED_HELPERS: &[(&str, u8, bool)] = &[
+    ("latch_shared", 10, true),
+    ("latch_exclusive", 10, false),
+    ("lock_inner", 20, false),
+    ("lock_pending", 30, false),
+    ("lock_file", 30, false),
+];
+
+struct RawPattern {
+    /// Exact repo-relative file, or a prefix when `prefix` is true.
+    file: &'static str,
+    prefix: bool,
+    /// Token-text sequence identifying a raw acquisition.
+    seq: &'static [&'static str],
+    fix: &'static str,
+}
+
+/// Raw acquisitions of ranked locks, per file: the fields are private,
+/// but a sibling method could still bypass the ranked helper — this
+/// keeps the helper the single acquisition point.
+const RAW_PATTERNS: &[RawPattern] = &[
+    RawPattern {
+        file: "crates/storage/src/cache.rs",
+        prefix: false,
+        seq: &[".", "inner", ".", "lock", "("],
+        fix: "use Shard::lock_inner()",
+    },
+    RawPattern {
+        file: "crates/storage/src/wal.rs",
+        prefix: false,
+        seq: &[".", "pending", ".", "lock", "("],
+        fix: "use Wal::lock_pending()",
+    },
+    RawPattern {
+        file: "crates/storage/src/wal.rs",
+        prefix: false,
+        seq: &[".", "file", ".", "lock", "("],
+        fix: "use Wal::lock_file()",
+    },
+    RawPattern {
+        file: "crates/core/src/",
+        prefix: true,
+        seq: &[".", "latch", ".", "read", "("],
+        fix: "use SpbTree::latch_shared()",
+    },
+    RawPattern {
+        file: "crates/core/src/",
+        prefix: true,
+        seq: &[".", "latch", ".", "write", "("],
+        fix: "use SpbTree::latch_exclusive()",
+    },
+];
+
+/// R3 — `lock-order`: raw acquisitions of ranked locks, and
+/// descending-rank acquisition chains within a function body (the
+/// static mirror of the debug-build runtime checker in
+/// `spb_storage::lockrank`).
+pub fn lock_order(d: &FileData, out: &mut Vec<Violation>) {
+    let toks = &d.code;
+
+    for pat in RAW_PATTERNS {
+        let applies = if pat.prefix {
+            d.rel.starts_with(pat.file)
+        } else {
+            d.rel == pat.file
+        };
+        if !applies {
+            continue;
+        }
+        for i in 0..toks.len().saturating_sub(pat.seq.len() - 1) {
+            if pat
+                .seq
+                .iter()
+                .zip(&toks[i..])
+                .all(|(want, tok)| tok.text == *want)
+            {
+                push(
+                    d,
+                    out,
+                    Rule::LockOrder,
+                    toks[i].line,
+                    format!(
+                        "raw acquisition of a ranked lock bypasses the rank check; {}",
+                        pat.fix
+                    ),
+                );
+            }
+        }
+    }
+
+    // Within-function ordering: a hold lives until its enclosing block
+    // closes (guards bind to `let` at the acquisition's brace depth).
+    struct Hold {
+        name: &'static str,
+        rank: u8,
+        shared: bool,
+        depth: usize,
+    }
+    let mut depth = 0usize;
+    let mut holds: Vec<Hold> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                holds.retain(|h| h.depth <= depth);
+            }
+            _ => {
+                if t.kind != TokKind::Ident
+                    || i == 0
+                    || toks[i - 1].text != "."
+                    || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+                {
+                    continue;
+                }
+                let Some(&(name, rank, shared)) =
+                    RANKED_HELPERS.iter().find(|(n, _, _)| *n == t.text)
+                else {
+                    continue;
+                };
+                for h in &holds {
+                    let legal = h.rank < rank || (h.rank == rank && h.shared && shared);
+                    if !legal {
+                        push(
+                            d,
+                            out,
+                            Rule::LockOrder,
+                            t.line,
+                            format!(
+                                "acquiring `{}` (rank {}) while holding `{}` (rank {}): lock \
+                                 ranks must strictly ascend (equal ranks only shared/shared)",
+                                name, rank, h.name, h.rank
+                            ),
+                        );
+                    }
+                }
+                holds.push(Hold {
+                    name,
+                    rank,
+                    shared,
+                    depth,
+                });
+            }
+        }
+    }
+}
+
+/// Files whose decode functions must match exhaustively.
+const DECODE_FILES: &[&str] = &["crates/server/src/wire.rs", "crates/storage/src/wal.rs"];
+
+fn is_decode_fn(name: &str) -> bool {
+    name.starts_with("decode") || name == "from_byte"
+}
+
+/// R4 — `catch-all`: no `_ =>` arm inside wire/WAL decode functions. A
+/// catch-all silently swallows newly added opcodes or record types; a
+/// named binding (`other => ...`) at least carries the unknown value
+/// into the error, and adding an enum variant then fails loudly at the
+/// match instead of being misparsed.
+pub fn catch_all(d: &FileData, out: &mut Vec<Violation>) {
+    if !DECODE_FILES.contains(&d.rel.as_str()) {
+        return;
+    }
+    let toks = &d.code;
+    let mut depth = 0usize;
+    let mut pending_fn: Option<String> = None;
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            "}" => {
+                if fn_stack.last().is_some_and(|(_, d0)| *d0 == depth) {
+                    fn_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            "fn" if t.kind == TokKind::Ident => {
+                pending_fn = toks
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokKind::Ident)
+                    .map(|n| n.text.clone());
+            }
+            "_" if t.kind == TokKind::Ident => {
+                let arrow = toks.get(i + 1).map(|n| n.text.as_str()) == Some("=")
+                    && toks.get(i + 2).map(|n| n.text.as_str()) == Some(">");
+                if arrow && fn_stack.iter().any(|(n, _)| is_decode_fn(n)) {
+                    push(
+                        d,
+                        out,
+                        Rule::CatchAll,
+                        t.line,
+                        "`_ =>` catch-all in a decode function; bind the value \
+                         (`other => ...`) so unknown bytes surface in the error"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum DefKind {
+    Enum,
+    Struct,
+}
+
+struct Target {
+    file: &'static str,
+    kind: DefKind,
+    name: &'static str,
+}
+
+/// The counter structs and error enums whose members must all be live.
+const DEAD_VARIANT_TARGETS: &[Target] = &[
+    Target {
+        file: "crates/server/src/wire.rs",
+        kind: DefKind::Enum,
+        name: "ErrorCode",
+    },
+    Target {
+        file: "crates/server/src/wire.rs",
+        kind: DefKind::Enum,
+        name: "WireError",
+    },
+    Target {
+        file: "crates/core/src/tree.rs",
+        kind: DefKind::Struct,
+        name: "QueryStats",
+    },
+];
+
+/// R5 — `dead-variant`: every variant of the wire error enums and every
+/// `QueryStats` counter field must be referenced outside its definition
+/// block (warn by default; `--deny-all` promotes). A counter nobody
+/// increments or reads is a hole in the observability story, not a
+/// feature.
+pub fn dead_variants(datas: &[FileData], out: &mut Vec<Violation>) {
+    for target in DEAD_VARIANT_TARGETS {
+        let Some(d) = datas.iter().find(|d| d.rel == target.file) else {
+            continue;
+        };
+        let Some((members, span)) = extract_members(&d.code, target) else {
+            continue;
+        };
+        for (name, line) in members {
+            let referenced = datas.iter().any(|f| {
+                f.code.iter().any(|tok| {
+                    tok.kind == TokKind::Ident
+                        && tok.text == name
+                        && !(f.rel == target.file && (span.0..=span.1).contains(&tok.line))
+                })
+            });
+            if !referenced {
+                push(
+                    d,
+                    out,
+                    Rule::DeadVariant,
+                    line,
+                    format!(
+                        "`{}::{}` is never referenced outside its definition (dead counter \
+                         or error code)",
+                        target.name, name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Member names paired with their declaration lines.
+type Members = Vec<(String, u32)>;
+/// Inclusive (first, last) line span of a definition block.
+type LineSpan = (u32, u32);
+
+/// Returns the member names (with lines) of the target item plus the
+/// line span of its definition block.
+fn extract_members(toks: &[Tok], target: &Target) -> Option<(Members, LineSpan)> {
+    let kw = match target.kind {
+        DefKind::Enum => "enum",
+        DefKind::Struct => "struct",
+    };
+    let at = (0..toks.len().saturating_sub(1))
+        .find(|&i| toks[i].text == kw && toks[i + 1].text == target.name)?;
+    let open = (at..toks.len()).find(|&i| toks[i].text == "{")?;
+    let end = match_brace(toks, open); // index past '}'
+    let span = (
+        toks[at].line,
+        toks.get(end - 1).map_or(toks[at].line, |t| t.line),
+    );
+
+    let mut members = Vec::new();
+    let mut depth = 1usize;
+    let mut k = open + 1;
+    while k < end.saturating_sub(1) {
+        let t = &toks[k];
+        match t.text.as_str() {
+            "#" if toks.get(k + 1).is_some_and(|n| n.text == "[") => {
+                k = end_of_attr(toks, k);
+                continue;
+            }
+            "{" | "(" => depth += 1,
+            "}" | ")" => depth = depth.saturating_sub(1),
+            _ => {
+                if depth == 1 && t.kind == TokKind::Ident && t.text != "pub" {
+                    let is_member = match target.kind {
+                        // `]` covers a variant directly after an attribute.
+                        DefKind::Enum => {
+                            matches!(toks[k - 1].text.as_str(), "{" | "," | "]")
+                        }
+                        DefKind::Struct => toks.get(k + 1).is_some_and(|n| n.text == ":"),
+                    };
+                    if is_member {
+                        members.push((t.text.clone(), t.line));
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    Some((members, span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let d = crate::analyze(rel.to_string(), src, &mut out);
+        no_panic(&d, &mut out);
+        no_unsafe(&d, &mut out);
+        lock_order(&d, &mut out);
+        catch_all(&d, &mut out);
+        out
+    }
+
+    #[test]
+    fn indexing_heuristic_skips_patterns_and_types() {
+        let src = "fn f(buf: &mut [u8], h: &[u8; 8]) {\n    let [a, b] = [1u8, 2];\n    let v: Vec<[u8; 4]> = vec![];\n    let _ = (a, b, v, buf, h);\n}";
+        let v = lint_one("crates/storage/src/wal.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn indexing_expression_is_flagged() {
+        let v = lint_one("crates/storage/src/wal.rs", "fn f(b: &[u8]) -> u8 { b[0] }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanic);
+    }
+
+    #[test]
+    fn macro_bang_vs_not_equals() {
+        let v = lint_one(
+            "crates/storage/src/wal.rs",
+            "fn f(a: u8) -> bool { a != 0 }\nfn g() { panic!(\"x\") }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn zone_scoping_only_flags_zone_files() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(lint_one("crates/storage/src/wal.rs", src).len(), 1);
+        assert!(lint_one("crates/storage/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn equal_rank_shared_shared_is_legal() {
+        let src = "fn f(a: &T, b: &T) {\n    let _g1 = a.latch_shared();\n    let _g2 = b.latch_shared();\n}";
+        assert!(lint_one("crates/core/src/join.rs", src).is_empty());
+    }
+
+    #[test]
+    fn equal_rank_exclusive_is_flagged() {
+        let src = "fn f(a: &T, b: &T) {\n    let _g1 = a.latch_exclusive();\n    let _g2 = b.latch_exclusive();\n}";
+        let v = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn inner_scope_releases_hold() {
+        // The WAL commit shape: pending taken and dropped in an inner
+        // block before the file lock is taken.
+        let src = "fn f(w: &W) {\n    let b = {\n        let p = w.lock_pending();\n        p.take()\n    };\n    let _f = w.lock_file();\n    drop(b);\n}";
+        assert!(lint_one("crates/storage/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn descending_rank_is_flagged() {
+        let src =
+            "fn f(w: &W, t: &T) {\n    let _f = w.lock_file();\n    let _g = t.latch_shared();\n}";
+        let v = lint_one("crates/storage/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("rank 10"));
+        assert!(v[0].message.contains("rank 30"));
+    }
+
+    #[test]
+    fn catch_all_only_in_decode_fns() {
+        let src = "fn decode(b: u8) -> u8 {\n    match b { 0 => 1, _ => 0 }\n}\nfn encode(b: u8) -> u8 {\n    match b { 0 => 1, _ => 0 }\n}";
+        let v = lint_one("crates/storage/src/wal.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, Rule::CatchAll);
+    }
+
+    #[test]
+    fn crate_root_attr_detection() {
+        let mut out = Vec::new();
+        let good = crate::analyze(
+            "crates/x/src/lib.rs".to_string(),
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+            &mut out,
+        );
+        let bad = crate::analyze("crates/y/src/lib.rs".to_string(), "pub fn f() {}", &mut out);
+        crate_roots(&[good, bad], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].file, "crates/y/src/lib.rs");
+        assert!(out[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn dead_variant_detection() {
+        let mut out = Vec::new();
+        let def = crate::analyze(
+            "crates/server/src/wire.rs".to_string(),
+            "pub enum ErrorCode {\n    Used = 1,\n    Dead = 2,\n}\nfn f() -> ErrorCode { ErrorCode::Used }",
+            &mut out,
+        );
+        dead_variants(&[def], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("ErrorCode::Dead"));
+    }
+}

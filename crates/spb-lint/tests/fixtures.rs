@@ -1,0 +1,92 @@
+//! Each rule is seeded with a known-bad fixture; these tests assert the
+//! linter reports every planted violation at the exact `file:line`, so
+//! a regression that silently blinds a rule fails loudly here.
+
+use spb_lint::{analyze, rules, Rule, Violation};
+
+/// Analyzes a fixture under a pseudo repo-relative path (rules are
+/// scoped by path, so the fixture must pose as a file in the zone it
+/// seeds).
+fn fixture(name: &str, pseudo_rel: &str) -> (spb_lint::FileData, Vec<Violation>) {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut out = Vec::new();
+    let d = analyze(pseudo_rel.to_string(), &src, &mut out);
+    (d, out)
+}
+
+fn lines_of(violations: &[Violation], rule: Rule) -> Vec<u32> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn r1_no_panic_fixture_reports_every_site() {
+    let (d, mut out) = fixture("r1_no_panic.rs", "crates/storage/src/wal.rs");
+    rules::no_panic(&d, &mut out);
+    // buf[0], x.unwrap(), x.expect(), panic!, unreachable!.
+    assert_eq!(lines_of(&out, Rule::NoPanic), [5, 6, 7, 9, 12]);
+    let first = out.first().expect("at least one finding");
+    assert_eq!(
+        first.to_string(),
+        "crates/storage/src/wal.rs:5: [no-panic] slice/array indexing can panic in a \
+         no-panic zone; use `.get()` / `split_at` / pattern destructuring"
+    );
+}
+
+#[test]
+fn r2_unsafe_fixture_reports_the_block() {
+    let (d, mut out) = fixture("r2_unsafe.rs", "crates/storage/src/cache.rs");
+    rules::no_unsafe(&d, &mut out);
+    assert_eq!(lines_of(&out, Rule::NoUnsafe), [3]);
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/storage/src/cache.rs:3: [no-unsafe]"));
+}
+
+#[test]
+fn r3_lock_order_fixture_reports_inversion_and_raw_site() {
+    let (d, mut out) = fixture("r3_lock_order.rs", "crates/storage/src/cache.rs");
+    rules::lock_order(&d, &mut out);
+    let mut lines = lines_of(&out, Rule::LockOrder);
+    lines.sort_unstable();
+    // Line 4: rank-10 latch after rank-30 WAL lock; line 8: raw
+    // `.inner.lock()` bypassing Shard::lock_inner().
+    assert_eq!(lines, [4, 8]);
+    let inversion = out.iter().find(|v| v.line == 4).expect("inversion finding");
+    assert!(inversion.message.contains("rank 10"));
+    assert!(inversion.message.contains("rank 30"));
+    let raw = out.iter().find(|v| v.line == 8).expect("raw-site finding");
+    assert!(raw.message.contains("lock_inner"));
+}
+
+#[test]
+fn r4_catch_all_fixture_reports_the_arm() {
+    let (d, mut out) = fixture("r4_catch_all.rs", "crates/storage/src/wal.rs");
+    rules::catch_all(&d, &mut out);
+    assert_eq!(lines_of(&out, Rule::CatchAll), [5]);
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/storage/src/wal.rs:5: [catch-all]"));
+}
+
+#[test]
+fn r5_dead_variant_fixture_reports_the_dead_code() {
+    let (d, mut out) = fixture("r5_dead_variant.rs", "crates/server/src/wire.rs");
+    rules::dead_variants(&[d], &mut out);
+    assert_eq!(lines_of(&out, Rule::DeadVariant), [4]);
+    assert!(out[0].message.contains("ErrorCode::NeverBuilt"));
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/server/src/wire.rs:4: [dead-variant]"));
+}
+
+#[test]
+fn fixtures_are_denied_under_deny_all_but_dead_variant_warns_by_default() {
+    assert!(Rule::NoPanic.denied(false));
+    assert!(!Rule::DeadVariant.denied(false));
+    assert!(Rule::DeadVariant.denied(true));
+}

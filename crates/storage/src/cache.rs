@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::lockrank::{self, LockRank, RankedMutexGuard};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 
@@ -129,6 +130,13 @@ impl Shard {
             fsyncs: 0,
         }
     }
+
+    /// The only way to take the shard mutex: registers the acquisition
+    /// at [`LockRank::BufferShard`] so debug builds catch latch-ordering
+    /// violations (and `spb-lint` rejects direct `.inner.lock()` calls).
+    fn lock_inner(&self) -> RankedMutexGuard<'_, PoolInner> {
+        lockrank::lock(&self.inner, LockRank::BufferShard)
+    }
 }
 
 /// A write-through LRU buffer pool over a [`Pager`], optionally
@@ -196,7 +204,7 @@ impl BufferPool {
         let shard = self.shard_of(id);
         shard.logical_reads.fetch_add(1, Ordering::Relaxed);
         {
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.lock_inner();
             if let Some(page) = inner.map.get(&id).map(|e| Arc::clone(&e.0)) {
                 inner.touch(id);
                 return Ok(page);
@@ -204,7 +212,7 @@ impl BufferPool {
         }
         let page = Arc::new(self.pager.read_page(id)?);
         shard.physical_reads.fetch_add(1, Ordering::Relaxed);
-        shard.inner.lock().insert(id, Arc::clone(&page));
+        shard.lock_inner().insert(id, Arc::clone(&page));
         Ok(page)
     }
 
@@ -213,7 +221,7 @@ impl BufferPool {
         self.pager.write_page(id, &page)?;
         let shard = self.shard_of(id);
         shard.writes.fetch_add(1, Ordering::Relaxed);
-        let mut inner = shard.inner.lock();
+        let mut inner = shard.lock_inner();
         if inner.capacity > 0 {
             inner.insert(id, Arc::new(page));
         }
@@ -224,7 +232,7 @@ impl BufferPool {
     /// its 500 workload queries so measurements are cold.
     pub fn flush_cache(&self) {
         for shard in &self.shards {
-            shard.inner.lock().clear();
+            shard.lock_inner().clear();
         }
     }
 
@@ -233,7 +241,7 @@ impl BufferPool {
         self.capacity.store(capacity, Ordering::Relaxed);
         let per_shard = Self::shard_capacity(capacity, self.shards.len());
         for shard in &self.shards {
-            let mut inner = shard.inner.lock();
+            let mut inner = shard.lock_inner();
             inner.capacity = per_shard;
             if per_shard == 0 {
                 inner.clear();

@@ -27,10 +27,13 @@
 //! * [`fault`] — a deterministic crash/corruption injection harness used
 //!   by the recovery tests.
 
+#![forbid(unsafe_code)]
+
 mod atomic;
 mod cache;
 mod checksum;
 pub mod fault;
+pub mod lockrank;
 mod page;
 mod pager;
 mod raf;
@@ -41,7 +44,7 @@ pub use atomic::atomic_write_file;
 pub use cache::{BufferPool, IoStats};
 pub use checksum::{crc32, Crc32};
 pub use page::{Page, PageId, PAGE_CRC_SIZE, PAGE_DATA_SIZE, PAGE_SIZE};
-pub use pager::{is_corrupt, Pager, StorageCorrupt};
+pub use pager::{is_bad_page_ref, is_corrupt, BadPageRef, Pager, StorageCorrupt};
 pub use raf::{Raf, RafEntry, RafPtr};
 pub use tempdir::TempDir;
 pub use wal::{decode_record, encode_record, Wal, WalFileTag, WalRecord, WalScan};

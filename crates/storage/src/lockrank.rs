@@ -1,0 +1,242 @@
+//! Debug-build lock-rank (latch-ordering) assertions.
+//!
+//! The workspace holds at most three kinds of ranked locks at once, and
+//! they must always be acquired in ascending rank order:
+//!
+//! | Rank | Lock | Declared in |
+//! |---|---|---|
+//! | 10 | SPB-tree structure latch | `spb-core` (`SpbTree::latch`) |
+//! | 20 | Buffer-pool shard mutex | `spb-storage` (`cache::Shard`) |
+//! | 30 | WAL mutexes (`pending`, `file`) | `spb-storage` (`Wal`) |
+//!
+//! A query takes the tree latch (shared), then reads pages through
+//! buffer-pool shards; an update takes the latch exclusively, stages
+//! pages through shards, and commits through the WAL. Acquiring against
+//! that order — e.g. taking the tree latch while holding a shard — is a
+//! deadlock waiting for the right interleaving.
+//!
+//! In debug builds every ranked acquisition registers itself on a
+//! thread-local stack and panics the moment a thread acquires a lock
+//! whose rank is not strictly above everything it already holds. Two
+//! *shared* holds of equal rank are legal (the similarity join holds the
+//! tree latches of both joined trees, both shared). In release builds the
+//! whole layer compiles to nothing.
+//!
+//! `spb-lint` rule `lock-order` performs the matching static scan: ranked
+//! locks may only be acquired through the helpers that route through this
+//! module ([`lock`], [`acquire`], [`acquire_shared`]), and within a
+//! function the acquisition order must be ascending.
+
+use std::ops::{Deref, DerefMut};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// The declared rank of every ordered lock in the workspace. Bigger rank
+/// = acquired later. See the module docs for the table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LockRank {
+    /// The SPB-tree structure latch (`spb-core`).
+    TreeLatch = 10,
+    /// One buffer-pool shard's LRU mutex.
+    BufferShard = 20,
+    /// The write-ahead log's internal mutexes.
+    Wal = 30,
+}
+
+impl LockRank {
+    /// Human-readable name used in violation messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockRank::TreeLatch => "tree latch",
+            LockRank::BufferShard => "buffer-pool shard",
+            LockRank::Wal => "WAL mutex",
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::LockRank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(LockRank, bool)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn check_and_push(rank: LockRank, shared: bool) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            for &(h, h_shared) in held.iter() {
+                let legal = h < rank || (h == rank && shared && h_shared);
+                assert!(
+                    legal,
+                    "lock-rank violation: acquiring {} (rank {}) while holding {} (rank {}); \
+                     ranked locks must be acquired in ascending order \
+                     (tree latch \u{227a} buffer-pool shard \u{227a} WAL)",
+                    rank.name(),
+                    rank as u8,
+                    h.name(),
+                    h as u8,
+                );
+            }
+            held.push((rank, shared));
+        });
+    }
+
+    pub(super) fn pop(rank: LockRank, shared: bool) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(i) = held.iter().rposition(|&e| e == (rank, shared)) {
+                held.remove(i);
+            }
+        });
+    }
+}
+
+/// Witness that the current thread has registered a ranked acquisition.
+/// Dropping it deregisters. Zero-sized and inert in release builds.
+#[must_use = "the rank registration ends when this guard drops"]
+#[derive(Debug)]
+pub struct HeldRank {
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+    #[cfg(debug_assertions)]
+    shared: bool,
+}
+
+impl HeldRank {
+    fn new(rank: LockRank, shared: bool) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            imp::check_and_push(rank, shared);
+            HeldRank { rank, shared }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (rank, shared);
+            HeldRank {}
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for HeldRank {
+    fn drop(&mut self) {
+        imp::pop(self.rank, self.shared);
+    }
+}
+
+/// Registers an exclusive acquisition of `rank`. Panics (debug builds)
+/// if the thread already holds a rank at or above it.
+pub fn acquire(rank: LockRank) -> HeldRank {
+    HeldRank::new(rank, false)
+}
+
+/// Registers a shared acquisition of `rank`. Like [`acquire`], but two
+/// shared holds of equal rank are allowed (the similarity join holds two
+/// tree latches, both shared).
+pub fn acquire_shared(rank: LockRank) -> HeldRank {
+    HeldRank::new(rank, true)
+}
+
+/// A [`MutexGuard`] whose lifetime is tied to its rank registration.
+/// The mutex guard drops (releasing the lock) before the rank pops.
+#[derive(Debug)]
+pub struct RankedMutexGuard<'a, T: ?Sized> {
+    guard: MutexGuard<'a, T>,
+    _held: HeldRank,
+}
+
+impl<T: ?Sized> Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Locks `mutex` at `rank`: the rank check runs *before* blocking on the
+/// mutex, so an ordering violation panics instead of deadlocking.
+pub fn lock<T: ?Sized>(mutex: &Mutex<T>, rank: LockRank) -> RankedMutexGuard<'_, T> {
+    let held = acquire(rank);
+    RankedMutexGuard {
+        guard: mutex.lock(),
+        _held: held,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Rank-stack state is thread-local; each test spawns its own thread
+    // so tests cannot contaminate each other through a pooled runner.
+    fn on_fresh_thread(f: impl FnOnce() + Send + 'static) {
+        std::thread::spawn(f).join().unwrap();
+    }
+
+    #[test]
+    fn ascending_order_is_silent() {
+        on_fresh_thread(|| {
+            let a = acquire_shared(LockRank::TreeLatch);
+            let b = acquire(LockRank::BufferShard);
+            let c = acquire(LockRank::Wal);
+            drop(c);
+            drop(b);
+            drop(a);
+        });
+    }
+
+    #[test]
+    fn reacquiring_after_release_is_silent() {
+        on_fresh_thread(|| {
+            drop(acquire(LockRank::Wal));
+            drop(acquire(LockRank::TreeLatch));
+            drop(acquire(LockRank::BufferShard));
+        });
+    }
+
+    #[test]
+    fn equal_shared_ranks_are_legal() {
+        on_fresh_thread(|| {
+            let a = acquire_shared(LockRank::TreeLatch);
+            let b = acquire_shared(LockRank::TreeLatch);
+            drop(a);
+            drop(b);
+        });
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-rank violation"))]
+    fn descending_order_fires() {
+        let _wal = acquire(LockRank::Wal);
+        let _shard = acquire(LockRank::BufferShard);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-rank violation"))]
+    fn equal_exclusive_ranks_fire() {
+        let _a = acquire(LockRank::BufferShard);
+        let _b = acquire(LockRank::BufferShard);
+    }
+
+    #[test]
+    fn ranked_mutex_guard_derefs() {
+        on_fresh_thread(|| {
+            let m = Mutex::new(7);
+            {
+                let mut g = lock(&m, LockRank::Wal);
+                *g += 1;
+            }
+            assert_eq!(*lock(&m, LockRank::Wal), 8);
+        });
+    }
+}

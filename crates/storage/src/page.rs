@@ -72,6 +72,23 @@ impl Page {
         &mut self.data
     }
 
+    /// The data area the CRC footer covers (everything but the footer).
+    pub fn data_area(&self) -> &[u8] {
+        &self.data[..PAGE_DATA_SIZE]
+    }
+
+    /// The CRC-32 stored in the page's footer.
+    pub fn footer_crc(&self) -> u32 {
+        let mut b = [0u8; PAGE_CRC_SIZE];
+        b.copy_from_slice(&self.data[PAGE_DATA_SIZE..]);
+        u32::from_le_bytes(b)
+    }
+
+    /// Stamps the footer with `crc`.
+    pub fn set_footer_crc(&mut self, crc: u32) {
+        self.data[PAGE_DATA_SIZE..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     /// Panics unless `[off, off + len)` lies inside the data area — a
     /// codec bug, never a runtime condition.
     #[track_caller]

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use crate::checksum::crc32;
 use crate::fault::{self, WritePlan};
-use crate::page::{Page, PageId, PAGE_DATA_SIZE, PAGE_SIZE};
+use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// Storage-level corruption detected by the checksum layer. Surfaces as
 /// the inner error of an [`io::Error`] with kind `InvalidData`; use
@@ -42,11 +42,50 @@ impl std::fmt::Display for StorageCorrupt {
 
 impl std::error::Error for StorageCorrupt {}
 
+/// A read or write of a page number outside the allocated range — a
+/// dangling page reference, i.e. structural corruption of whatever node
+/// pointed there. Surfaces as the inner error of an [`io::Error`] with
+/// kind `InvalidData`; use [`is_bad_page_ref`] to classify.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPageRef {
+    /// File the reference pointed into.
+    pub file: PathBuf,
+    /// The out-of-range page number.
+    pub page: u64,
+    /// Number of pages actually allocated.
+    pub num_pages: u64,
+}
+
+impl std::fmt::Display for BadPageRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reference to unallocated page {} of {} ({} pages allocated)",
+            self.page,
+            self.file.display(),
+            self.num_pages
+        )
+    }
+}
+
+impl std::error::Error for BadPageRef {}
+
+/// Whether `err` (at any wrapping depth) is a dangling-page-reference
+/// error.
+pub fn is_bad_page_ref(err: &io::Error) -> bool {
+    classify(err, |e| e.is::<BadPageRef>())
+}
+
 /// Whether `err` (at any wrapping depth) is a checksum-corruption error.
 pub fn is_corrupt(err: &io::Error) -> bool {
+    classify(err, |e| e.is::<StorageCorrupt>())
+}
+
+/// Walks `err`'s payload chain looking for a payload matching `pred`.
+fn classify(err: &io::Error, pred: impl Fn(&(dyn std::error::Error + 'static)) -> bool) -> bool {
     let mut source: Option<&(dyn std::error::Error + 'static)> = err.get_ref().map(|e| e as _);
     while let Some(e) = source {
-        if e.is::<StorageCorrupt>() {
+        if pred(e) {
             return true;
         }
         // `io::Error::source()` yields the *source of* its payload, which
@@ -148,13 +187,31 @@ impl Pager {
         Ok(id)
     }
 
+    /// `InvalidData` error wrapping [`BadPageRef`] for a page number at
+    /// or beyond the allocated range.
+    fn check_allocated(&self, id: PageId) -> io::Result<()> {
+        let num_pages = self.num_pages.load(Ordering::SeqCst);
+        if id.0 < num_pages {
+            return Ok(());
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            BadPageRef {
+                file: self.path.clone(),
+                page: id.0,
+                num_pages,
+            },
+        ))
+    }
+
     /// Reads a page, consulting the open transaction's staged pages first
     /// and verifying the CRC footer of anything fetched from disk.
+    ///
+    /// # Errors
+    /// `InvalidData` wrapping [`BadPageRef`] for an unallocated page
+    /// number, or wrapping [`StorageCorrupt`] on a CRC mismatch.
     pub fn read_page(&self, id: PageId) -> io::Result<Page> {
-        assert!(
-            id.0 < self.num_pages.load(Ordering::SeqCst),
-            "read of unallocated page {id:?}"
-        );
+        self.check_allocated(id)?;
         {
             let txn = self.txn.lock();
             if let Some(t) = txn.as_ref() {
@@ -175,20 +232,15 @@ impl Pager {
     }
 
     fn verify_crc(&self, id: PageId, page: &Page) -> io::Result<()> {
-        let bytes = page.bytes();
-        let stored = u32::from_le_bytes(
-            bytes[PAGE_DATA_SIZE..PAGE_SIZE]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        let computed = crc32(&bytes[..PAGE_DATA_SIZE]);
+        let stored = page.footer_crc();
+        let computed = crc32(page.data_area());
         if stored == computed {
             return Ok(());
         }
         // A fully zeroed page (data and footer) is a page the filesystem
         // materialised but whose content write never happened — recovery
         // rewrites it from the WAL, so reading it is not corruption.
-        if stored == 0 && bytes.iter().all(|&b| b == 0) {
+        if stored == 0 && page.bytes().iter().all(|&b| b == 0) {
             return Ok(());
         }
         Err(io::Error::new(
@@ -204,11 +256,12 @@ impl Pager {
 
     /// Writes a page. While a transaction is open the write is staged in
     /// memory; otherwise it is stamped with its CRC and written through.
+    ///
+    /// # Errors
+    /// `InvalidData` wrapping [`BadPageRef`] for an unallocated page
+    /// number.
     pub fn write_page(&self, id: PageId, page: &Page) -> io::Result<()> {
-        assert!(
-            id.0 < self.num_pages.load(Ordering::SeqCst),
-            "write of unallocated page {id:?}"
-        );
+        self.check_allocated(id)?;
         {
             let mut txn = self.txn.lock();
             if let Some(t) = txn.as_mut() {
@@ -222,13 +275,13 @@ impl Pager {
     /// Stamps the CRC footer and writes the page to disk, honouring the
     /// fault-injection hooks.
     fn write_page_raw(&self, id: PageId, page: &Page) -> io::Result<()> {
-        let mut frame = *page.bytes();
-        let crc = crc32(&frame[..PAGE_DATA_SIZE]);
-        frame[PAGE_DATA_SIZE..].copy_from_slice(&crc.to_le_bytes());
+        let mut frame = page.clone();
+        frame.set_footer_crc(crc32(frame.data_area()));
+        let frame = frame.bytes();
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(id.byte_offset()))?;
-        match fault::on_write(&self.path, &frame) {
-            WritePlan::Proceed => file.write_all(&frame)?,
+        match fault::on_write(&self.path, frame) {
+            WritePlan::Proceed => file.write_all(frame)?,
             WritePlan::CrashAfterWriting(bytes) => {
                 file.write_all(&bytes)?;
                 file.flush()?;
@@ -242,36 +295,53 @@ impl Pager {
 
     /// Begins a transaction: until [`Pager::txn_commit`], writes and
     /// allocations stay in memory. One transaction at a time.
-    pub fn txn_begin(&self) {
+    ///
+    /// # Errors
+    /// Fails if a transaction is already open.
+    pub fn txn_begin(&self) -> io::Result<()> {
         let mut txn = self.txn.lock();
-        assert!(txn.is_none(), "nested pager transaction");
+        if txn.is_some() {
+            return Err(io::Error::other("nested pager transaction"));
+        }
         *txn = Some(Txn {
             pages: HashMap::new(),
             pages_at_begin: self.num_pages.load(Ordering::SeqCst),
         });
+        Ok(())
     }
 
     /// Snapshot of the open transaction's staged pages in page order
     /// (the images a WAL commit record must carry).
-    pub fn txn_pages(&self) -> Vec<(PageId, Page)> {
+    ///
+    /// # Errors
+    /// Fails if no transaction is open.
+    pub fn txn_pages(&self) -> io::Result<Vec<(PageId, Page)>> {
         let txn = self.txn.lock();
-        let t = txn.as_ref().expect("no open pager transaction");
+        let Some(t) = txn.as_ref() else {
+            return Err(io::Error::other("no open pager transaction"));
+        };
         let mut pages: Vec<(PageId, Page)> = t
             .pages
             .iter()
             .map(|(&no, page)| (PageId(no), page.clone()))
             .collect();
         pages.sort_by_key(|(id, _)| id.0);
-        pages
+        Ok(pages)
     }
 
     /// Applies the staged pages to the file and closes the transaction.
     /// The caller must have made the transaction durable first (WAL) —
     /// this method does not fsync.
+    ///
+    /// # Errors
+    /// Fails if no transaction is open; the write-back itself can fail
+    /// like any physical page write.
     pub fn txn_commit(&self) -> io::Result<()> {
         let staged = {
             let mut txn = self.txn.lock();
-            let t = txn.take().expect("no open pager transaction");
+            let Some(t) = txn.take() else {
+                return Err(io::Error::other("no open pager transaction"));
+            };
             let mut pages: Vec<(u64, Page)> = t.pages.into_iter().collect();
             pages.sort_by_key(|&(no, _)| no);
             pages
@@ -298,7 +368,13 @@ impl Pager {
     pub fn grow_to(&self, pages: u64) -> io::Result<()> {
         let cur = self.num_pages.load(Ordering::SeqCst);
         if pages > cur {
-            self.file.lock().set_len(pages * PAGE_SIZE as u64)?;
+            let len = pages.checked_mul(PAGE_SIZE as u64).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("page count {pages} overflows the file length"),
+                )
+            })?;
+            self.file.lock().set_len(len)?;
             self.num_pages.store(pages, Ordering::SeqCst);
         }
         Ok(())
@@ -391,11 +467,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unallocated")]
-    fn reading_unallocated_page_panics() {
+    fn unallocated_page_access_is_a_typed_error() {
         let dir = TempDir::new("pager-unalloc");
         let pager = Pager::create(&dir.path().join("p.db")).unwrap();
-        let _ = pager.read_page(PageId(0));
+        let err = pager.read_page(PageId(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(is_bad_page_ref(&err), "expected BadPageRef, got {err}");
+        assert!(!is_corrupt(&err));
+        let err = pager.write_page(PageId(3), &Page::new()).unwrap_err();
+        assert!(is_bad_page_ref(&err));
+        assert!(err.to_string().contains("unallocated page 3"));
+    }
+
+    #[test]
+    fn txn_state_misuse_is_a_typed_error() {
+        let dir = TempDir::new("pager-txn-misuse");
+        let pager = Pager::create(&dir.path().join("p.db")).unwrap();
+        assert!(pager.txn_pages().is_err());
+        assert!(pager.txn_commit().is_err());
+        pager.txn_begin().unwrap();
+        assert!(pager.txn_begin().is_err(), "nested txn must fail");
+        pager.txn_abort();
+        assert!(!pager.txn_active());
     }
 
     #[test]
@@ -460,7 +553,7 @@ mod tests {
         pager.sync().unwrap();
         let len_before = std::fs::metadata(&path).unwrap().len();
 
-        pager.txn_begin();
+        pager.txn_begin().unwrap();
         let mut p = Page::new();
         p.write_u64(0, 7);
         pager.write_page(id, &p).unwrap();
@@ -469,7 +562,7 @@ mod tests {
         assert_eq!(pager.read_page(id).unwrap().read_u64(0), 7);
         // ...but nothing reached the file, not even the allocation.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
-        assert_eq!(pager.txn_pages().len(), 2);
+        assert_eq!(pager.txn_pages().unwrap().len(), 2);
 
         pager.txn_commit().unwrap();
         assert!(!pager.txn_active());
@@ -490,7 +583,7 @@ mod tests {
         p.write_u64(0, 1);
         pager.write_page(id, &p).unwrap();
 
-        pager.txn_begin();
+        pager.txn_begin().unwrap();
         let mut p2 = Page::new();
         p2.write_u64(0, 2);
         pager.write_page(id, &p2).unwrap();

@@ -122,8 +122,20 @@ impl Raf {
 
     /// Appends an object, returning its pointer. Entries are laid out
     /// back-to-back and may span pages.
+    ///
+    /// # Errors
+    /// `InvalidInput` for an object larger than the `u32` length field
+    /// can record.
     pub fn append(&self, id: u32, payload: &[u8]) -> io::Result<RafPtr> {
-        assert!(payload.len() <= u32::MAX as usize, "object too large");
+        if u32::try_from(payload.len()).is_err() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "object of {} bytes exceeds the RAF length field (u32)",
+                    payload.len()
+                ),
+            ));
+        }
         let offset = self.tail.load(Ordering::SeqCst);
         let mut buf = Vec::with_capacity(ENTRY_HEADER + payload.len());
         buf.extend_from_slice(&id.to_le_bytes());
@@ -168,10 +180,15 @@ impl Raf {
                     page_id: PageId(page_no),
                 });
             }
-            let t = staged.as_mut().expect("staged page present");
-            t.page.write_slice(in_page, &buf[..take]);
+            let Some(t) = staged.as_mut() else {
+                // The branch above just staged this page; losing it mid-loop
+                // would be a bug, but a typed error beats aborting a server.
+                return Err(io::Error::other("RAF tail staging lost"));
+            };
+            let (chunk, rest) = buf.split_at(take);
+            t.page.write_slice(in_page, chunk);
             offset += take as u64;
-            buf = &buf[take..];
+            buf = rest;
         }
         Ok(())
     }
@@ -203,21 +220,28 @@ impl Raf {
     /// diffing the pool's shared counters.
     pub fn get_traced(&self, ptr: RafPtr, trace: &mut dyn FnMut(u64)) -> io::Result<RafEntry> {
         let tail = self.tail.load(Ordering::SeqCst);
-        if ptr.offset + ENTRY_HEADER as u64 > tail {
-            return Err(bad_record(ptr, "entry header past tail"));
-        }
+        let header_end = ptr
+            .offset
+            .checked_add(ENTRY_HEADER as u64)
+            .filter(|&end| end <= tail)
+            .ok_or_else(|| bad_record(ptr, "entry header past tail"))?;
         let mut header = [0u8; ENTRY_HEADER];
         self.read_bytes(ptr.offset, &mut header, trace)?;
-        let id = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as u64;
+        let [i0, i1, i2, i3, l0, l1, l2, l3] = header;
+        let id = u32::from_le_bytes([i0, i1, i2, i3]);
+        let len = u32::from_le_bytes([l0, l1, l2, l3]) as u64;
         // Validate the recorded length against the tail *before* the
         // allocation: a corrupt length must yield a typed error, not an
         // attempt to allocate (up to) 4 GiB and read past the file.
-        if ptr.offset + ENTRY_HEADER as u64 + len > tail {
+        if header_end
+            .checked_add(len)
+            .filter(|&end| end <= tail)
+            .is_none()
+        {
             return Err(bad_record(ptr, "entry length past tail"));
         }
         let mut bytes = vec![0u8; len as usize];
-        self.read_bytes(ptr.offset + ENTRY_HEADER as u64, &mut bytes, trace)?;
+        self.read_bytes(header_end, &mut bytes, trace)?;
         Ok(RafEntry { id, bytes })
     }
 
@@ -229,29 +253,33 @@ impl Raf {
         buf: &mut [u8],
         trace: &mut dyn FnMut(u64),
     ) -> io::Result<()> {
-        if off + buf.len() as u64 > self.tail.load(Ordering::SeqCst) {
+        let tail = self.tail.load(Ordering::SeqCst);
+        if off
+            .checked_add(buf.len() as u64)
+            .filter(|&end| end <= tail)
+            .is_none()
+        {
             // A stale/corrupt pointer (e.g. from a damaged B⁺-tree leaf)
             // must surface as a typed error, not a panic.
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "RAF read of {} byte(s) at offset {off} past tail {}",
+                    "RAF read of {} byte(s) at offset {off} past tail {tail}",
                     buf.len(),
-                    self.tail.load(Ordering::SeqCst)
                 ),
             ));
         }
-        let mut filled = 0usize;
-        while filled < buf.len() {
+        let mut rest = buf;
+        while !rest.is_empty() {
             let page_no = off / PAGE_DATA_SIZE as u64;
             let in_page = (off % PAGE_DATA_SIZE as u64) as usize;
-            let take = (PAGE_DATA_SIZE - in_page).min(buf.len() - filled);
+            let take = (PAGE_DATA_SIZE - in_page).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
             let staged_hit = {
                 let staged = self.staged.lock();
                 match staged.as_ref() {
                     Some(t) if t.page_id.0 == page_no => {
-                        buf[filled..filled + take]
-                            .copy_from_slice(t.page.read_slice(in_page, take));
+                        chunk.copy_from_slice(t.page.read_slice(in_page, take));
                         true
                     }
                     _ => false,
@@ -260,10 +288,10 @@ impl Raf {
             if !staged_hit {
                 trace(page_no);
                 let page = self.pool.read(PageId(page_no))?;
-                buf[filled..filled + take].copy_from_slice(page.read_slice(in_page, take));
+                chunk.copy_from_slice(page.read_slice(in_page, take));
             }
             off += take as u64;
-            filled += take;
+            rest = tail;
         }
         Ok(())
     }
