@@ -10,7 +10,12 @@
 //! * an overload point: the same workload against a deliberately tiny
 //!   admission gate (`max_inflight=1`, `max_queue=2`), demonstrating
 //!   that excess load is *shed* with typed `Overloaded` responses
-//!   instead of queueing without bound.
+//!   instead of queueing without bound;
+//! * a per-phase latency breakdown pulled from the server's
+//!   observability registry over the wire (`ObsStats`), cross-checked
+//!   against the client-measured end-to-end latency, plus a
+//!   histogram-record overhead probe asserting the instrumentation
+//!   costs well under 2% of a request.
 //!
 //! Besides the printed table the run writes `BENCH_server.json` into the
 //! current directory.
@@ -31,6 +36,25 @@ use crate::{Scale, Table};
 
 const CLIENTS: [usize; 4] = [1, 2, 4, 8];
 const RADIUS: f64 = 2.0;
+
+/// Request-lifecycle phases reported in the breakdown, `(json key,
+/// registry name)`. `queue_wait`/`traversal`/`encode` are recorded only
+/// on the server's request path; the nested phases (`latch_wait`,
+/// `buffer_io`, `wal_fsync`) are process-global and also see the
+/// in-process index build.
+const PHASES: [(&str, &str); 6] = [
+    ("queue_wait", "phase.queue_wait"),
+    ("latch_wait", "phase.latch_wait"),
+    ("traversal", "phase.traversal"),
+    ("buffer_io", "phase.buffer_io"),
+    ("wal_fsync", "phase.wal_fsync"),
+    ("encode", "phase.encode"),
+];
+
+/// Instrumentation points a single range request crosses (admission
+/// counters + queue-depth gauges + phase histograms + pool counters);
+/// generous so the overhead bound below errs high.
+const RECORDS_PER_REQUEST: f64 = 12.0;
 
 /// One measured point of the client sweep.
 struct Point {
@@ -151,9 +175,13 @@ pub fn run(scale: Scale) {
     );
     let addr = server.addr();
     let mut points = Vec::new();
+    let mut e2e_sum_us = 0.0;
+    let mut e2e_count = 0usize;
     for clients in CLIENTS {
         let (secs, lat, shed) = drive(addr, &queries, clients, total_reqs);
         assert_eq!(shed, 0, "uncontended sweep must not shed");
+        e2e_sum_us += lat.iter().sum::<f64>();
+        e2e_count += lat.len();
         let point = Point {
             clients,
             qps: lat.len() as f64 / secs.max(1e-9),
@@ -169,6 +197,13 @@ pub fn run(scale: Scale) {
         ]);
         points.push(point);
     }
+    // Pull the observability snapshot over the wire while the sweep
+    // server is still up, so the phase breakdown covers exactly the
+    // sweep's requests (the overload run below would pollute it).
+    let snap = Client::connect(addr)
+        .expect("connect for obs")
+        .obs_stats()
+        .expect("obs snapshot");
     drop(server); // drains and stops before the overload server binds
 
     // Part 2: overload. One executing slot, two queue places, eight
@@ -197,6 +232,97 @@ pub fn run(scale: Scale) {
     drop(server);
     t.print();
 
+    // Phase breakdown table + JSON fragment; the dominant phase (by
+    // total time spent) names where a request's latency actually goes.
+    let e2e_mean_us = e2e_sum_us / e2e_count.max(1) as f64;
+    let mut pt = Table::new(
+        "Per-phase latency breakdown (sweep server, from ObsStats)",
+        &[
+            "Phase",
+            "Count",
+            "Mean(µs)",
+            "p50(µs)",
+            "p99(µs)",
+            "Max(µs)",
+        ],
+    );
+    let us = |ns: u64| ns as f64 / 1e3;
+    let mut phases_json = String::from("{");
+    let mut dominant = ("none", 0u64);
+    for (i, (short, name)) in PHASES.iter().enumerate() {
+        let h = snap.hist(name).unwrap_or_default();
+        if h.sum > dominant.1 {
+            dominant = (short, h.sum);
+        }
+        pt.row(vec![
+            (*short).to_owned(),
+            h.count.to_string(),
+            format!("{:.1}", us(h.mean())),
+            format!("{:.1}", us(h.p50)),
+            format!("{:.1}", us(h.p99)),
+            format!("{:.1}", us(h.max)),
+        ]);
+        if i > 0 {
+            phases_json.push_str(", ");
+        }
+        let _ = write!(
+            phases_json,
+            "\"{short}\": {{\"count\": {}, \"mean_us\": {:.2}, \"p50_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"max_us\": {:.2}}}",
+            h.count,
+            us(h.mean()),
+            us(h.p50),
+            us(h.p99),
+            us(h.max),
+        );
+    }
+    phases_json.push('}');
+    pt.print();
+
+    // Consistency: the server-side request phases (queue wait +
+    // traversal + encode; the nested phases are already inside
+    // traversal) must add up to something commensurate with what the
+    // clients measured end to end. The e2e number additionally carries
+    // the TCP round trip and the histogram quantiles have factor-of-2
+    // bucket resolution, so the bounds are generous.
+    let server_phase_mean_us: f64 = ["phase.queue_wait", "phase.traversal", "phase.encode"]
+        .iter()
+        .filter_map(|n| snap.hist(n))
+        .map(|h| us(h.mean()))
+        .sum();
+    assert!(
+        server_phase_mean_us > 0.0,
+        "request phases recorded nothing"
+    );
+    assert!(
+        server_phase_mean_us > 0.02 * e2e_mean_us && server_phase_mean_us < 2.5 * e2e_mean_us,
+        "phase sum {server_phase_mean_us:.1}µs inconsistent with e2e mean {e2e_mean_us:.1}µs"
+    );
+
+    // Overhead probe: one histogram record is three relaxed atomic
+    // RMWs; a request crosses roughly a dozen instrumentation points.
+    // The always-on instrumentation must stay below 2% of even the
+    // fastest (1-client) median request.
+    let probe = spb_obs::histogram("bench.overhead_probe");
+    const PROBE_RECORDS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..PROBE_RECORDS {
+        probe.record(i & 1023);
+    }
+    let ns_per_record = t0.elapsed().as_nanos() as f64 / PROBE_RECORDS as f64;
+    let per_request_ns = ns_per_record * RECORDS_PER_REQUEST;
+    let overhead_frac = per_request_ns / (points[0].p50_us * 1e3);
+    println!(
+        "[server] obs overhead: {ns_per_record:.1} ns/record, \
+         ~{per_request_ns:.0} ns/request = {:.3}% of 1-client p50",
+        overhead_frac * 100.0
+    );
+    assert!(
+        overhead_frac < 0.02,
+        "instrumentation overhead {:.2}% of 1-client p50 (must be <2%)",
+        overhead_frac * 100.0
+    );
+
     let mut sweep_json = String::from("[");
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
@@ -214,9 +340,16 @@ pub fn run(scale: Scale) {
          \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \"radius\": {RADIUS}}},\n  \
          \"requests_per_point\": {total_reqs},\n  \
          \"sweep\": {sweep_json},\n  \
+         \"phases\": {phases_json},\n  \
+         \"dominant_phase\": \"{}\",\n  \
+         \"e2e_mean_us\": {e2e_mean_us:.2},\n  \
+         \"server_phase_mean_us\": {server_phase_mean_us:.2},\n  \
+         \"obs_overhead\": {{\"ns_per_record\": {ns_per_record:.1}, \
+         \"per_request_ns\": {per_request_ns:.1}, \"frac_of_p50\": {overhead_frac:.5}}},\n  \
          \"overload\": {{\"clients\": 8, \"max_inflight\": 1, \"max_queue\": 2, \
          \"requests\": {total_reqs}, \"served\": {served}, \"shed\": {shed}}}\n}}\n",
         queries.len(),
+        dominant.0,
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     eprintln!("[server] wrote BENCH_server.json");

@@ -181,6 +181,9 @@ pub enum Command {
         max_connections: usize,
         /// Worker threads for batch queries (also cache stripes).
         threads: usize,
+        /// Keep a bounded in-memory ring of span trace events
+        /// (`--trace on`); dumped through `remote obs-stats`.
+        trace: bool,
     },
     /// A query or update against a running `spb-server`.
     Remote(RemoteCommand),
@@ -251,6 +254,12 @@ pub enum RemoteCommand {
     },
     /// Server + index statistics.
     Stats {
+        /// Server address.
+        addr: String,
+    },
+    /// Full observability snapshot: every counter, gauge and latency
+    /// histogram the server has registered, plus recent trace events.
+    ObsStats {
         /// Server address.
         addr: String,
     },
@@ -362,9 +371,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--threads must be an integer".to_owned())?,
             })
         }
-        "stats" => Ok(Command::Stats {
-            index: PathBuf::from(need("index")?),
-        }),
+        "stats" => {
+            // `stats --addr HOST:PORT` is shorthand for `remote
+            // obs-stats`: the live server's full metric snapshot.
+            if let Some(addr) = flags.get("addr") {
+                Ok(Command::Remote(RemoteCommand::ObsStats {
+                    addr: addr.clone(),
+                }))
+            } else {
+                Ok(Command::Stats {
+                    index: PathBuf::from(need("index")?),
+                })
+            }
+        }
         "verify" => Ok(Command::Verify {
             index: PathBuf::from(need("index")?),
         }),
@@ -386,6 +405,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             threads: opt("threads", "4")
                 .parse()
                 .map_err(|_| "--threads must be an integer".to_owned())?,
+            trace: match opt("trace", "off").as_str() {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                other => return Err(format!("--trace must be on|off, got {other:?}")),
+            },
         }),
         "remote" => {
             let addr = need("addr")?;
@@ -444,6 +468,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }))
                 }
                 "stats" => Ok(Command::Remote(RemoteCommand::Stats { addr })),
+                "obs-stats" => Ok(Command::Remote(RemoteCommand::ObsStats { addr })),
                 "shutdown" => Ok(Command::Remote(RemoteCommand::Shutdown { addr })),
                 other => Err(format!("unknown remote subcommand {other:?}\n{}", usage())),
             }
@@ -460,10 +485,10 @@ pub fn usage() -> String {
      \x20 count --index DIR --query Q --radius R\n\
      \x20 knn   --index DIR --query Q [--k K] [--alpha A]\n\
      \x20 batch --index DIR --queries FILE (--radius R | --k K) [--threads N]\n\
-     \x20 stats --index DIR\n\
+     \x20 stats --index DIR | --addr HOST:PORT\n\
      \x20 verify --index DIR\n\
      \x20 recover --index DIR\n\
-     \x20 serve --index DIR [--addr HOST:PORT] [--max-inflight N] [--max-queue N] [--max-connections N] [--threads N]\n\
+     \x20 serve --index DIR [--addr HOST:PORT] [--max-inflight N] [--max-queue N] [--max-connections N] [--threads N] [--trace on|off]\n\
      \x20 remote ping --addr HOST:PORT\n\
      \x20 remote range --addr HOST:PORT --query Q --radius R [--deadline-ms MS]\n\
      \x20 remote knn --addr HOST:PORT --query Q [--k K] [--deadline-ms MS]\n\
@@ -471,6 +496,7 @@ pub fn usage() -> String {
      \x20 remote delete --addr HOST:PORT --object O [--deadline-ms MS]\n\
      \x20 remote batch --addr HOST:PORT --queries FILE (--radius R | --k K) [--deadline-ms MS]\n\
      \x20 remote stats --addr HOST:PORT\n\
+     \x20 remote obs-stats --addr HOST:PORT\n\
      \x20 remote shutdown --addr HOST:PORT"
         .to_owned()
 }
@@ -537,7 +563,9 @@ pub fn run(cmd: &Command, out: &mut String) -> Result<(), CliError> {
             max_queue,
             max_connections,
             threads,
+            trace,
         } => {
+            spb_obs::trace::set_enabled(*trace);
             let cfg = ServerConfig {
                 max_connections: *max_connections,
                 admission: AdmissionConfig {
@@ -720,6 +748,7 @@ fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
                     num_pivots,
                     served,
                     shed,
+                    deadline_miss,
                 } => {
                     let _ = writeln!(out, "schema: {schema}");
                     let _ = writeln!(out, "objects: {len}");
@@ -727,16 +756,94 @@ fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
                     let _ = writeln!(out, "pivots:  {num_pivots}");
                     let _ = writeln!(out, "served:  {served}");
                     let _ = writeln!(out, "shed:    {shed}");
+                    let _ = writeln!(out, "deadline misses: {deadline_miss}");
                     Ok(())
                 }
                 other => Err(CliError::from(format!("unexpected response {other:?}"))),
             }
+        }
+        RemoteCommand::ObsStats { addr } => {
+            let mut client = Client::connect(addr.as_str()).map_err(client_error)?;
+            let snapshot = client.obs_stats().map_err(client_error)?;
+            render_obs_snapshot(out, &snapshot);
+            Ok(())
         }
         RemoteCommand::Shutdown { addr } => {
             let mut client = Client::connect(addr.as_str()).map_err(client_error)?;
             client.shutdown().map_err(client_error)?;
             let _ = writeln!(out, "shutdown requested");
             Ok(())
+        }
+    }
+}
+
+/// Formats a nanosecond reading with a human unit (`1.2ms`, `340us`).
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// Renders the server's observability snapshot as aligned tables:
+/// counters, gauges, then histograms (per-phase latency histograms show
+/// human-readable durations; others, e.g. `wal.commit_bytes`, raw
+/// values), then any buffered trace events.
+fn render_obs_snapshot(out: &mut String, snap: &spb_obs::Snapshot) {
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<32} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<32} {v}");
+        }
+    }
+    if !snap.hists.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "name", "count", "p50", "p90", "p99", "max"
+        );
+        for (name, h) in &snap.hists {
+            // Phase histograms record nanoseconds; everything else
+            // (sizes, counts) prints raw.
+            let fmt: fn(u64) -> String = if name.starts_with("phase.") {
+                fmt_nanos
+            } else {
+                |v| v.to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                fmt(h.p50),
+                fmt(h.p90),
+                fmt(h.p99),
+                fmt(h.max)
+            );
+        }
+    }
+    if !snap.traces.is_empty() {
+        let _ = writeln!(out, "traces ({} event(s)):", snap.traces.len());
+        for ev in &snap.traces {
+            let _ = writeln!(
+                out,
+                "  +{:<12} {:<24} {}",
+                fmt_nanos(ev.at_nanos),
+                ev.name,
+                fmt_nanos(ev.dur_nanos)
+            );
         }
     }
 }
@@ -1418,7 +1525,18 @@ mod tests {
                 max_queue: 64,
                 max_connections: 64,
                 threads: 4,
+                trace: false,
             }
+        );
+        let cmd = parse_args(&args("serve --index ./idx --trace on")).unwrap();
+        assert!(matches!(cmd, Command::Serve { trace: true, .. }));
+        assert!(parse_args(&args("serve --index ./idx --trace maybe")).is_err());
+        let cmd = parse_args(&args("stats --addr 127.0.0.1:9000")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Remote(RemoteCommand::ObsStats {
+                addr: "127.0.0.1:9000".into(),
+            })
         );
         let cmd = parse_args(&args(
             "remote range --addr localhost:9000 --query carrot --radius 1 --deadline-ms 500",
@@ -1588,6 +1706,19 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("objects: 6"), "out = {out}");
+        assert!(out.contains("deadline misses: 0"), "out = {out}");
+
+        // The observability snapshot travels the wire and renders: the
+        // batch above must show up in the served counter and leave at
+        // least one traversal-phase latency sample.
+        let mut out = String::new();
+        run(
+            &Command::Remote(RemoteCommand::ObsStats { addr: addr.clone() }),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("admission.served"), "out = {out}");
+        assert!(out.contains("phase.traversal"), "out = {out}");
 
         let mut out = String::new();
         run(&Command::Remote(RemoteCommand::Shutdown { addr }), &mut out).unwrap();

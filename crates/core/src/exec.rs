@@ -24,6 +24,14 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+/// The `exec.queue_depth` gauge: tasks still waiting in the injector of
+/// the most recent batch. Process-global; sampled on every injector
+/// refill so an operator can see backlog while a batch runs.
+fn queue_depth_gauge() -> &'static std::sync::Arc<spb_obs::Gauge> {
+    static G: std::sync::OnceLock<std::sync::Arc<spb_obs::Gauge>> = std::sync::OnceLock::new();
+    G.get_or_init(|| spb_obs::gauge("exec.queue_depth"))
+}
+
 /// A fixed-width pool of scoped workers. `threads <= 1` degenerates to an
 /// inline sequential loop (no threads spawned), which is also the
 /// reference behaviour batch results are tested against.
@@ -73,6 +81,7 @@ where
     // still spread via stealing, large enough to keep the injector cold.
     let batch = (n / (workers * 4)).max(1);
     let injector: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    queue_depth_gauge().set(n as i64);
     let locals: Vec<Mutex<VecDeque<usize>>> =
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
 
@@ -125,8 +134,10 @@ fn next_task(
                     None => break,
                 }
             }
+            queue_depth_gauge().set(inj.len() as i64);
             return Some(first);
         }
+        queue_depth_gauge().set(0);
     }
     for (v, victim) in locals.iter().enumerate() {
         if v == w {

@@ -125,7 +125,7 @@ pub fn similarity_join<O: MetricObject, D: Distance<O>>(
 
     let _guard_q = spb_q.latch_shared();
     let _guard_o = spb_o.latch_shared();
-    let start = Instant::now();
+    let start = spb_obs::clock::now();
     // One collector per tree so each side's B⁺-tree/RAF accesses meet the
     // right accounting cache; distances are counted on the Q side.
     let mut col_q = spb_q.collector();
@@ -300,7 +300,7 @@ pub fn similarity_join_parallel<O: MetricObject, D: Distance<O>>(
 
     let _guard_q = spb_q.latch_shared();
     let _guard_o = spb_o.latch_shared();
-    let start = Instant::now();
+    let start = spb_obs::clock::now();
     let mut setup = spb_q.collector();
 
     // Walk Q's leaf chain once to learn the partition boundaries.

@@ -104,7 +104,7 @@ impl StatsCollector {
             compdists: 0,
             btree: AccountingLru::new(btree_cache_pages),
             raf: AccountingLru::new(raf_cache_pages),
-            start: Instant::now(),
+            start: spb_obs::clock::now(),
         }
     }
 

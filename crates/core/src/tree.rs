@@ -16,6 +16,13 @@ use spb_storage::{atomic_write_file, IoStats, Raf, RafPtr, Wal, WalFileTag};
 
 use crate::config::SpbConfig;
 use crate::cost::CostModel;
+
+/// The `phase.latch_wait` histogram: time spent blocked acquiring the
+/// tree structure latch (nanoseconds). Process-global.
+fn latch_wait_hist() -> &'static std::sync::Arc<spb_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<spb_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.latch_wait"))
+}
 use crate::mapping::{PivotTable, SfcMbbOps};
 use crate::recovery::{recover_dir, META_FILE, WAL_FILE};
 use crate::stats::StatsCollector;
@@ -164,7 +171,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         config: &SpbConfig,
         pivot_compdists: u64,
     ) -> io::Result<Self> {
-        let start = Instant::now();
+        let start = spb_obs::clock::now();
         std::fs::create_dir_all(dir)?;
         let counter = DistCounter::new();
         let metric = CountingDistance::with_counter(metric, counter.clone());
@@ -687,13 +694,18 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 
     /// Takes the structure latch shared (queries). The rank check runs
     /// before blocking, so an ordering violation panics (debug builds)
-    /// instead of deadlocking.
+    /// instead of deadlocking. The time spent blocked is recorded into
+    /// the `phase.latch_wait` histogram — under a latch convoy this is
+    /// the histogram that grows.
     pub(crate) fn latch_shared(&self) -> TreeLatchShared<'_> {
         let held = lockrank::acquire_shared(LockRank::TreeLatch);
+        let wait_start = spb_obs::clock::now();
+        // spb-lint: allow(lock-order) — the sanctioned shared
+        // acquisition site; the rank was registered on the line above.
+        let guard = self.latch.read();
+        latch_wait_hist().record(spb_obs::clock::nanos_since(wait_start));
         TreeLatchShared {
-            // spb-lint: allow(lock-order) — the sanctioned shared
-            // acquisition site; the rank was registered on the line above.
-            _guard: self.latch.read(),
+            _guard: guard,
             _held: held,
         }
     }
@@ -701,10 +713,13 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// Takes the structure latch exclusively (updates, checkpoints).
     pub(crate) fn latch_exclusive(&self) -> TreeLatchExclusive<'_> {
         let held = lockrank::acquire(LockRank::TreeLatch);
+        let wait_start = spb_obs::clock::now();
+        // spb-lint: allow(lock-order) — the sanctioned exclusive
+        // acquisition site; the rank was registered on the line above.
+        let guard = self.latch.write();
+        latch_wait_hist().record(spb_obs::clock::nanos_since(wait_start));
         TreeLatchExclusive {
-            // spb-lint: allow(lock-order) — the sanctioned exclusive
-            // acquisition site; the rank was registered on the line above.
-            _guard: self.latch.write(),
+            _guard: guard,
             _held: held,
         }
     }
@@ -833,7 +848,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             self.btree.io_stats(),
             self.raf.io_stats(),
             self.wal.as_ref().map_or(0, |w| w.fsyncs()),
-            Instant::now(),
+            spb_obs::clock::now(),
         )
     }
 

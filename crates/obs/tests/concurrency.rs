@@ -1,0 +1,120 @@
+//! Registry snapshot consistency under concurrency (ISSUE 6 satellite):
+//! N threads hammer counters and histograms while a reader snapshots
+//! concurrently. Final totals must equal the sum of recorded events,
+//! and no mid-flight snapshot may be torn (a histogram snapshot's
+//! count must equal the sum of its own buckets — checked structurally
+//! here via quantile/count invariants — and must never exceed what has
+//! been recorded).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use spb_obs::Registry;
+
+const THREADS: usize = 8;
+const EVENTS_PER_THREAD: u64 = 50_000;
+
+#[test]
+fn totals_equal_sum_of_recorded_events() {
+    let reg = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let recorded_sum = Arc::new(AtomicU64::new(0));
+
+    // Reader: snapshot continuously while writers run, checking each
+    // snapshot for internal consistency.
+    let reader = {
+        let reg = Arc::clone(&reg);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = reg.snapshot();
+                if let Some(h) = s.hist("latency") {
+                    // Quantiles are derived from the buckets the
+                    // snapshot itself read — a torn read would break
+                    // the ordering or exceed max.
+                    assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "torn quantiles: {h:?}");
+                    assert!(h.p99 <= h.max, "quantile beyond max: {h:?}");
+                    assert!(
+                        h.count <= THREADS as u64 * EVENTS_PER_THREAD,
+                        "count {} exceeds total events ever recorded",
+                        h.count
+                    );
+                }
+                if let Some(c) = s.counter("events") {
+                    assert!(c <= THREADS as u64 * EVENTS_PER_THREAD);
+                }
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = Arc::clone(&reg);
+            let recorded_sum = Arc::clone(&recorded_sum);
+            thread::spawn(move || {
+                // Each thread caches its Arc handles once (the intended
+                // usage pattern) then hammers the lock-free fast path.
+                let counter = reg.counter("events");
+                let hist = reg.histogram("latency");
+                let gauge = reg.gauge("depth");
+                let mut local_sum = 0u64;
+                for i in 0..EVENTS_PER_THREAD {
+                    // Deterministic pseudo-varied values spanning many
+                    // buckets.
+                    let v = (t as u64 + 1) * (i % 1024 + 1);
+                    counter.incr();
+                    hist.record(v);
+                    gauge.adjust(1);
+                    gauge.adjust(-1);
+                    local_sum += v;
+                }
+                recorded_sum.fetch_add(local_sum, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snaps = reader.join().expect("reader thread");
+    assert!(snaps > 0, "reader never snapshotted");
+
+    // After all writers join, totals must be exact.
+    let s = reg.snapshot();
+    let total = THREADS as u64 * EVENTS_PER_THREAD;
+    assert_eq!(s.counter("events"), Some(total));
+    assert_eq!(s.gauge("depth"), Some(0));
+    let h = s.hist("latency").expect("latency histogram registered");
+    assert_eq!(h.count, total);
+    assert_eq!(h.sum, recorded_sum.load(Ordering::Relaxed));
+    assert_eq!(h.max, THREADS as u64 * 1024);
+    assert!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max);
+}
+
+#[test]
+fn concurrent_registration_of_same_name_yields_one_metric() {
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    reg.counter(&format!("c{}", i % 10)).incr();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("thread");
+    }
+    let s = reg.snapshot();
+    assert_eq!(s.counters.len(), 10, "duplicate registrations");
+    for (name, v) in &s.counters {
+        assert_eq!(*v, THREADS as u64 * 10, "counter {name} lost updates");
+    }
+}

@@ -33,7 +33,9 @@ impl Deadline {
         if ms == 0 {
             Deadline(None)
         } else {
-            Deadline(Some(Instant::now() + Duration::from_millis(u64::from(ms))))
+            Deadline(Some(
+                spb_obs::clock::now() + Duration::from_millis(u64::from(ms)),
+            ))
         }
     }
 
@@ -44,12 +46,13 @@ impl Deadline {
 
     /// True iff the budget has run out.
     pub fn expired(&self) -> bool {
-        self.0.is_some_and(|t| Instant::now() >= t)
+        self.0.is_some_and(|t| spb_obs::clock::now() >= t)
     }
 
     /// Time left until expiry (`None` = unbounded).
     pub fn remaining(&self) -> Option<Duration> {
-        self.0.map(|t| t.saturating_duration_since(Instant::now()))
+        self.0
+            .map(|t| t.saturating_duration_since(spb_obs::clock::now()))
     }
 }
 
@@ -100,6 +103,14 @@ struct AdmissionInner {
     slot_freed: Condvar,
     shed: AtomicU64,
     served: AtomicU64,
+    deadline_missed: AtomicU64,
+    // Process-global mirrors: the per-instance atomics above stay exact
+    // per gate (tests and ServerHandle read them); these feed the
+    // spb-obs registry so `spb-cli stats` sees process-wide totals.
+    obs_served: Arc<spb_obs::Counter>,
+    obs_shed: Arc<spb_obs::Counter>,
+    obs_deadline_miss: Arc<spb_obs::Counter>,
+    obs_queue_depth: Arc<spb_obs::Gauge>,
 }
 
 /// RAII execution slot: dropping it frees the slot and wakes one waiter.
@@ -145,6 +156,11 @@ impl Admission {
                 slot_freed: Condvar::new(),
                 shed: AtomicU64::new(0),
                 served: AtomicU64::new(0),
+                deadline_missed: AtomicU64::new(0),
+                obs_served: spb_obs::counter("admission.served"),
+                obs_shed: spb_obs::counter("admission.shed"),
+                obs_deadline_miss: spb_obs::counter("admission.deadline_miss"),
+                obs_queue_depth: spb_obs::gauge("admission.queue_depth"),
             }),
         }
     }
@@ -163,22 +179,27 @@ impl Admission {
                 return Err(AdmitError::ShuttingDown);
             }
             if deadline.expired() {
+                inner.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                inner.obs_deadline_miss.incr();
                 return Err(AdmitError::DeadlineExceeded);
             }
             if c.running < inner.cfg.max_inflight {
                 c.running += 1;
                 inner.served.fetch_add(1, Ordering::Relaxed);
+                inner.obs_served.incr();
                 return Ok(Permit {
                     inner: Arc::clone(inner),
                 });
             }
             if c.queued >= inner.cfg.max_queue {
                 inner.shed.fetch_add(1, Ordering::Relaxed);
+                inner.obs_shed.incr();
                 return Err(AdmitError::Overloaded);
             }
             // Wait for a slot, bounded so shutdown and deadline are
             // observed even if no permit is ever released.
             c.queued += 1;
+            inner.obs_queue_depth.set(c.queued as i64);
             let wait = deadline
                 .remaining()
                 .unwrap_or(Duration::from_millis(50))
@@ -189,6 +210,7 @@ impl Admission {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             c = guard;
             c.queued = c.queued.saturating_sub(1);
+            inner.obs_queue_depth.set(c.queued as i64);
         }
     }
 
@@ -200,6 +222,19 @@ impl Admission {
     /// Requests admitted since startup.
     pub fn served_count(&self) -> u64 {
         self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests that missed their deadline — rejected while queued, or
+    /// recorded mid-execution via [`Admission::record_deadline_miss`].
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.inner.deadline_missed.load(Ordering::Relaxed)
+    }
+
+    /// Counts a deadline miss detected outside `admit` (a request whose
+    /// budget ran out during execution).
+    pub fn record_deadline_miss(&self) {
+        self.inner.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        self.inner.obs_deadline_miss.incr();
     }
 }
 

@@ -227,6 +227,16 @@ impl Client {
         })
     }
 
+    /// The server's full observability snapshot: every registered
+    /// counter, gauge and latency histogram, plus recent trace events
+    /// when the server runs with tracing enabled.
+    pub fn obs_stats(&mut self) -> Result<spb_obs::Snapshot, ClientError> {
+        self.expect(&Request::ObsStats, |r| match r {
+            Response::ObsStats { snapshot } => Ok(snapshot),
+            other => Err(other),
+        })
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.expect(&Request::Shutdown, |r| match r {

@@ -23,7 +23,7 @@
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -66,6 +66,20 @@ struct Shared {
     active_conns: AtomicUsize,
 }
 
+/// The `phase.queue_wait` histogram: time an admitted request spent in
+/// the admission gate before getting its execution slot (nanoseconds).
+fn queue_wait_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.queue_wait"))
+}
+
+/// The `phase.encode` histogram: response serialisation plus the socket
+/// write of the reply frame (nanoseconds).
+fn encode_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.encode"))
+}
+
 /// A running server. Dropping the handle shuts the server down and joins
 /// it.
 pub struct ServerHandle {
@@ -99,6 +113,14 @@ impl ServerHandle {
     /// Requests admitted since startup.
     pub fn served_count(&self) -> u64 {
         self.shared.admission.served_count()
+    }
+
+    /// Requests that missed their deadline since startup — rejected
+    /// while queued or expired mid-execution. Disjoint from
+    /// [`shed_count`](ServerHandle::shed_count), which counts only
+    /// queue-full rejections.
+    pub fn deadline_miss_count(&self) -> u64 {
+        self.shared.admission.deadline_miss_count()
     }
 
     /// Waits for the server to drain and checkpoint. Implies
@@ -295,7 +317,10 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
         };
         let shutdown_after = matches!(req, Request::Shutdown);
         let resp = handle_request(req, shared);
-        if write_frame(&mut stream, &resp.encode()).is_err() {
+        let encode_start = spb_obs::clock::now();
+        let wrote = write_frame(&mut stream, &resp.encode());
+        encode_hist().record(spb_obs::clock::nanos_since(encode_start));
+        if wrote.is_err() {
             return;
         }
         if shutdown_after {
@@ -321,6 +346,10 @@ fn handle_request(req: Request, shared: &Shared) -> Response {
             num_pivots: svc.num_pivots(),
             served: shared.admission.served_count(),
             shed: shared.admission.shed_count(),
+            deadline_miss: shared.admission.deadline_miss_count(),
+        },
+        Request::ObsStats => Response::ObsStats {
+            snapshot: spb_obs::snapshot(),
         },
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -329,6 +358,7 @@ fn handle_request(req: Request, shared: &Shared) -> Response {
         // Everything else is work and must hold an admission permit.
         work => {
             let deadline = Deadline::from_ms(work.deadline_ms());
+            let queue_start = spb_obs::clock::now();
             let permit = match shared.admission.admit(deadline, &shared.shutdown) {
                 Ok(p) => p,
                 Err(AdmitError::Overloaded) => {
@@ -344,6 +374,7 @@ fn handle_request(req: Request, shared: &Shared) -> Response {
                     return error_response(ErrorCode::ShuttingDown, "server is draining")
                 }
             };
+            queue_wait_hist().record(spb_obs::clock::nanos_since(queue_start));
             let resp = execute(work, deadline, shared);
             drop(permit);
             resp
@@ -371,7 +402,7 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
         Request::BatchKnn { k, objs, .. } => svc
             .knn_batch(&objs, k as usize, threads, deadline)
             .map(|queries| Response::BatchKnn { queries }),
-        Request::Ping | Request::Stats | Request::Shutdown => {
+        Request::Ping | Request::Stats | Request::ObsStats | Request::Shutdown => {
             // Control-plane requests are answered before admission; if one
             // reaches here the dispatcher is broken, but a typed error
             // response beats aborting the worker thread.
@@ -384,10 +415,13 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
     match result {
         Ok(resp) => resp,
         Err(ServiceError::Malformed(m)) => error_response(ErrorCode::Malformed, m),
-        Err(ServiceError::DeadlineExceeded) => error_response(
-            ErrorCode::DeadlineExceeded,
-            "deadline expired mid-execution",
-        ),
+        Err(ServiceError::DeadlineExceeded) => {
+            shared.admission.record_deadline_miss();
+            error_response(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired mid-execution",
+            )
+        }
         Err(ServiceError::Internal(m)) => error_response(ErrorCode::Internal, m),
     }
 }

@@ -149,6 +149,14 @@ fn slice_size(threads: usize) -> usize {
     threads.max(1)
 }
 
+/// The `phase.traversal` histogram: time inside the index (latch +
+/// traversal + buffer I/O + WAL fsync — the sub-phases have their own
+/// histograms and are *nested* within this one).
+fn traversal_hist() -> &'static std::sync::Arc<spb_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<spb_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.traversal"))
+}
+
 impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
     fn schema(&self) -> &Schema {
         &self.schema
@@ -168,14 +176,20 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
 
     fn range(&self, obj: &[u8], radius: f64) -> Result<(Vec<WireHit>, WireStats), ServiceError> {
         let q = self.decode_obj(obj)?;
-        let (hits, stats) = self.tree.range(&q, radius)?;
+        let (hits, stats) = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.range(&q, radius)?
+        };
         let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
         Ok((hits, WireStats::from(&stats)))
     }
 
     fn knn(&self, obj: &[u8], k: usize) -> Result<(Vec<WireNn>, WireStats), ServiceError> {
         let q = self.decode_obj(obj)?;
-        let (nn, stats) = self.tree.knn(&q, k)?;
+        let (nn, stats) = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.knn(&q, k)?
+        };
         let nn = nn
             .into_iter()
             .map(|(id, o, d)| (id, d, o.encoded()))
@@ -185,13 +199,19 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
 
     fn insert(&self, obj: &[u8]) -> Result<WireStats, ServiceError> {
         let o = self.decode_obj(obj)?;
-        let stats = self.tree.insert(&o)?;
+        let stats = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.insert(&o)?
+        };
         Ok(WireStats::from(&stats))
     }
 
     fn delete(&self, obj: &[u8]) -> Result<(bool, WireStats), ServiceError> {
         let o = self.decode_obj(obj)?;
-        let (found, stats) = self.tree.delete(&o)?;
+        let (found, stats) = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.delete(&o)?
+        };
         Ok((found, WireStats::from(&stats)))
     }
 
@@ -209,7 +229,11 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
             if deadline.expired() {
                 return Err(ServiceError::DeadlineExceeded);
             }
-            for (hits, stats) in self.tree.range_batch(slice, threads)? {
+            let batch = {
+                let _span = spb_obs::span!(traversal_hist(), "traversal");
+                self.tree.range_batch(slice, threads)?
+            };
+            for (hits, stats) in batch {
                 let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
                 out.push((hits, WireStats::from(&stats)));
             }
@@ -230,7 +254,11 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
             if deadline.expired() {
                 return Err(ServiceError::DeadlineExceeded);
             }
-            for (nn, stats) in self.tree.knn_batch(slice, k, threads)? {
+            let batch = {
+                let _span = spb_obs::span!(traversal_hist(), "traversal");
+                self.tree.knn_batch(slice, k, threads)?
+            };
+            for (nn, stats) in batch {
                 let nn = nn
                     .into_iter()
                     .map(|(id, o, d)| (id, d, o.encoded()))

@@ -63,6 +63,7 @@ const OP_BATCH_RANGE: u8 = 0x06;
 const OP_BATCH_KNN: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
+const OP_OBS_STATS: u8 = 0x0A;
 /// Response opcode for every failure.
 const OP_ERROR: u8 = 0xFF;
 /// Successful responses echo the request opcode with this bit set.
@@ -302,6 +303,10 @@ pub enum Request {
     },
     /// Index + service statistics.
     Stats,
+    /// Full observability snapshot: every registered counter, gauge and
+    /// latency histogram (see `spb-obs`), plus recent trace events when
+    /// the server runs with tracing on.
+    ObsStats,
     /// Ask the server to drain in-flight work, checkpoint and exit.
     Shutdown,
 }
@@ -374,6 +379,16 @@ pub enum Response {
         served: u64,
         /// Requests shed by admission control since startup.
         shed: u64,
+        /// Requests that missed their deadline (while queued or
+        /// mid-execution) since startup.
+        deadline_miss: u64,
+    },
+    /// Answer to [`Request::ObsStats`]: the server's full metrics
+    /// registry at the moment of the request.
+    ObsStats {
+        /// Every registered counter, gauge and histogram, plus recent
+        /// trace events if tracing is enabled.
+        snapshot: spb_obs::Snapshot,
     },
     /// Acknowledges [`Request::Shutdown`]; the server drains and exits
     /// after sending this.
@@ -440,6 +455,10 @@ impl<'a> Cur<'a> {
 
     fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.u64()?.to_le_bytes()))
     }
 
     /// Length-prefixed byte string. The length is validated against the
@@ -535,6 +554,82 @@ fn get_objs(c: &mut Cur<'_>) -> Result<Vec<Vec<u8>>, WireError> {
     Ok(objs)
 }
 
+// ---------------------------------------------------------------------
+// spb-obs snapshot encoding: count-prefixed lists of named values. A
+// histogram summary travels as six u64s; gauges travel as the two's-
+// complement bits of their i64.
+// ---------------------------------------------------------------------
+
+fn put_snapshot(out: &mut Vec<u8>, s: &spb_obs::Snapshot) {
+    out.extend_from_slice(&(s.counters.len() as u32).to_le_bytes());
+    for (name, v) in &s.counters {
+        put_bytes(out, name.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(s.gauges.len() as u32).to_le_bytes());
+    for (name, v) in &s.gauges {
+        put_bytes(out, name.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(s.hists.len() as u32).to_le_bytes());
+    for (name, h) in &s.hists {
+        put_bytes(out, name.as_bytes());
+        for v in [h.count, h.sum, h.max, h.p50, h.p90, h.p99] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(s.traces.len() as u32).to_le_bytes());
+    for ev in &s.traces {
+        put_bytes(out, ev.name.as_bytes());
+        out.extend_from_slice(&ev.at_nanos.to_le_bytes());
+        out.extend_from_slice(&ev.dur_nanos.to_le_bytes());
+    }
+}
+
+fn get_snapshot(c: &mut Cur<'_>) -> Result<spb_obs::Snapshot, WireError> {
+    let n = c.u32()?;
+    let mut counters = Vec::new();
+    for _ in 0..n {
+        counters.push((c.lstr()?, c.u64()?));
+    }
+    let n = c.u32()?;
+    let mut gauges = Vec::new();
+    for _ in 0..n {
+        gauges.push((c.lstr()?, c.i64()?));
+    }
+    let n = c.u32()?;
+    let mut hists = Vec::new();
+    for _ in 0..n {
+        let name = c.lstr()?;
+        hists.push((
+            name,
+            spb_obs::HistogramSnapshot {
+                count: c.u64()?,
+                sum: c.u64()?,
+                max: c.u64()?,
+                p50: c.u64()?,
+                p90: c.u64()?,
+                p99: c.u64()?,
+            },
+        ));
+    }
+    let n = c.u32()?;
+    let mut traces = Vec::new();
+    for _ in 0..n {
+        traces.push(spb_obs::TraceEvent {
+            name: c.lstr()?,
+            at_nanos: c.u64()?,
+            dur_nanos: c.u64()?,
+        });
+    }
+    Ok(spb_obs::Snapshot {
+        counters,
+        gauges,
+        hists,
+        traces,
+    })
+}
+
 impl Request {
     /// Serialises into a payload (version + opcode + body, no frame
     /// header).
@@ -599,6 +694,7 @@ impl Request {
                 }
             }
             Request::Stats => out.push(OP_STATS),
+            Request::ObsStats => out.push(OP_OBS_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
         }
         out
@@ -644,6 +740,7 @@ impl Request {
                 objs: get_objs(&mut c)?,
             },
             OP_STATS => Request::Stats,
+            OP_OBS_STATS => Request::ObsStats,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::BadOpcode(other)),
         };
@@ -660,7 +757,7 @@ impl Request {
             | Request::Delete { deadline_ms, .. }
             | Request::BatchRange { deadline_ms, .. }
             | Request::BatchKnn { deadline_ms, .. } => *deadline_ms,
-            Request::Ping | Request::Stats | Request::Shutdown => 0,
+            Request::Ping | Request::Stats | Request::ObsStats | Request::Shutdown => 0,
         }
     }
 }
@@ -722,6 +819,7 @@ impl Response {
                 num_pivots,
                 served,
                 shed,
+                deadline_miss,
             } => {
                 out.push(OP_STATS | RESP_BIT);
                 put_bytes(&mut out, schema.as_bytes());
@@ -730,6 +828,11 @@ impl Response {
                 out.extend_from_slice(&num_pivots.to_le_bytes());
                 out.extend_from_slice(&served.to_le_bytes());
                 out.extend_from_slice(&shed.to_le_bytes());
+                out.extend_from_slice(&deadline_miss.to_le_bytes());
+            }
+            Response::ObsStats { snapshot } => {
+                out.push(OP_OBS_STATS | RESP_BIT);
+                put_snapshot(&mut out, snapshot);
             }
             Response::Shutdown => out.push(OP_SHUTDOWN | RESP_BIT),
             Response::Error {
@@ -800,6 +903,10 @@ impl Response {
                 num_pivots: c.u32()?,
                 served: c.u64()?,
                 shed: c.u64()?,
+                deadline_miss: c.u64()?,
+            },
+            x if x == OP_OBS_STATS | RESP_BIT => Response::ObsStats {
+                snapshot: get_snapshot(&mut c)?,
             },
             x if x == OP_SHUTDOWN | RESP_BIT => Response::Shutdown,
             OP_ERROR => {
@@ -923,6 +1030,7 @@ mod tests {
             objs: vec![b"q".to_vec()],
         });
         roundtrip_req(Request::Stats);
+        roundtrip_req(Request::ObsStats);
         roundtrip_req(Request::Shutdown);
     }
 
@@ -959,6 +1067,32 @@ mod tests {
             num_pivots: 5,
             served: 17,
             shed: 3,
+            deadline_miss: 2,
+        });
+        roundtrip_resp(Response::ObsStats {
+            snapshot: spb_obs::Snapshot::default(),
+        });
+        roundtrip_resp(Response::ObsStats {
+            snapshot: spb_obs::Snapshot {
+                counters: vec![("admission.served".to_owned(), 17)],
+                gauges: vec![("admission.queue_depth".to_owned(), -1)],
+                hists: vec![(
+                    "phase.traversal".to_owned(),
+                    spb_obs::HistogramSnapshot {
+                        count: 9,
+                        sum: 4_500,
+                        max: 900,
+                        p50: 384,
+                        p90: 768,
+                        p99: 900,
+                    },
+                )],
+                traces: vec![spb_obs::TraceEvent {
+                    name: "traversal".to_owned(),
+                    at_nanos: 123,
+                    dur_nanos: 456,
+                }],
+            },
         });
         roundtrip_resp(Response::Shutdown);
         roundtrip_resp(Response::Error {

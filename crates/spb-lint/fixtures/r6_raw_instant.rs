@@ -1,0 +1,8 @@
+//! Known-bad fixture for R6 `raw-instant`: bare `Instant::now()` on
+//! the request hot path, bypassing the `spb_obs::clock` helpers.
+
+fn handle(elapsed: &mut u64) {
+    let t0 = std::time::Instant::now();
+    let t1 = Instant::now();
+    *elapsed = t1.duration_since(t0).as_nanos() as u64;
+}

@@ -17,6 +17,7 @@
 //! | `lock-order` | deny | ranked helpers only; no descending-rank acquisition |
 //! | `catch-all` | deny | no `_ =>` arms in wire/WAL decode functions |
 //! | `dead-variant` | warn | every counter field / error variant referenced outside its definition |
+//! | `raw-instant` | deny | no bare `Instant::now()` on hot paths; time through `spb_obs::clock` |
 //! | `bad-allow` | deny | malformed suppression markers |
 //!
 //! # Suppression markers
@@ -53,6 +54,9 @@ pub enum Rule {
     /// Enum variant / counter field never referenced outside its
     /// definition.
     DeadVariant,
+    /// Bare `Instant::now()` on a hot path instead of the `spb_obs`
+    /// clock helpers.
+    RawInstant,
     /// Malformed suppression marker.
     BadAllow,
 }
@@ -66,6 +70,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::CatchAll => "catch-all",
             Rule::DeadVariant => "dead-variant",
+            Rule::RawInstant => "raw-instant",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -79,6 +84,7 @@ impl Rule {
             "lock-order" => Some(Rule::LockOrder),
             "catch-all" => Some(Rule::CatchAll),
             "dead-variant" => Some(Rule::DeadVariant),
+            "raw-instant" => Some(Rule::RawInstant),
             "bad-allow" => Some(Rule::BadAllow),
             other => {
                 let _ = other;
@@ -229,6 +235,7 @@ pub fn run(cfg: &Config) -> Report {
         rules::no_unsafe(d, &mut report.violations);
         rules::lock_order(d, &mut report.violations);
         rules::catch_all(d, &mut report.violations);
+        rules::raw_instant(d, &mut report.violations);
     }
     rules::crate_roots(&datas, &mut report.violations);
     rules::dead_variants(&datas, &mut report.violations);

@@ -442,6 +442,52 @@ pub fn catch_all(d: &FileData, out: &mut Vec<Violation>) {
     }
 }
 
+/// Files on the request hot path where every timestamp must flow
+/// through `spb_obs::clock`: a bare `Instant::now()` there silently
+/// escapes the phase-latency accounting and drifts from the clock the
+/// histograms are calibrated against. Extend the list when a new layer
+/// gets instrumented.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/server/src/server.rs",
+    "crates/server/src/admission.rs",
+    "crates/server/src/service.rs",
+    "crates/core/src/tree.rs",
+    "crates/core/src/exec.rs",
+    "crates/core/src/join.rs",
+    "crates/core/src/stats.rs",
+    "crates/storage/src/cache.rs",
+    "crates/storage/src/wal.rs",
+];
+
+/// R6 — `raw-instant`: no bare `Instant::now()` in hot-path files;
+/// readings must come from `spb_obs::clock::now()` /
+/// `nanos_since(..)`. `Instant` as a *type* (fields, signatures) stays
+/// legal — only the raw call site is flagged.
+pub fn raw_instant(d: &FileData, out: &mut Vec<Violation>) {
+    if !HOT_PATH_FILES.contains(&d.rel.as_str()) {
+        return;
+    }
+    let toks = &d.code;
+    const SEQ: [&str; 5] = ["Instant", ":", ":", "now", "("];
+    for i in 0..toks.len().saturating_sub(SEQ.len() - 1) {
+        if SEQ
+            .iter()
+            .zip(&toks[i..])
+            .all(|(want, tok)| tok.text == *want)
+        {
+            push(
+                d,
+                out,
+                Rule::RawInstant,
+                toks[i].line,
+                "bare `Instant::now()` on a hot path; use `spb_obs::clock::now()` so the \
+                 reading stays on the clock the phase histograms use"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum DefKind {
     Enum,
@@ -575,6 +621,7 @@ mod tests {
         no_unsafe(&d, &mut out);
         lock_order(&d, &mut out);
         catch_all(&d, &mut out);
+        raw_instant(&d, &mut out);
         out
     }
 
@@ -648,6 +695,33 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 2);
         assert_eq!(v[0].rule, Rule::CatchAll);
+    }
+
+    #[test]
+    fn raw_instant_flags_calls_not_types() {
+        // The call is flagged (both the bare and the fully-qualified
+        // spelling); `Instant` as a type or import is not.
+        let src = "use std::time::Instant;\nstruct S { t: Instant }\nfn f() -> u64 {\n    let t0 = Instant::now();\n    let t1 = std::time::Instant::now();\n    t1.duration_since(t0).as_nanos() as u64\n}";
+        let v = lint_one("crates/server/src/service.rs", src);
+        let lines: Vec<u32> = v
+            .iter()
+            .filter(|v| v.rule == Rule::RawInstant)
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(lines, [4, 5]);
+    }
+
+    #[test]
+    fn raw_instant_only_applies_to_hot_path_files() {
+        let src = "fn f() { let _ = Instant::now(); }";
+        assert!(lint_one("crates/bench/src/lib.rs", src).is_empty());
+        assert_eq!(lint_one("crates/core/src/exec.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn raw_instant_honors_allow_marker() {
+        let src = "fn f() {\n    // spb-lint: allow(raw-instant) — calibration probe\n    let _ = Instant::now();\n}";
+        assert!(lint_one("crates/core/src/tree.rs", src).is_empty());
     }
 
     #[test]

@@ -85,6 +85,19 @@ fn r5_dead_variant_fixture_reports_the_dead_code() {
 }
 
 #[test]
+fn r6_raw_instant_fixture_reports_every_site() {
+    let (d, mut out) = fixture("r6_raw_instant.rs", "crates/server/src/server.rs");
+    rules::raw_instant(&d, &mut out);
+    // The fully-qualified and the bare call; the `duration_since` on
+    // line 7 is fine (no fresh reading taken).
+    assert_eq!(lines_of(&out, Rule::RawInstant), [5, 6]);
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/server/src/server.rs:5: [raw-instant]"));
+    assert!(out[0].message.contains("spb_obs::clock::now()"));
+}
+
+#[test]
 fn fixtures_are_denied_under_deny_all_but_dead_variant_warns_by_default() {
     assert!(Rule::NoPanic.denied(false));
     assert!(!Rule::DeadVariant.denied(false));

@@ -73,6 +73,23 @@ fn no_panic_rule_is_live_on_real_wal_rs() {
 }
 
 #[test]
+fn raw_instant_rule_is_live_on_real_server_rs() {
+    // Liveness for the hot-path timing rule: append a probe taking a
+    // raw reading to the real server.rs text and check it gets flagged
+    // (the clean run above proves the real file itself has none).
+    let path = repo_root().join("crates/server/src/server.rs");
+    let src = std::fs::read_to_string(path).expect("read server.rs");
+    let seeded =
+        format!("{src}\nfn probe() -> std::time::Instant {{ std::time::Instant::now() }}\n");
+    let mut out = Vec::new();
+    let d = analyze("crates/server/src/server.rs".to_string(), &seeded, &mut out);
+    rules::raw_instant(&d, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, Rule::RawInstant);
+    assert_eq!(out[0].line as usize, seeded.lines().count());
+}
+
+#[test]
 fn query_stats_counters_are_all_live() {
     // QueryStats extraction against the real tree.rs must find the
     // counter fields (the dead-counter rule would be vacuous if the

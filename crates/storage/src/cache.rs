@@ -21,7 +21,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -72,25 +72,30 @@ impl PoolInner {
         }
     }
 
-    fn insert(&mut self, id: PageId, page: Arc<Page>) {
+    /// Inserts (or refreshes) a page; returns how many entries were
+    /// evicted to stay within capacity.
+    fn insert(&mut self, id: PageId, page: Arc<Page>) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         self.tick += 1;
         if let Some(old) = self.map.insert(id, (page, self.tick)) {
             self.order.remove(&old.1);
         }
         self.order.insert(self.tick, id);
-        self.evict_to_capacity();
+        self.evict_to_capacity()
     }
 
     /// Evicts least-recently-used entries until the shard fits its
-    /// capacity again.
-    fn evict_to_capacity(&mut self) {
+    /// capacity again; returns the number evicted.
+    fn evict_to_capacity(&mut self) -> u64 {
+        let mut evicted = 0;
         while self.map.len() > self.capacity {
             let (_, victim) = self.order.pop_first().expect("order mirrors map");
             self.map.remove(&victim);
+            evicted += 1;
         }
+        evicted
     }
 
     fn clear(&mut self) {
@@ -99,16 +104,33 @@ impl PoolInner {
     }
 }
 
+/// The `phase.buffer_io` histogram: time spent in the pager on cache
+/// misses and write-throughs (nanoseconds). Process-global, shared by
+/// every pool.
+fn buffer_io_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.buffer_io"))
+}
+
 /// One lock stripe of the pool: an LRU segment plus its own counters.
+///
+/// The per-shard `AtomicU64`s are the paper's exact *PA* accounting and
+/// stay per-pool (resettable between queries). The `obs_*` counters
+/// mirror hits/misses/evictions into the process-global registry under
+/// `pool.shard{N}.*` — every pool sharing a shard index shares the
+/// named counter, so the registry reports process-wide totals.
 struct Shard {
     inner: Mutex<PoolInner>,
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     writes: AtomicU64,
+    obs_hits: Arc<spb_obs::Counter>,
+    obs_misses: Arc<spb_obs::Counter>,
+    obs_evictions: Arc<spb_obs::Counter>,
 }
 
 impl Shard {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, idx: usize) -> Self {
         Shard {
             inner: Mutex::new(PoolInner {
                 capacity,
@@ -119,6 +141,9 @@ impl Shard {
             logical_reads: AtomicU64::new(0),
             physical_reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            obs_hits: spb_obs::counter(&format!("pool.shard{idx}.hits")),
+            obs_misses: spb_obs::counter(&format!("pool.shard{idx}.misses")),
+            obs_evictions: spb_obs::counter(&format!("pool.shard{idx}.evictions")),
         }
     }
 
@@ -163,7 +188,7 @@ impl BufferPool {
         let per_shard = Self::shard_capacity(capacity, n);
         BufferPool {
             pager,
-            shards: (0..n).map(|_| Shard::new(per_shard)).collect(),
+            shards: (0..n).map(|i| Shard::new(per_shard, i)).collect(),
             capacity: AtomicUsize::new(capacity),
         }
     }
@@ -207,23 +232,47 @@ impl BufferPool {
             let mut inner = shard.lock_inner();
             if let Some(page) = inner.map.get(&id).map(|e| Arc::clone(&e.0)) {
                 inner.touch(id);
+                shard.obs_hits.incr();
                 return Ok(page);
             }
         }
+        let io_start = spb_obs::clock::now();
         let page = Arc::new(self.pager.read_page(id)?);
+        buffer_io_hist().record(spb_obs::clock::nanos_since(io_start));
+        let mut inner = shard.lock_inner();
+        // Double-check: a racing reader (or a write-through) may have
+        // cached the page while we were at the pager. Serving the cached
+        // copy keeps PA accounting deterministic under striping and never
+        // clobbers a fresher write-through copy with our possibly-stale
+        // read.
+        if let Some(cached) = inner.map.get(&id).map(|e| Arc::clone(&e.0)) {
+            inner.touch(id);
+            shard.obs_hits.incr();
+            return Ok(cached);
+        }
         shard.physical_reads.fetch_add(1, Ordering::Relaxed);
-        shard.lock_inner().insert(id, Arc::clone(&page));
+        shard.obs_misses.incr();
+        let evicted = inner.insert(id, Arc::clone(&page));
+        drop(inner);
+        if evicted > 0 {
+            shard.obs_evictions.add(evicted);
+        }
         Ok(page)
     }
 
     /// Writes a page through to disk and refreshes the cached copy.
     pub fn write(&self, id: PageId, page: Page) -> io::Result<()> {
+        let io_start = spb_obs::clock::now();
         self.pager.write_page(id, &page)?;
+        buffer_io_hist().record(spb_obs::clock::nanos_since(io_start));
         let shard = self.shard_of(id);
         shard.writes.fetch_add(1, Ordering::Relaxed);
         let mut inner = shard.lock_inner();
         if inner.capacity > 0 {
-            inner.insert(id, Arc::new(page));
+            let evicted = inner.insert(id, Arc::new(page));
+            if evicted > 0 {
+                shard.obs_evictions.add(evicted);
+            }
         }
         Ok(())
     }
@@ -246,7 +295,10 @@ impl BufferPool {
             if per_shard == 0 {
                 inner.clear();
             } else {
-                inner.evict_to_capacity();
+                let evicted = inner.evict_to_capacity();
+                if evicted > 0 {
+                    shard.obs_evictions.add(evicted);
+                }
             }
         }
     }

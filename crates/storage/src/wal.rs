@@ -35,6 +35,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -52,6 +53,19 @@ const TYPE_COMMIT: u8 = 4;
 /// (the largest legal payload is a page image: 9 + 9 + PAGE_SIZE bytes;
 /// meta images are far smaller than a page).
 const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Group-commit batch size in bytes (one sample per [`Wal::commit`]).
+fn commit_bytes_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("wal.commit_bytes"))
+}
+
+/// The `phase.wal_fsync` histogram: write + fsync latency of one group
+/// commit (nanoseconds).
+fn wal_fsync_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.wal_fsync"))
+}
 
 /// Which data file a [`WalRecord::PageImage`] belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -368,7 +382,9 @@ impl Wal {
             std::mem::take(&mut *pending)
         };
         buffer.extend_from_slice(&encode_record(&WalRecord::Commit { txid }));
+        commit_bytes_hist().record(buffer.len() as u64);
 
+        let fsync_start = spb_obs::clock::now();
         let mut file = self.lock_file();
         file.seek(SeekFrom::Start(self.len.load(Ordering::SeqCst)))?;
         match fault::on_write(&self.path, &buffer) {
@@ -382,6 +398,7 @@ impl Wal {
         }
         fault::on_sync(&self.path)?;
         file.sync_all()?;
+        wal_fsync_hist().record(spb_obs::clock::nanos_since(fsync_start));
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.len.fetch_add(buffer.len() as u64, Ordering::SeqCst);
         Ok(())
