@@ -1,0 +1,201 @@
+//! Cluster scatter-gather sweep — not a paper figure; measures the
+//! `spb-cluster` stack end to end: shard planning, per-shard serving,
+//! and the router's scatter-gather with MBB pruning, driven by
+//! closed-loop clients against 1, 2 and 4 shards of the same dataset.
+//!
+//! A single shard pays one wire round trip per query, so more shards
+//! only win when per-shard work shrinks faster than fan-out cost grows;
+//! the table makes that trade visible (QPS, p50/p99, and the router's
+//! observed fan-out per query). Correctness is asserted inline: every
+//! shard count must answer a probe set byte-identically to the 1-shard
+//! deployment.
+//!
+//! Besides the printed table the run writes `BENCH_cluster.json` into
+//! the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use spb_cluster::{Cluster, ClusterConfig, Router};
+use spb_metric::{dataset, EditDistance, Word};
+use spb_server::Schema;
+
+use crate::experiments::common::workload;
+use crate::{Scale, Table};
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+const CLIENTS: usize = 4;
+const RADIUS: f64 = 2.0;
+const K: usize = 10;
+
+/// One probe set: per query, the (id, encoded-object) range hits.
+type Probes = Vec<Vec<(u32, Vec<u8>)>>;
+
+struct Point {
+    shards: usize,
+    range_qps: f64,
+    knn_qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    fanout: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// `CLIENTS` closed-loop threads splitting `total` queries over the
+/// shared router; returns (elapsed seconds, sorted latencies in µs).
+fn drive(
+    router: &Router<Word, EditDistance>,
+    queries: &[Word],
+    total: usize,
+    f: impl Fn(&Router<Word, EditDistance>, &Word) -> usize + Sync,
+) -> (f64, Vec<f64>) {
+    let per_client = total.div_ceil(CLIENTS);
+    let t0 = Instant::now();
+    let mut lat = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let q = &queries[(c + i * CLIENTS) % queries.len()];
+                        let r0 = Instant::now();
+                        let _results = f(router, q);
+                        lat.push(r0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat.extend(h.join().expect("client thread"));
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    (secs, lat)
+}
+
+/// Runs the shard sweep at the given scale and writes
+/// `BENCH_cluster.json`.
+pub fn run(scale: Scale) {
+    let n = scale.words();
+    let data = dataset::words(n, scale.seed());
+    let queries = workload(&data, &scale);
+    let total = match scale {
+        Scale::Smoke => 60,
+        _ => 300,
+    };
+    let max_len = data.iter().map(Word::len).max().unwrap_or(1);
+
+    let mut t = Table::new(
+        &format!(
+            "Cluster shard sweep (Words, n={n}, {} distinct queries, r={RADIUS}, k={K}, \
+             {CLIENTS} clients, {total} reqs/op/point)",
+            queries.len()
+        ),
+        &[
+            "Shards",
+            "Range QPS",
+            "kNN QPS",
+            "p50(µs)",
+            "p99(µs)",
+            "Fan-out",
+        ],
+    );
+
+    let base = spb_storage::TempDir::new("cluster-bench");
+    let mut points = Vec::new();
+    let mut reference: Option<Probes> = None;
+    for shards in SHARDS {
+        let cluster = Cluster::launch(
+            &base.path().join(format!("s{shards}")),
+            &data,
+            EditDistance::new(max_len),
+            Schema::Words { max_len },
+            &ClusterConfig {
+                shards,
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster launch");
+        let router = cluster.router();
+
+        // Byte-identical across shard counts before timing anything.
+        let probes: Probes = queries
+            .iter()
+            .take(8)
+            .map(|q| router.range(q, RADIUS).expect("probe range").0)
+            .collect();
+        match &reference {
+            None => reference = Some(probes),
+            Some(want) => assert_eq!(&probes, want, "{shards}-shard answers diverged"),
+        }
+
+        // Fan-out (shards actually contacted per query, after MBB
+        // pruning) is read back from the router's own histogram: the
+        // delta over the timed window divided by its request count.
+        let fanout_hist = spb_obs::histogram("cluster.fanout");
+        let before = fanout_hist.snapshot();
+        let (range_secs, mut lat) = drive(&router, queries, total, |r, q| {
+            r.range(q, RADIUS).expect("range").0.len()
+        });
+        let (knn_secs, knn_lat) = drive(&router, queries, total, |r, q| {
+            r.knn(q, K).expect("knn").0.len()
+        });
+        let after = fanout_hist.snapshot();
+        lat.extend(knn_lat);
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let point = Point {
+            shards,
+            range_qps: total as f64 / range_secs.max(1e-9),
+            knn_qps: total as f64 / knn_secs.max(1e-9),
+            p50_us: percentile(&lat, 0.50),
+            p99_us: percentile(&lat, 0.99),
+            fanout: (after.sum - before.sum) as f64 / (after.count - before.count).max(1) as f64,
+        };
+        t.row(vec![
+            point.shards.to_string(),
+            format!("{:.1}", point.range_qps),
+            format!("{:.1}", point.knn_qps),
+            format!("{:.0}", point.p50_us),
+            format!("{:.0}", point.p99_us),
+            format!("{:.2}", point.fanout),
+        ]);
+        points.push(point);
+        cluster.shutdown().expect("clean shutdown");
+    }
+    t.print();
+
+    let mut sweep_json = String::from("[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            sweep_json.push_str(", ");
+        }
+        let _ = write!(
+            sweep_json,
+            "{{\"shards\": {}, \"range_qps\": {:.2}, \"knn_qps\": {:.2}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"fanout\": {:.2}}}",
+            p.shards, p.range_qps, p.knn_qps, p.p50_us, p.p99_us, p.fanout
+        );
+    }
+    sweep_json.push(']');
+    let json = format!(
+        "{{\n  \"experiment\": \"cluster\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \
+         \"radius\": {RADIUS}, \"k\": {K}}},\n  \
+         \"clients\": {CLIENTS},\n  \"requests_per_point\": {total},\n  \
+         \"sweep\": {sweep_json}\n}}\n",
+        queries.len(),
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    eprintln!("[cluster] wrote BENCH_cluster.json");
+}

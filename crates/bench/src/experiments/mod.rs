@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod approx;
+pub mod cluster;
 pub mod common;
 pub mod fig10;
 pub mod fig11;

@@ -185,6 +185,21 @@ pub enum Command {
         /// (`--trace on`); dumped through `remote obs-stats`.
         trace: bool,
     },
+    /// Launch an in-process sharded cluster over a data file, check it
+    /// answers byte-identically to a single node, and (with replicas)
+    /// that reads survive a primary kill. Prints greppable
+    /// `cluster-identical: OK` / `failover: OK` lines for CI.
+    Cluster {
+        /// Data file path (words schema: one word per line).
+        input: PathBuf,
+        /// Number of shards.
+        shards: usize,
+        /// Read replicas per shard.
+        replicas: usize,
+        /// Working directory for the cluster's files; a throwaway temp
+        /// directory when absent.
+        dir: Option<PathBuf>,
+    },
     /// A query or update against a running `spb-server`.
     Remote(RemoteCommand),
 }
@@ -411,6 +426,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 other => return Err(format!("--trace must be on|off, got {other:?}")),
             },
         }),
+        "cluster" => Ok(Command::Cluster {
+            input: PathBuf::from(need("input")?),
+            shards: opt("shards", "2")
+                .parse()
+                .map_err(|_| "--shards must be an integer".to_owned())?,
+            replicas: opt("replicas", "0")
+                .parse()
+                .map_err(|_| "--replicas must be an integer".to_owned())?,
+            dir: flags.get("dir").map(PathBuf::from),
+        }),
         "remote" => {
             let addr = need("addr")?;
             let deadline_ms: u32 = opt("deadline-ms", "0")
@@ -489,6 +514,7 @@ pub fn usage() -> String {
      \x20 verify --index DIR\n\
      \x20 recover --index DIR\n\
      \x20 serve --index DIR [--addr HOST:PORT] [--max-inflight N] [--max-queue N] [--max-connections N] [--threads N] [--trace on|off]\n\
+     \x20 cluster --input FILE [--shards N] [--replicas R] [--dir DIR]\n\
      \x20 remote ping --addr HOST:PORT\n\
      \x20 remote range --addr HOST:PORT --query Q --radius R [--deadline-ms MS]\n\
      \x20 remote knn --addr HOST:PORT --query Q [--k K] [--deadline-ms MS]\n\
@@ -1060,8 +1086,155 @@ fn run_local(cmd: &Command, out: &mut String) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Cluster {
+            input,
+            shards,
+            replicas,
+            dir,
+        } => {
+            let file = std::fs::File::open(input).map_err(|e| format!("open {input:?}: {e}"))?;
+            let words = load_words(io::BufReader::new(file)).map_err(|e| e.to_string())?;
+            if words.len() < 2 {
+                return Err("cluster needs at least two input words".to_owned());
+            }
+            let (base, throwaway) = match dir {
+                Some(d) => (d.clone(), false),
+                None => (
+                    std::env::temp_dir().join(format!("spb-cluster-{}", std::process::id())),
+                    true,
+                ),
+            };
+            let result = run_cluster(out, &words, *shards, *replicas, &base);
+            if throwaway {
+                let _ = std::fs::remove_dir_all(&base);
+            }
+            result
+        }
         Command::Serve { .. } | Command::Remote(_) => unreachable!("dispatched in run"),
     }
+}
+
+/// `spb-cli cluster`: launch, cross-check against a single node, then
+/// (with replicas) kill shard 0's primary and cross-check again. Every
+/// probe compares byte-for-byte; any divergence aborts with the failing
+/// query in the message.
+fn run_cluster(
+    out: &mut String,
+    words: &[Word],
+    shards: usize,
+    replicas: usize,
+    base: &Path,
+) -> Result<(), String> {
+    let max_len = words.iter().map(Word::len).max().unwrap_or(1);
+    let metric = EditDistance::new(max_len);
+    let cfg = spb_cluster::ClusterConfig {
+        shards,
+        replicas,
+        ..spb_cluster::ClusterConfig::default()
+    };
+    let mut cluster = spb_cluster::Cluster::launch(
+        &base.join("cluster"),
+        words,
+        metric,
+        Schema::Words { max_len },
+        &cfg,
+    )
+    .map_err(|e| format!("cluster launch: {e}"))?;
+    let _ = writeln!(
+        out,
+        "launched {} shard(s), {replicas} replica(s) each, over {} object(s)",
+        cluster.num_shards(),
+        words.len()
+    );
+    let reference = SpbTree::build(&base.join("single"), words, metric, &SpbConfig::default())
+        .map_err(|e| format!("single-node build: {e}"))?;
+
+    // Probe with real members (hits guaranteed) plus their neighbourhood.
+    let probes: Vec<Word> = words.iter().take(8).cloned().collect();
+    let router = cluster.router();
+    let mut checks = 0usize;
+    for q in &probes {
+        for r in [1.0, 2.0] {
+            compare_range(&router, &reference, q, r)?;
+            checks += 1;
+        }
+        for k in [3usize, 10] {
+            compare_knn(&router, &reference, q, k)?;
+            checks += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "cluster-identical: OK ({checks} checks across {} shard(s))",
+        cluster.num_shards()
+    );
+
+    if replicas > 0 {
+        cluster
+            .sync_replicas()
+            .map_err(|e| format!("replica sync: {e}"))?;
+        cluster
+            .kill_primary(0)
+            .map_err(|e| format!("primary kill: {e}"))?;
+        let router = cluster.router();
+        for q in &probes {
+            compare_range(&router, &reference, q, 2.0)?;
+            compare_knn(&router, &reference, q, 3)?;
+        }
+        let _ = writeln!(
+            out,
+            "failover: OK (shard 0 primary killed; replicas answered identically)"
+        );
+    }
+    cluster.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    Ok(())
+}
+
+fn compare_range(
+    router: &spb_cluster::Router<Word, EditDistance>,
+    reference: &SpbTree<Word, EditDistance>,
+    q: &Word,
+    r: f64,
+) -> Result<(), String> {
+    let (got, _) = router
+        .range(q, r)
+        .map_err(|e| format!("router range: {e}"))?;
+    let (hits, _) = reference.range(q, r).map_err(|e| e.to_string())?;
+    let mut want: Vec<(u32, Vec<u8>)> = hits
+        .into_iter()
+        .map(|(id, o)| (id, spb_metric::MetricObject::encoded(&o)))
+        .collect();
+    want.sort_unstable_by_key(|&(id, _)| id);
+    if got != want {
+        return Err(format!(
+            "cluster-identical: FAILED on range({:?}, {r}): cluster {} hit(s), single node {}",
+            q.as_str(),
+            got.len(),
+            want.len()
+        ));
+    }
+    Ok(())
+}
+
+fn compare_knn(
+    router: &spb_cluster::Router<Word, EditDistance>,
+    reference: &SpbTree<Word, EditDistance>,
+    q: &Word,
+    k: usize,
+) -> Result<(), String> {
+    let (got, _) = router.knn(q, k).map_err(|e| format!("router knn: {e}"))?;
+    let (nn, _) = reference.knn(q, k).map_err(|e| e.to_string())?;
+    let want: Vec<(u32, f64, Vec<u8>)> = nn
+        .into_iter()
+        .map(|(id, o, d)| (id, d, spb_metric::MetricObject::encoded(&o)))
+        .collect();
+    if got != want {
+        return Err(format!(
+            "cluster-identical: FAILED on knn({:?}, {k})",
+            q.as_str()
+        ));
+    }
+    Ok(())
 }
 
 enum Index {
@@ -1567,6 +1740,96 @@ mod tests {
             .is_err(),
             "both radius and k"
         );
+    }
+
+    #[test]
+    fn parses_cluster() {
+        let cmd = parse_args(&args("cluster --input words.txt --shards 3 --replicas 1")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                input: "words.txt".into(),
+                shards: 3,
+                replicas: 1,
+                dir: None,
+            }
+        );
+        let cmd = parse_args(&args("cluster --input w.txt --dir ./work")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                input: "w.txt".into(),
+                shards: 2,
+                replicas: 0,
+                dir: Some("./work".into()),
+            }
+        );
+        assert!(parse_args(&args("cluster --shards 2")).is_err(), "no input");
+    }
+
+    #[test]
+    fn cluster_roundtrip_prints_greppable_markers() {
+        let dir = std::env::temp_dir().join(format!("spbcli-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("words.txt");
+        let mut text = String::new();
+        for i in 0..60 {
+            let _ = writeln!(text, "word{:03}x{}", i, "abcdefgh".split_at(i % 8).0);
+        }
+        std::fs::write(&data, text).unwrap();
+
+        let mut out = String::new();
+        run(
+            &Command::Cluster {
+                input: data,
+                shards: 3,
+                replicas: 1,
+                dir: Some(dir.join("work")),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("cluster-identical: OK"), "out = {out}");
+        assert!(out.contains("failover: OK"), "out = {out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a *newer* server's error reply — unknown error-code
+    /// byte, `server_version: 2`, trailing body fields this client has
+    /// never heard of — must exit with the dedicated version-mismatch
+    /// code, not trip over the unknown bytes and exit 1. The frame is
+    /// handcrafted so the test pins the wire layout, not our encoder.
+    #[test]
+    fn remote_version_mismatch_from_newer_server_exits_13() {
+        use std::io::{Read as _, Write as _};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            // Drain the client's ping frame: header, then payload.
+            let mut header = [0u8; spb_server::wire::FRAME_HEADER];
+            conn.read_exact(&mut header).unwrap();
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+            let mut payload = vec![0u8; len as usize];
+            conn.read_exact(&mut payload).unwrap();
+            // Reply: OP_ERROR (0xFF), error code 99 (unknown to v1),
+            // server_version 2, an lstr message, then two trailing bytes
+            // of imaginary v2 body the client must ignore.
+            let mut body = vec![spb_server::PROTOCOL_VERSION, 0xFF, 99, 2];
+            let msg = b"speak v2";
+            body.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            body.extend_from_slice(msg);
+            body.extend_from_slice(&[0xDE, 0xAD]);
+            spb_server::wire::write_frame(&mut conn, &body).unwrap();
+            conn.flush().unwrap();
+        });
+
+        let mut out = String::new();
+        let err = run(&Command::Remote(RemoteCommand::Ping { addr }), &mut out).unwrap_err();
+        server.join().unwrap();
+        assert_eq!(err.code, EXIT_VERSION, "message: {}", err.message);
+        assert!(err.message.contains('2'), "message: {}", err.message);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property tests for the router's merge logic: over *random* shard
+//! splits — not just the contiguous SFC ranges the planner produces —
+//! merging per-shard top-`k` lists must reproduce the single-node
+//! answer byte-for-byte, including the `(distance, id)` tie-break, and
+//! the shard-level lower bound must never prune a shard that the global
+//! top-`k` needs.
+//!
+//! The dataset is 1-D integers under absolute difference: distances
+//! collide constantly (every pair of equal values ties at 0, every
+//! symmetric pair ties in general), which is exactly the regime where a
+//! sloppy merge order or an `>=` prune would diverge from a single node.
+
+use proptest::prelude::*;
+use spb_cluster::merge_topk;
+use spb_core::shard_mind;
+
+/// One simulated object: global id + value.
+type Obj = (u32, i32);
+
+fn dist(a: i32, b: i32) -> f64 {
+    f64::from((a - b).abs())
+}
+
+/// Brute-force single-node kNN: ascending `(distance, id)`, exactly the
+/// tree's tie-break, with the object's wire bytes attached.
+fn single_node_knn(objects: &[Obj], q: i32, k: usize) -> Vec<(u32, f64, Vec<u8>)> {
+    let mut all: Vec<(u32, f64, Vec<u8>)> = objects
+        .iter()
+        .map(|&(id, v)| (id, dist(q, v), v.to_le_bytes().to_vec()))
+        .collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// The φ vector of a value against a pivot set.
+fn phi(pivots: &[i32], v: i32) -> Vec<f64> {
+    pivots.iter().map(|&p| dist(p, v)).collect()
+}
+
+/// Per-pivot bounding box of a shard's members.
+fn mbb_of(pivots: &[i32], members: &[Obj]) -> Vec<(f64, f64)> {
+    let mut mbb = vec![(f64::INFINITY, f64::NEG_INFINITY); pivots.len()];
+    for &(_, v) in members {
+        for (slot, coord) in mbb.iter_mut().zip(phi(pivots, v)) {
+            slot.0 = slot.0.min(coord);
+            slot.1 = slot.1.max(coord);
+        }
+    }
+    mbb
+}
+
+/// A dataset of small integers (dense value collisions) plus an
+/// arbitrary shard assignment for each object.
+fn dataset() -> impl Strategy<Value = (Vec<i32>, Vec<usize>, usize)> {
+    (2usize..5).prop_flat_map(|num_shards| {
+        proptest::collection::vec((0i32..40, 0..num_shards), 2..80).prop_map(move |rows| {
+            let (values, shards): (Vec<i32>, Vec<usize>) = rows.into_iter().unzip();
+            (values, shards, num_shards)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merged_topk_is_byte_identical_to_single_node(
+        (values, shard_of, num_shards) in dataset(),
+        q in 0i32..40,
+        k in 1usize..12,
+    ) {
+        let objects: Vec<Obj> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+
+        // Each shard answers its own top-k over its members only, in the
+        // single-node order — which is what a shard's SPB-tree returns,
+        // since shards share the pivot table.
+        let lists: Vec<Vec<(u32, f64, Vec<u8>)>> = (0..num_shards)
+            .map(|s| {
+                let members: Vec<Obj> = objects
+                    .iter()
+                    .zip(&shard_of)
+                    .filter(|&(_, &home)| home == s)
+                    .map(|(&o, _)| o)
+                    .collect();
+                single_node_knn(&members, q, k)
+            })
+            .collect();
+
+        let merged = merge_topk(k, lists);
+        let want = single_node_knn(&objects, q, k);
+        prop_assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn pruned_shards_never_change_the_answer(
+        (values, shard_of, num_shards) in dataset(),
+        q in 0i32..40,
+        k in 1usize..12,
+        num_pivots in 1usize..4,
+    ) {
+        let objects: Vec<Obj> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        // Pivots are dataset objects, as the planner selects them.
+        let pivots: Vec<i32> = values.iter().copied().take(num_pivots).collect();
+        let q_phi = phi(&pivots, q);
+
+        let want = single_node_knn(&objects, q, k);
+        // The router's final radius: the k-th distance once k results
+        // exist, otherwise unbounded.
+        let r_k = if want.len() >= k {
+            want.last().map(|&(_, d, _)| d).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+
+        // Merge only the shards the router would ever visit (bound not
+        // strictly above r_k). Dropping the pruned shards must not
+        // change a byte of the answer — i.e. the bound is sound and the
+        // strict inequality preserves distance ties.
+        let lists: Vec<Vec<(u32, f64, Vec<u8>)>> = (0..num_shards)
+            .filter_map(|s| {
+                let members: Vec<Obj> = objects
+                    .iter()
+                    .zip(&shard_of)
+                    .filter(|&(_, &home)| home == s)
+                    .map(|(&o, _)| o)
+                    .collect();
+                if members.is_empty() {
+                    return None;
+                }
+                (shard_mind(&q_phi, &mbb_of(&pivots, &members)) <= r_k)
+                    .then(|| single_node_knn(&members, q, k))
+            })
+            .collect();
+
+        prop_assert_eq!(merge_topk(k, lists), want);
+    }
+
+    #[test]
+    fn range_pruning_is_sound_on_random_splits(
+        (values, shard_of, num_shards) in dataset(),
+        q in 0i32..40,
+        r in 0.0f64..12.0,
+        num_pivots in 1usize..4,
+    ) {
+        let pivots: Vec<i32> = values.iter().copied().take(num_pivots).collect();
+        let q_phi = phi(&pivots, q);
+        for s in 0..num_shards {
+            let members: Vec<Obj> = values
+                .iter()
+                .enumerate()
+                .zip(&shard_of)
+                .filter(|&(_, &home)| home == s)
+                .map(|((i, &v), _)| (i as u32, v))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            if shard_mind(&q_phi, &mbb_of(&pivots, &members)) > r {
+                // A pruned shard must hold no hit, boundary included.
+                for &(_, v) in &members {
+                    prop_assert!(dist(q, v) > r);
+                }
+            }
+        }
+    }
+}

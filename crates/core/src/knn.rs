@@ -3,9 +3,12 @@
 //! Best-first traversal over the B⁺-tree in ascending `MIND(q, E)` — the
 //! `L∞` lower-bound distance between the mapped query point and an entry's
 //! MBB (node entries) or grid cell (leaf entries). Lemma 3 prunes entries
-//! with `MIND ≥ curND_k`; by Lemma 4 the traversal verifies exactly the
-//! objects inside `RR(q, ND_k)`, making it optimal in distance
-//! computations.
+//! with `MIND > curND_k`; by Lemma 4 the traversal verifies exactly the
+//! objects inside the closed ball `RR(q, ND_k)`. (The paper prunes the
+//! boundary too; we keep it so equal-distance candidates resolve to a
+//! *canonical* result set — smallest ids among ties — which the
+//! distributed router in `spb-cluster` needs to merge per-shard answers
+//! deterministically.)
 //!
 //! Two traversal strategies reproduce Table 5:
 //!
@@ -64,7 +67,12 @@ impl Ord for HeapItem {
     }
 }
 
-/// Result-set item for the k-best max-heap.
+/// Result-set item for the k-best max-heap, ordered by `(dist, id)` so
+/// the heap's worst element — and therefore which of several equal
+/// k-th-distance candidates survives — is deterministic: among boundary
+/// ties the smallest ids win, independent of traversal arrival order.
+/// `spb-cluster` relies on this canonical set to merge per-shard answers
+/// into results byte-identical to a single node's.
 struct Best<O> {
     dist: f64,
     id: u32,
@@ -73,7 +81,7 @@ struct Best<O> {
 
 impl<O> PartialEq for Best<O> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist == other.dist && self.id == other.id
     }
 }
 impl<O> Eq for Best<O> {}
@@ -84,7 +92,9 @@ impl<O> PartialOrd for Best<O> {
 }
 impl<O> Ord for Best<O> {
     fn cmp(&self, other: &Self) -> CmpOrdering {
-        self.dist.total_cmp(&other.dist)
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.id.cmp(&other.id))
     }
 }
 
@@ -180,8 +190,11 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 
         while let Some(item) = heap.pop() {
             // Lemma 3 early termination (α-relaxed): the frontier's lower
-            // bound already reaches the current k-th NN distance.
-            if item.mind * alpha >= cur_nd(best) {
+            // bound already exceeds the current k-th NN distance. Strictly
+            // greater, not ≥: an entry whose bound *ties* curND_k can still
+            // hold an equal-distance object with a smaller id, which the
+            // canonical (distance, id) result set must keep.
+            if item.mind * alpha > cur_nd(best) {
                 break;
             }
             match item.kind {
@@ -189,7 +202,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                     Node::Internal(n) => {
                         for e in &n.entries {
                             let mind = self.table.mind_box(q_phi, &ops.to_box(e.mbb));
-                            if mind * alpha < cur_nd(best) {
+                            if mind * alpha <= cur_nd(best) {
                                 heap.push(HeapItem {
                                     mind,
                                     kind: ItemKind::Node(e.child),
@@ -201,7 +214,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                         for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
                             self.curve.decode_into(key, &mut cell_buf);
                             let mind = self.table.mind_cell(q_phi, &cell_buf);
-                            if mind * alpha >= cur_nd(best) {
+                            if mind * alpha > cur_nd(best) {
                                 continue;
                             }
                             match traversal {
@@ -240,13 +253,19 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                 id,
                 obj: o,
             });
-        } else if d < best.peek().expect("non-empty").dist {
-            best.pop();
-            best.push(Best {
-                dist: d,
-                id,
-                obj: o,
-            });
+        } else {
+            // Replace on a strictly better (distance, id) pair — the same
+            // canonical order the heap uses — so boundary ties resolve to
+            // the smallest ids no matter the verification order.
+            let worst = best.peek().expect("non-empty");
+            if d < worst.dist || (d == worst.dist && id < worst.id) {
+                best.pop();
+                best.push(Best {
+                    dist: d,
+                    id,
+                    obj: o,
+                });
+            }
         }
         Ok(())
     }

@@ -73,6 +73,7 @@ mod exec;
 mod join;
 mod knn;
 mod mapping;
+mod partition;
 mod range;
 mod recovery;
 mod stats;
@@ -85,5 +86,6 @@ pub use exec::{parallel_map, WorkerPool};
 pub use join::{similarity_join, similarity_join_parallel, JoinPair};
 pub use knn::{KnnResult, Traversal};
 pub use mapping::{PivotTable, SfcMbbOps};
+pub use partition::{plan_shards, shard_mind, ShardPlan, ShardSpec};
 pub use recovery::{recover_dir, verify_dir, RecoveryReport, VerifyProblem, VerifyReport};
 pub use tree::{BuildStats, QueryStats, SpbTree};

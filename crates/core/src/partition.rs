@@ -1,0 +1,235 @@
+//! Shard planning: splitting one dataset into `N` contiguous runs of
+//! the SFC key space, for `spb-cluster`'s scatter-gather router.
+//!
+//! The plan reuses the exact bulk-loading pipeline of
+//! [`SpbTree::build`](crate::SpbTree::build): select pivots once over
+//! the *full* dataset, map every object to its φ vector and SFC key,
+//! sort by `(sfc, input index)` — the same tie-break the RAF uses — and
+//! cut the sorted run into `N` balanced contiguous chunks, the same
+//! chunking the parallel join applies to leaf pages. Because every
+//! shard is then bulk-loaded with the *shared* pivot set (see
+//! [`SpbTree::build_with_pivots`](crate::SpbTree::build_with_pivots)),
+//! each shard's index is byte-compatible with the single-node build
+//! restricted to its members: distances, ids and tie orders all match,
+//! which is what lets the router merge per-shard answers into results
+//! identical to a single node's.
+//!
+//! Each shard also carries a per-pivot bounding box over its members' φ
+//! vectors. For a query `q`, `max_i max(lo_i − φ_i(q), φ_i(q) − hi_i, 0)`
+//! lower-bounds `d(q, o)` for every member `o` (the pivot triangle
+//! inequality, Lemma 1 of the paper applied per shard), so the router
+//! can skip shards that cannot contribute to a radius or a kNN ring.
+
+use spb_metric::{Distance, MetricObject};
+use spb_pivots::select_pivots;
+
+use crate::config::SpbConfig;
+use crate::mapping::PivotTable;
+
+/// One shard of a [`ShardPlan`]: a contiguous run of the SFC-sorted
+/// dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// Global input indices of the shard's members, in `(sfc, index)`
+    /// order — the order the shard's own RAF will store them in.
+    pub members: Vec<u32>,
+    /// Smallest SFC key among the members.
+    pub key_lo: u128,
+    /// Largest SFC key among the members (ranges of consecutive shards
+    /// may share a boundary key when ties straddle the cut).
+    pub key_hi: u128,
+    /// Per-pivot `(min, max)` of the members' φ coordinates; feeds the
+    /// router's shard-level lower bound.
+    pub mbb: Vec<(f64, f64)>,
+}
+
+/// A partition of one dataset into contiguous SFC ranges sharing one
+/// pivot set.
+#[derive(Clone, Debug)]
+pub struct ShardPlan<O> {
+    /// The pivots every shard is built with (selected over the full
+    /// dataset, exactly as a single-node build would).
+    pub pivots: Vec<O>,
+    /// Distance computations spent selecting the pivots (reported
+    /// separately, like [`BuildStats::pivot_compdists`](crate::BuildStats)).
+    pub pivot_compdists: u64,
+    /// The shards, in ascending key order. At most `num_shards` — fewer
+    /// when the dataset has fewer objects than shards.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl<O: MetricObject> ShardPlan<O> {
+    /// The objects of shard `s`, cloned out of `objects` in member
+    /// order, ready to pass to
+    /// [`SpbTree::build_with_pivots`](crate::SpbTree::build_with_pivots).
+    pub fn shard_objects(&self, s: usize, objects: &[O]) -> Vec<O> {
+        self.shards
+            .get(s)
+            .map(|spec| {
+                spec.members
+                    .iter()
+                    .map(|&i| objects[i as usize].clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Plans `num_shards` contiguous SFC-range shards over `objects`.
+///
+/// Pivot selection and object mapping run exactly as in
+/// [`SpbTree::build`](crate::SpbTree::build); the sorted `(sfc, index)`
+/// run is cut into balanced chunks of `⌈|O| / N⌉` objects. An empty
+/// dataset yields an empty plan.
+///
+/// # Panics
+/// Panics when `num_shards` is zero.
+pub fn plan_shards<O: MetricObject, D: Distance<O>>(
+    objects: &[O],
+    metric: &D,
+    config: &SpbConfig,
+    num_shards: usize,
+) -> ShardPlan<O> {
+    assert!(num_shards > 0, "a cluster needs at least one shard");
+    let counter = spb_metric::DistCounter::new();
+    let selection_metric = spb_metric::CountingDistance::with_counter(metric, counter.clone());
+    let pivot_idx = select_pivots(
+        config.pivot_method,
+        objects,
+        &selection_metric,
+        config.num_pivots,
+        &config.pivot_config,
+    );
+    let pivots: Vec<O> = pivot_idx.iter().map(|&i| objects[i].clone()).collect();
+    if objects.is_empty() {
+        return ShardPlan {
+            pivots,
+            pivot_compdists: counter.get(),
+            shards: Vec::new(),
+        };
+    }
+
+    let table = PivotTable::new(pivots.clone(), metric, config.delta);
+    let curve = table.curve(config.curve);
+    let mut mapped: Vec<(u128, usize, Vec<f64>)> = objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let phi = table.phi(metric, o);
+            let cell = table.cell_of_phi(&phi);
+            (curve.encode(&cell), i, phi)
+        })
+        .collect();
+    mapped.sort_unstable_by_key(|&(sfc, idx, _)| (sfc, idx));
+
+    let chunk = mapped.len().div_ceil(num_shards).max(1);
+    let shards = mapped
+        .chunks(chunk)
+        .map(|run| {
+            let members = run.iter().map(|&(_, idx, _)| idx as u32).collect();
+            let mut mbb = vec![(f64::INFINITY, f64::NEG_INFINITY); table.num_pivots()];
+            for (_, _, phi) in run {
+                for (slot, &coord) in mbb.iter_mut().zip(phi) {
+                    slot.0 = slot.0.min(coord);
+                    slot.1 = slot.1.max(coord);
+                }
+            }
+            ShardSpec {
+                members,
+                key_lo: run.first().map(|&(sfc, _, _)| sfc).unwrap_or(0),
+                key_hi: run.last().map(|&(sfc, _, _)| sfc).unwrap_or(0),
+                mbb,
+            }
+        })
+        .collect();
+    ShardPlan {
+        pivots,
+        pivot_compdists: counter.get(),
+        shards,
+    }
+}
+
+/// Lower bound on `d(q, o)` for every object `o` inside a shard whose
+/// per-pivot φ bounding box is `mbb`, given the query's own φ vector.
+/// This is the per-shard form of the paper's Lemma 1 pruning: for each
+/// pivot `p_i`, `|d(q, p_i) − d(o, p_i)| ≤ d(q, o)`, and `d(o, p_i)` is
+/// confined to `[lo_i, hi_i]`. The bound is `0` when `q`'s vector falls
+/// inside the box, so it never prunes a shard that could contribute —
+/// including exact ties on the bound itself, which callers must keep
+/// (prune only when the bound *strictly* exceeds the search radius).
+pub fn shard_mind(q_phi: &[f64], mbb: &[(f64, f64)]) -> f64 {
+    q_phi
+        .iter()
+        .zip(mbb)
+        .map(|(&q, &(lo, hi))| (lo - q).max(q - hi).max(0.0))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spb_metric::dataset;
+
+    #[test]
+    fn plan_covers_every_object_exactly_once_in_sfc_order() {
+        let data = dataset::words(500, 11);
+        let metric = dataset::words_metric();
+        let plan = plan_shards(&data, &metric, &SpbConfig::default(), 4);
+        assert_eq!(plan.shards.len(), 4);
+        assert!(plan.pivot_compdists > 0);
+
+        let mut seen: Vec<u32> = plan
+            .shards
+            .iter()
+            .flat_map(|s| s.members.iter().copied())
+            .collect();
+        assert_eq!(seen.len(), data.len());
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), data.len(), "members must partition the input");
+
+        // Shards tile the key space in order.
+        for w in plan.shards.windows(2) {
+            assert!(w[0].key_lo <= w[0].key_hi);
+            assert!(w[0].key_hi <= w[1].key_lo);
+        }
+
+        // Balanced to within one chunk.
+        let sizes: Vec<usize> = plan.shards.iter().map(|s| s.members.len()).collect();
+        let max = sizes.iter().copied().max().unwrap();
+        let min = sizes.iter().copied().min().unwrap();
+        assert!(max - min <= 125, "sizes {sizes:?} not balanced");
+    }
+
+    #[test]
+    fn shard_mind_is_a_valid_lower_bound() {
+        let data = dataset::words(300, 12);
+        let metric = dataset::words_metric();
+        let config = SpbConfig::default();
+        let plan = plan_shards(&data, &metric, &config, 3);
+        let table = PivotTable::new(plan.pivots.clone(), &metric, config.delta);
+        for q in data.iter().take(20) {
+            let q_phi = table.phi(&metric, q);
+            for spec in &plan.shards {
+                let bound = shard_mind(&q_phi, &spec.mbb);
+                for &m in &spec.members {
+                    let d = spb_metric::Distance::distance(&metric, q, &data[m as usize]);
+                    assert!(
+                        bound <= d + 1e-9,
+                        "shard bound {bound} exceeds true distance {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_datasets_yield_fewer_shards() {
+        let data = dataset::words(3, 13);
+        let metric = dataset::words_metric();
+        let plan = plan_shards(&data, &metric, &SpbConfig::default(), 8);
+        assert!(plan.shards.len() <= 3);
+        let total: usize = plan.shards.iter().map(|s| s.members.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -171,6 +171,28 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         config: &SpbConfig,
         pivot_compdists: u64,
     ) -> io::Result<Self> {
+        let ids: Vec<u32> = (0..objects.len() as u32).collect();
+        Self::build_with_pivots_ids(dir, objects, &ids, metric, pivots, config, pivot_compdists)
+    }
+
+    /// [`SpbTree::build_with_pivots`] with explicit per-object ids
+    /// (`ids[i]` becomes object `i`'s RAF id instead of `i` itself).
+    /// `spb-cluster` builds each shard over a slice of a planned dataset
+    /// and needs the shard's objects to keep their *global* indices:
+    /// queries then tie-break on the same ids a single node would, which
+    /// is what makes per-shard answers merge byte-identically. Ids must
+    /// be unique; inserts after the build are assigned `max(ids) + 1`
+    /// onwards.
+    pub fn build_with_pivots_ids(
+        dir: &Path,
+        objects: &[O],
+        ids: &[u32],
+        metric: D,
+        pivots: Vec<O>,
+        config: &SpbConfig,
+        pivot_compdists: u64,
+    ) -> io::Result<Self> {
+        assert_eq!(objects.len(), ids.len(), "one id per object");
         let start = spb_obs::clock::now();
         std::fs::create_dir_all(dir)?;
         let counter = DistCounter::new();
@@ -203,7 +225,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         for &(sfc, idx, _) in &mapped {
             buf.clear();
             objects[idx].encode(&mut buf);
-            let ptr = raf.append(idx as u32, &buf)?;
+            let ptr = raf.append(ids[idx], &buf)?;
             entries.push((sfc, ptr.offset));
         }
         raf.flush()?;
@@ -278,7 +300,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             cost,
             wal,
             len: AtomicU64::new(objects.len() as u64),
-            next_id: AtomicU32::new(objects.len() as u32),
+            next_id: AtomicU32::new(ids.iter().max().map_or(0, |&m| m + 1)),
             build_stats,
             dir: dir.to_path_buf(),
             use_lemma2: config.use_lemma2,

@@ -237,6 +237,16 @@ impl Client {
         })
     }
 
+    /// Replication pull: WAL frames from `from_lsn` to the committed
+    /// end. Returns `(wal_len, frames)`; `wal_len < from_lsn` means the
+    /// primary checkpointed and the caller must re-bootstrap.
+    pub fn wal_ship(&mut self, from_lsn: u64) -> Result<(u64, Vec<u8>), ClientError> {
+        self.expect(&Request::WalShip { from_lsn }, |r| match r {
+            Response::WalShip { wal_len, frames } => Ok((wal_len, frames)),
+            other => Err(other),
+        })
+    }
+
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.expect(&Request::Shutdown, |r| match r {

@@ -355,6 +355,16 @@ fn handle_request(req: Request, shared: &Shared) -> Response {
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::Shutdown
         }
+        // Replication is control-plane too: replicas must keep catching
+        // up precisely when the primary is shedding query traffic.
+        Request::WalShip { from_lsn } => match svc.wal_segment(from_lsn) {
+            Ok((wal_len, frames)) => Response::WalShip { wal_len, frames },
+            Err(ServiceError::Malformed(m)) => error_response(ErrorCode::Malformed, m),
+            Err(ServiceError::DeadlineExceeded) => {
+                error_response(ErrorCode::DeadlineExceeded, "deadline expired")
+            }
+            Err(ServiceError::Internal(m)) => error_response(ErrorCode::Internal, m),
+        },
         // Everything else is work and must hold an admission permit.
         work => {
             let deadline = Deadline::from_ms(work.deadline_ms());
@@ -402,7 +412,11 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
         Request::BatchKnn { k, objs, .. } => svc
             .knn_batch(&objs, k as usize, threads, deadline)
             .map(|queries| Response::BatchKnn { queries }),
-        Request::Ping | Request::Stats | Request::ObsStats | Request::Shutdown => {
+        Request::Ping
+        | Request::Stats
+        | Request::ObsStats
+        | Request::Shutdown
+        | Request::WalShip { .. } => {
             // Control-plane requests are answered before admission; if one
             // reaches here the dispatcher is broken, but a typed error
             // response beats aborting the worker thread.

@@ -109,6 +109,19 @@ pub trait IndexService: Send + Sync {
     /// Flushes dirty pages and resets the WAL (used by graceful
     /// shutdown so a clean exit leaves nothing to recover).
     fn checkpoint(&self) -> io::Result<()>;
+
+    /// Replication pull: returns `(wal_len, frames)` — the current
+    /// committed WAL length plus the raw CRC-framed records covering
+    /// `from_lsn..wal_len`. When the log was reset by a checkpoint since
+    /// the caller last pulled, `wal_len` comes back *below* `from_lsn`
+    /// with no frames, telling the replica to re-bootstrap. Services
+    /// without a WAL answer `Internal`.
+    fn wal_segment(&self, from_lsn: u64) -> Result<(u64, Vec<u8>), ServiceError> {
+        let _ = from_lsn;
+        Err(ServiceError::Internal(
+            "this index service does not expose a WAL".to_owned(),
+        ))
+    }
 }
 
 /// [`IndexService`] over one concrete `SpbTree<O, D>`.
@@ -271,6 +284,20 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
 
     fn checkpoint(&self) -> io::Result<()> {
         self.tree.checkpoint()
+    }
+
+    fn wal_segment(&self, from_lsn: u64) -> Result<(u64, Vec<u8>), ServiceError> {
+        let wal = self.tree.wal().ok_or_else(|| {
+            ServiceError::Internal("index opened without a WAL (non-durable)".to_owned())
+        })?;
+        let wal_len = wal.len();
+        if from_lsn > wal_len {
+            // Checkpoint reset the log since the replica last pulled:
+            // answer the (shorter) length so it re-bootstraps.
+            return Ok((wal_len, Vec::new()));
+        }
+        let (frames, _) = wal.segment_reader(from_lsn)?.into_valid_prefix();
+        Ok((wal_len, frames))
     }
 }
 

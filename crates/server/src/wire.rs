@@ -64,6 +64,7 @@ const OP_BATCH_KNN: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
 const OP_OBS_STATS: u8 = 0x0A;
+const OP_WAL_SHIP: u8 = 0x0B;
 /// Response opcode for every failure.
 const OP_ERROR: u8 = 0xFF;
 /// Successful responses echo the request opcode with this bit set.
@@ -309,6 +310,15 @@ pub enum Request {
     ObsStats,
     /// Ask the server to drain in-flight work, checkpoint and exit.
     Shutdown,
+    /// Replication pull: stream the primary's CRC-framed WAL bytes
+    /// starting at a byte offset (LSN). Control-plane: bypasses
+    /// admission so replicas keep catching up while the primary sheds
+    /// query traffic.
+    WalShip {
+        /// Byte offset into the primary's WAL to resume from (the
+        /// replica's applied LSN).
+        from_lsn: u64,
+    },
 }
 
 /// One range hit: object id plus encoded object.
@@ -393,6 +403,19 @@ pub enum Response {
     /// Acknowledges [`Request::Shutdown`]; the server drains and exits
     /// after sending this.
     Shutdown,
+    /// Answer to [`Request::WalShip`]: raw, already CRC-framed WAL
+    /// record bytes.
+    WalShip {
+        /// The primary's committed WAL length. A value *below* the
+        /// requested `from_lsn` means the log was reset by a checkpoint
+        /// since the replica last pulled; the replica must re-bootstrap
+        /// from a fresh snapshot.
+        wal_len: u64,
+        /// Whole WAL frames covering `from_lsn..wal_len` (empty when
+        /// the replica is caught up or the log restarted). Each frame
+        /// carries its own CRC, checked again on apply.
+        frames: Vec<u8>,
+    },
     /// Any failure.
     Error {
         /// Typed failure class.
@@ -696,6 +719,10 @@ impl Request {
             Request::Stats => out.push(OP_STATS),
             Request::ObsStats => out.push(OP_OBS_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
+            Request::WalShip { from_lsn } => {
+                out.push(OP_WAL_SHIP);
+                out.extend_from_slice(&from_lsn.to_le_bytes());
+            }
         }
         out
     }
@@ -742,6 +769,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_OBS_STATS => Request::ObsStats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_WAL_SHIP => Request::WalShip { from_lsn: c.u64()? },
             other => return Err(WireError::BadOpcode(other)),
         };
         c.finish()?;
@@ -757,7 +785,11 @@ impl Request {
             | Request::Delete { deadline_ms, .. }
             | Request::BatchRange { deadline_ms, .. }
             | Request::BatchKnn { deadline_ms, .. } => *deadline_ms,
-            Request::Ping | Request::Stats | Request::ObsStats | Request::Shutdown => 0,
+            Request::Ping
+            | Request::Stats
+            | Request::ObsStats
+            | Request::Shutdown
+            | Request::WalShip { .. } => 0,
         }
     }
 }
@@ -835,6 +867,11 @@ impl Response {
                 put_snapshot(&mut out, snapshot);
             }
             Response::Shutdown => out.push(OP_SHUTDOWN | RESP_BIT),
+            Response::WalShip { wal_len, frames } => {
+                out.push(OP_WAL_SHIP | RESP_BIT);
+                out.extend_from_slice(&wal_len.to_le_bytes());
+                put_bytes(&mut out, frames);
+            }
             Response::Error {
                 code,
                 server_version,
@@ -909,11 +946,30 @@ impl Response {
                 snapshot: get_snapshot(&mut c)?,
             },
             x if x == OP_SHUTDOWN | RESP_BIT => Response::Shutdown,
+            x if x == OP_WAL_SHIP | RESP_BIT => Response::WalShip {
+                wal_len: c.u64()?,
+                frames: c.lbytes()?,
+            },
             OP_ERROR => {
-                let code = ErrorCode::from_byte(c.u8()?)?;
+                // A *newer* server may answer with an error code or body
+                // fields this version does not know. The version byte
+                // rides right after the code, so read both before
+                // interpreting either: when the server speaks a different
+                // protocol version, surface `VersionMismatch` instead of
+                // tripping over the unknown code byte or trailing v2 body
+                // fields (spb-cli maps this to its dedicated exit code).
+                let code_byte = c.u8()?;
+                let server_version = c.u8()?;
+                if server_version != PROTOCOL_VERSION {
+                    return Ok(Response::Error {
+                        code: ErrorCode::VersionMismatch,
+                        server_version,
+                        message: c.lstr().unwrap_or_default(),
+                    });
+                }
                 Response::Error {
-                    code,
-                    server_version: c.u8()?,
+                    code: ErrorCode::from_byte(code_byte)?,
+                    server_version,
                     message: c.lstr()?,
                 }
             }
@@ -1032,6 +1088,8 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::ObsStats);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::WalShip { from_lsn: 0 });
+        roundtrip_req(Request::WalShip { from_lsn: u64::MAX });
     }
 
     #[test]
@@ -1095,11 +1153,75 @@ mod tests {
             },
         });
         roundtrip_resp(Response::Shutdown);
+        roundtrip_resp(Response::WalShip {
+            wal_len: 0,
+            frames: vec![],
+        });
+        roundtrip_resp(Response::WalShip {
+            wal_len: 4096,
+            frames: vec![0xAB; 64],
+        });
         roundtrip_resp(Response::Error {
             code: ErrorCode::Overloaded,
             server_version: PROTOCOL_VERSION,
             message: "queue full".to_owned(),
         });
+    }
+
+    #[test]
+    fn newer_server_error_decodes_as_version_mismatch() {
+        // A v2 server rejecting us: unknown error code byte (99) plus a
+        // v2-only trailing field after the message. Neither may derail
+        // decoding before the version mismatch is surfaced.
+        let mut payload = vec![PROTOCOL_VERSION, OP_ERROR];
+        payload.push(99); // error code this version does not know
+        payload.push(2); // server_version = 2
+        put_bytes(&mut payload, b"protocol version mismatch");
+        payload.extend_from_slice(&7u32.to_le_bytes()); // hypothetical v2 field
+        match Response::decode(&payload).unwrap() {
+            Response::Error {
+                code,
+                server_version,
+                message,
+            } => {
+                assert_eq!(code, ErrorCode::VersionMismatch);
+                assert_eq!(server_version, 2);
+                assert_eq!(message, "protocol version mismatch");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newer_server_error_with_unreadable_body_still_reports_mismatch() {
+        // Same, but the v2 message field itself does not parse as a
+        // v1 length-prefixed string: the mismatch must still surface,
+        // with an empty message.
+        let payload = vec![PROTOCOL_VERSION, OP_ERROR, 99, 2, 0xDE, 0xAD];
+        match Response::decode(&payload).unwrap() {
+            Response::Error {
+                code,
+                server_version,
+                message,
+            } => {
+                assert_eq!(code, ErrorCode::VersionMismatch);
+                assert_eq!(server_version, 2);
+                assert!(message.is_empty());
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_version_error_with_unknown_code_is_still_rejected() {
+        // An unknown code from a server claiming OUR version is a real
+        // protocol violation, not a version skew.
+        let mut payload = vec![PROTOCOL_VERSION, OP_ERROR, 99, PROTOCOL_VERSION];
+        put_bytes(&mut payload, b"?");
+        assert!(matches!(
+            Response::decode(&payload),
+            Err(WireError::BadErrorCode(99))
+        ));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+// Lint fixture: seeded cluster `lock-order` violations. Never compiled.
+fn inverted(replica: &Replica, router: &Router) {
+    let _state = replica.state_shared();
+    let _conns = router.lock_conns(0);
+}
+
+fn raw(router: &Router, replica: &Replica) {
+    let _c = router.conns.lock();
+    let _r = replica.state.read();
+    let _w = replica.state.write();
+}

@@ -236,6 +236,9 @@ fn unsafe_attr(toks: &[Tok]) -> Option<(&str, u32)> {
 /// acquisition helpers; see the raw-pattern half below for the ban on
 /// bypassing them.
 pub const RANKED_HELPERS: &[(&str, u8, bool)] = &[
+    ("lock_conns", 3, false),
+    ("state_shared", 5, true),
+    ("state_exclusive", 5, false),
     ("latch_shared", 10, true),
     ("latch_exclusive", 10, false),
     ("lock_inner", 20, false),
@@ -285,6 +288,24 @@ const RAW_PATTERNS: &[RawPattern] = &[
         prefix: true,
         seq: &[".", "latch", ".", "write", "("],
         fix: "use SpbTree::latch_exclusive()",
+    },
+    RawPattern {
+        file: "crates/cluster/src/",
+        prefix: true,
+        seq: &[".", "conns", ".", "lock", "("],
+        fix: "use Router::lock_conns()",
+    },
+    RawPattern {
+        file: "crates/cluster/src/",
+        prefix: true,
+        seq: &[".", "state", ".", "read", "("],
+        fix: "use Replica::state_shared()",
+    },
+    RawPattern {
+        file: "crates/cluster/src/",
+        prefix: true,
+        seq: &[".", "state", ".", "write", "("],
+        fix: "use Replica::state_exclusive()",
     },
 ];
 

@@ -64,6 +64,29 @@ fn r3_lock_order_fixture_reports_inversion_and_raw_site() {
 }
 
 #[test]
+fn r3_cluster_fixture_reports_inversion_and_raw_sites() {
+    let (d, mut out) = fixture("r3_cluster_lock_order.rs", "crates/cluster/src/router.rs");
+    rules::lock_order(&d, &mut out);
+    let mut lines = lines_of(&out, Rule::LockOrder);
+    lines.sort_unstable();
+    // Line 4: rank-3 connection pool after the rank-5 replica state;
+    // lines 8–10: raw acquisitions bypassing the three ranked helpers.
+    assert_eq!(lines, [4, 8, 9, 10]);
+    let inversion = out.iter().find(|v| v.line == 4).expect("inversion finding");
+    assert!(inversion.message.contains("rank 3"));
+    assert!(inversion.message.contains("rank 5"));
+    assert!(out
+        .iter()
+        .any(|v| v.line == 8 && v.message.contains("lock_conns")));
+    assert!(out
+        .iter()
+        .any(|v| v.line == 9 && v.message.contains("state_shared")));
+    assert!(out
+        .iter()
+        .any(|v| v.line == 10 && v.message.contains("state_exclusive")));
+}
+
+#[test]
 fn r4_catch_all_fixture_reports_the_arm() {
     let (d, mut out) = fixture("r4_catch_all.rs", "crates/storage/src/wal.rs");
     rules::catch_all(&d, &mut out);

@@ -1,10 +1,12 @@
 //! Debug-build lock-rank (latch-ordering) assertions.
 //!
-//! The workspace holds at most three kinds of ranked locks at once, and
-//! they must always be acquired in ascending rank order:
+//! Every ranked lock in the workspace must be acquired in ascending
+//! rank order:
 //!
 //! | Rank | Lock | Declared in |
 //! |---|---|---|
+//! | 3 | Cluster router connection-pool mutex | `spb-cluster` (`Router`) |
+//! | 5 | Replica state lock (serving-tree swap) | `spb-cluster` (`Replica`) |
 //! | 10 | SPB-tree structure latch | `spb-core` (`SpbTree::latch`) |
 //! | 20 | Buffer-pool shard mutex | `spb-storage` (`cache::Shard`) |
 //! | 30 | WAL mutexes (`pending`, `file`) | `spb-storage` (`Wal`) |
@@ -13,7 +15,10 @@
 //! buffer-pool shards; an update takes the latch exclusively, stages
 //! pages through shards, and commits through the WAL. Acquiring against
 //! that order — e.g. taking the tree latch while holding a shard — is a
-//! deadlock waiting for the right interleaving.
+//! deadlock waiting for the right interleaving. The cluster ranks sit
+//! *below* the tree latch: a replica swaps its serving tree (and a
+//! router leases a connection) before any tree latch is taken, and a
+//! thread inside a tree must never reach back up into cluster state.
 //!
 //! In debug builds every ranked acquisition registers itself on a
 //! thread-local stack and panics the moment a thread acquires a lock
@@ -29,13 +34,19 @@
 
 use std::ops::{Deref, DerefMut};
 
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The declared rank of every ordered lock in the workspace. Bigger rank
 /// = acquired later. See the module docs for the table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum LockRank {
+    /// A cluster router's per-node connection-pool mutex
+    /// (`spb-cluster`).
+    RouterConn = 3,
+    /// A read replica's serving-state lock, swapped on WAL apply
+    /// (`spb-cluster`).
+    ReplicaApply = 5,
     /// The SPB-tree structure latch (`spb-core`).
     TreeLatch = 10,
     /// One buffer-pool shard's LRU mutex.
@@ -48,6 +59,8 @@ impl LockRank {
     /// Human-readable name used in violation messages.
     pub fn name(self) -> &'static str {
         match self {
+            LockRank::RouterConn => "router connection pool",
+            LockRank::ReplicaApply => "replica state lock",
             LockRank::TreeLatch => "tree latch",
             LockRank::BufferShard => "buffer-pool shard",
             LockRank::Wal => "WAL mutex",
@@ -74,7 +87,8 @@ mod imp {
                     legal,
                     "lock-rank violation: acquiring {} (rank {}) while holding {} (rank {}); \
                      ranked locks must be acquired in ascending order \
-                     (tree latch \u{227a} buffer-pool shard \u{227a} WAL)",
+                     (router conn \u{227a} replica state \u{227a} tree latch \
+                     \u{227a} buffer-pool shard \u{227a} WAL)",
                     rank.name(),
                     rank as u8,
                     h.name(),
@@ -169,6 +183,61 @@ pub fn lock<T: ?Sized>(mutex: &Mutex<T>, rank: LockRank) -> RankedMutexGuard<'_,
     let held = acquire(rank);
     RankedMutexGuard {
         guard: mutex.lock(),
+        _held: held,
+    }
+}
+
+/// An [`RwLockReadGuard`] tied to its (shared) rank registration.
+#[derive(Debug)]
+pub struct RankedRwReadGuard<'a, T: ?Sized> {
+    guard: RwLockReadGuard<'a, T>,
+    _held: HeldRank,
+}
+
+impl<T: ?Sized> Deref for RankedRwReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// An [`RwLockWriteGuard`] tied to its (exclusive) rank registration.
+#[derive(Debug)]
+pub struct RankedRwWriteGuard<'a, T: ?Sized> {
+    guard: RwLockWriteGuard<'a, T>,
+    _held: HeldRank,
+}
+
+impl<T: ?Sized> Deref for RankedRwWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RankedRwWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Read-locks `lock` at `rank` as a shared hold (the rank check runs
+/// before blocking, like [`lock`]).
+pub fn read<T: ?Sized>(lock: &RwLock<T>, rank: LockRank) -> RankedRwReadGuard<'_, T> {
+    let held = acquire_shared(rank);
+    RankedRwReadGuard {
+        guard: lock.read(),
+        _held: held,
+    }
+}
+
+/// Write-locks `lock` at `rank` as an exclusive hold.
+pub fn write<T: ?Sized>(lock: &RwLock<T>, rank: LockRank) -> RankedRwWriteGuard<'_, T> {
+    let held = acquire(rank);
+    RankedRwWriteGuard {
+        guard: lock.write(),
         _held: held,
     }
 }
