@@ -2,7 +2,7 @@
 //! `spb-server` stack end to end: wire protocol + admission control +
 //! worker pool, driven by closed-loop TCP clients.
 //!
-//! Two parts:
+//! Four parts:
 //!
 //! * a client-count sweep (1/2/4/8 concurrent connections, each issuing
 //!   range queries back-to-back) recording p50/p99 request latency and
@@ -11,8 +11,15 @@
 //!   admission gate (`max_inflight=1`, `max_queue=2`), demonstrating
 //!   that excess load is *shed* with typed `Overloaded` responses
 //!   instead of queueing without bound;
+//! * a pipeline-depth sweep: one connection issuing the same workload
+//!   in `send_many` windows of 1/4/16/64/256. Once the window exceeds
+//!   the number of distinct queries, the dispatcher collapses the
+//!   duplicate in-flight queries into shared executions and a single
+//!   connection breaks through the one-core compute ceiling the
+//!   closed-loop sweep saturates at (asserted ≥ 2× the 1-client QPS);
 //! * a per-phase latency breakdown pulled from the server's
-//!   observability registry over the wire (`ObsStats`), cross-checked
+//!   observability registry over the wire (`ObsStats`) — including the
+//!   `dispatch_batch_size` width of the 8-client point — cross-checked
 //!   against the client-measured end-to-end latency, plus a
 //!   histogram-record overhead probe asserting the instrumentation
 //!   costs well under 2% of a request.
@@ -27,14 +34,15 @@ use std::time::Instant;
 use spb_core::{SpbConfig, SpbTree};
 use spb_metric::{dataset, MetricObject, Word};
 use spb_server::{
-    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Schema,
-    ServerConfig, ServerHandle,
+    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Request,
+    Response, Schema, ServerConfig, ServerHandle,
 };
 
 use crate::experiments::common::workload;
 use crate::{Scale, Table};
 
 const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+const DEPTHS: [usize; 5] = [1, 4, 16, 64, 256];
 const RADIUS: f64 = 2.0;
 
 /// Request-lifecycle phases reported in the breakdown, `(json key,
@@ -142,6 +150,52 @@ fn drive(
     (secs, lat, shed)
 }
 
+/// One point of the pipeline-depth sweep.
+struct PipePoint {
+    depth: usize,
+    requests: usize,
+    secs: f64,
+    qps: f64,
+}
+
+/// One connection issuing `total_reqs` range queries (rounded up to
+/// whole windows) as pipelined `send_many` windows of `depth`. The
+/// pipelined gate is sized so nothing sheds — every response must be a
+/// `Range` answer.
+fn drive_pipelined(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<u8>],
+    depth: usize,
+    total_reqs: usize,
+) -> PipePoint {
+    let requests = total_reqs.div_ceil(depth) * depth;
+    let reqs: Vec<Request> = (0..requests)
+        .map(|i| Request::Range {
+            deadline_ms: 0,
+            radius: RADIUS,
+            obj: queries[i % queries.len()].clone(),
+        })
+        .collect();
+    let mut client = Client::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    for window in reqs.chunks(depth) {
+        let resps = client.send_many(window).expect("pipelined send");
+        for (i, resp) in resps.into_iter().enumerate() {
+            assert!(
+                matches!(resp, Response::Range { .. }),
+                "pipelined request {i} at depth {depth}: unexpected {resp:?}"
+            );
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    PipePoint {
+        depth,
+        requests,
+        secs,
+        qps: requests as f64 / secs.max(1e-9),
+    }
+}
+
 /// Runs the load test at the given scale and writes `BENCH_server.json`.
 pub fn run(scale: Scale) {
     let n = scale.words();
@@ -178,6 +232,12 @@ pub fn run(scale: Scale) {
     let mut e2e_sum_us = 0.0;
     let mut e2e_count = 0usize;
     for clients in CLIENTS {
+        if clients == 8 {
+            // The breakdown below reads `dispatch_batch_size` for the
+            // 8-client point alone; the registry is cumulative across
+            // the whole sweep, so zero it as that point starts.
+            spb_obs::histogram("dispatch_batch_size").reset();
+        }
         let (secs, lat, shed) = drive(addr, &queries, clients, total_reqs);
         assert_eq!(shed, 0, "uncontended sweep must not shed");
         e2e_sum_us += lat.iter().sum::<f64>();
@@ -232,6 +292,49 @@ pub fn run(scale: Scale) {
     drop(server);
     t.print();
 
+    // Part 3: pipeline-depth sweep. One connection, `send_many`
+    // windows; identical deadline-free queries that are concurrently
+    // queued collapse into one shared execution, so once the window
+    // exceeds the distinct-query count the duplicates are answered for
+    // free and the connection outruns the closed-loop compute ceiling.
+    // The gate must hold a full `max_pipeline` window without shedding.
+    let server = start_server(
+        dir.path(),
+        AdmissionConfig {
+            max_inflight: 8,
+            max_queue: 512,
+        },
+    );
+    let addr = server.addr();
+    let mut pipe_tbl = Table::new(
+        &format!(
+            "Pipelined single connection ({} distinct queries per cycle, send_many windows)",
+            queries.len()
+        ),
+        &["Depth", "Reqs", "Time(s)", "QPS", "µs/req"],
+    );
+    let mut pipe_points = Vec::new();
+    for depth in DEPTHS {
+        let p = drive_pipelined(addr, &queries, depth, total_reqs);
+        pipe_tbl.row(vec![
+            p.depth.to_string(),
+            p.requests.to_string(),
+            format!("{:.3}", p.secs),
+            format!("{:.1}", p.qps),
+            format!("{:.0}", p.secs * 1e6 / p.requests as f64),
+        ]);
+        pipe_points.push(p);
+    }
+    drop(server);
+    pipe_tbl.print();
+    let best_pipelined_qps = pipe_points.iter().map(|p| p.qps).fold(0.0, f64::max);
+    assert!(
+        best_pipelined_qps >= 2.0 * points[0].qps,
+        "the deepest pipeline must at least double the closed-loop 1-client QPS \
+         via request collapsing ({best_pipelined_qps:.1} vs {:.1})",
+        points[0].qps
+    );
+
     // Phase breakdown table + JSON fragment; the dominant phase (by
     // total time spent) names where a request's latency actually goes.
     let e2e_mean_us = e2e_sum_us / e2e_count.max(1) as f64;
@@ -277,7 +380,36 @@ pub fn run(scale: Scale) {
         );
     }
     phases_json.push('}');
+    // The dispatcher's batch width over the 8-client sweep point (the
+    // histogram is reset as that point starts). Raw request counts per
+    // execution, not durations — printed alongside the phases because
+    // batch formation is what moves the phase numbers.
+    let batch = snap.hist("dispatch_batch_size").unwrap_or_default();
+    pt.row(vec![
+        "batch_size(reqs)".to_owned(),
+        batch.count.to_string(),
+        format!("{}", batch.mean()),
+        batch.p50.to_string(),
+        batch.p99.to_string(),
+        batch.max.to_string(),
+    ]);
     pt.print();
+    assert!(batch.count > 0, "dispatcher recorded no batch widths");
+    assert!(
+        batch.p50 >= 2,
+        "8 concurrent clients must coalesce into shared executions \
+         (dispatch_batch_size p50 {})",
+        batch.p50
+    );
+    // Zero-copy encode: the span covers only in-buffer serialization
+    // (socket writes happen elsewhere, as partial-write resumption),
+    // so its tail must sit 10x under the blocking server's 25165µs p99.
+    let encode = snap.hist("phase.encode").unwrap_or_default();
+    assert!(
+        us(encode.p99) < 2_516.0,
+        "phase.encode p99 {:.1}µs regressed past 1/10 of the blocking server",
+        us(encode.p99)
+    );
 
     // Consistency: the server-side request phases (queue wait +
     // traversal + encode; the nested phases are already inside
@@ -335,11 +467,34 @@ pub fn run(scale: Scale) {
         );
     }
     sweep_json.push(']');
+    let mut pipe_json = String::from("[");
+    for (i, p) in pipe_points.iter().enumerate() {
+        if i > 0 {
+            pipe_json.push_str(", ");
+        }
+        let _ = write!(
+            pipe_json,
+            "{{\"depth\": {}, \"requests\": {}, \"qps\": {:.2}}}",
+            p.depth, p.requests, p.qps
+        );
+    }
+    pipe_json.push(']');
+    let batch_json = format!(
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+        batch.count,
+        batch.mean(),
+        batch.p50,
+        batch.p90,
+        batch.p99,
+        batch.max
+    );
     let json = format!(
         "{{\n  \"experiment\": \"server_load\",\n  \"scale\": \"{scale:?}\",\n  \
          \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \"radius\": {RADIUS}}},\n  \
          \"requests_per_point\": {total_reqs},\n  \
          \"sweep\": {sweep_json},\n  \
+         \"pipeline\": {pipe_json},\n  \
+         \"dispatch_batch_size_8_clients\": {batch_json},\n  \
          \"phases\": {phases_json},\n  \
          \"dominant_phase\": \"{}\",\n  \
          \"e2e_mean_us\": {e2e_mean_us:.2},\n  \

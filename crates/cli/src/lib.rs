@@ -783,6 +783,24 @@ fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
                     let _ = writeln!(out, "served:  {served}");
                     let _ = writeln!(out, "shed:    {shed}");
                     let _ = writeln!(out, "deadline misses: {deadline_miss}");
+                    // Event-loop health, pulled from the obs snapshot:
+                    // live connections, poll wakeups, and how well the
+                    // dispatcher is coalescing work into batches.
+                    if let Ok(snap) = client.obs_stats() {
+                        if let Some(v) = snap.gauge("open_connections") {
+                            let _ = writeln!(out, "open connections: {v}");
+                        }
+                        if let Some(v) = snap.counter("readiness_wakeups") {
+                            let _ = writeln!(out, "readiness wakeups: {v}");
+                        }
+                        if let Some(h) = snap.hist("dispatch_batch_size") {
+                            let _ = writeln!(
+                                out,
+                                "dispatch batch size: p50 {} p90 {} max {} ({} batches)",
+                                h.p50, h.p90, h.max, h.count
+                            );
+                        }
+                    }
                     Ok(())
                 }
                 other => Err(CliError::from(format!("unexpected response {other:?}"))),

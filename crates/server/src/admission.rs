@@ -214,6 +214,141 @@ impl Admission {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Event-loop API. The readiness-based server separates *queueing*
+    // (non-blocking, done on the event-loop thread as frames decode)
+    // from *slot acquisition* (done on dispatcher workers, which may
+    // block). The capacity rule matches `admit` exactly: at most
+    // `max_inflight` requests hold slots and at most `max_queue` more
+    // wait, so `running + queued < max_inflight + max_queue` admits.
+    // -----------------------------------------------------------------
+
+    /// Non-blocking admission to the wait queue. Called by the event
+    /// loop for every decoded work request; a full queue sheds the
+    /// request immediately. Every `Ok` must be balanced by exactly one
+    /// of [`acquire_queued`](Admission::acquire_queued),
+    /// [`try_promote`](Admission::try_promote),
+    /// [`collapse_queued`](Admission::collapse_queued) or
+    /// [`release_queued`](Admission::release_queued).
+    pub fn try_enqueue(&self, shutdown: &AtomicBool) -> Result<(), AdmitError> {
+        let inner = &self.inner;
+        if shutdown.load(Ordering::SeqCst) {
+            return Err(AdmitError::ShuttingDown);
+        }
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if c.running + c.queued >= inner.cfg.max_inflight + inner.cfg.max_queue {
+            inner.shed.fetch_add(1, Ordering::Relaxed);
+            inner.obs_shed.incr();
+            return Err(AdmitError::Overloaded);
+        }
+        c.queued += 1;
+        inner.obs_queue_depth.set(c.queued as i64);
+        Ok(())
+    }
+
+    /// Blocks until an enqueued request gets an execution slot (or its
+    /// deadline expires, or shutdown starts). On any outcome the request
+    /// leaves the queue.
+    pub fn acquire_queued(
+        &self,
+        deadline: Deadline,
+        shutdown: &AtomicBool,
+    ) -> Result<Permit, AdmitError> {
+        let inner = &self.inner;
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                c.queued = c.queued.saturating_sub(1);
+                inner.obs_queue_depth.set(c.queued as i64);
+                return Err(AdmitError::ShuttingDown);
+            }
+            if deadline.expired() {
+                c.queued = c.queued.saturating_sub(1);
+                inner.obs_queue_depth.set(c.queued as i64);
+                inner.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                inner.obs_deadline_miss.incr();
+                return Err(AdmitError::DeadlineExceeded);
+            }
+            if c.running < inner.cfg.max_inflight {
+                c.queued = c.queued.saturating_sub(1);
+                c.running += 1;
+                inner.obs_queue_depth.set(c.queued as i64);
+                inner.served.fetch_add(1, Ordering::Relaxed);
+                inner.obs_served.incr();
+                return Ok(Permit {
+                    inner: Arc::clone(inner),
+                });
+            }
+            // Bounded wait so shutdown and deadlines are observed even if
+            // no permit is ever released.
+            let wait = deadline
+                .remaining()
+                .unwrap_or(Duration::from_millis(50))
+                .min(Duration::from_millis(50));
+            let (guard, _timeout) = inner
+                .slot_freed
+                .wait_timeout(c, wait)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            c = guard;
+        }
+    }
+
+    /// Non-blocking slot grab for an enqueued request — the dispatcher
+    /// uses this to widen a batch without ever waiting while it already
+    /// holds a permit (which could deadlock a full gate).
+    pub fn try_promote(&self) -> Option<Permit> {
+        let inner = &self.inner;
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if c.running >= inner.cfg.max_inflight {
+            return None;
+        }
+        c.queued = c.queued.saturating_sub(1);
+        c.running += 1;
+        inner.obs_queue_depth.set(c.queued as i64);
+        inner.served.fetch_add(1, Ordering::Relaxed);
+        inner.obs_served.incr();
+        Some(Permit {
+            inner: Arc::clone(inner),
+        })
+    }
+
+    /// An enqueued request was answered by collapsing onto an identical
+    /// in-flight query: it leaves the queue and counts as served, but
+    /// never occupies an execution slot (its answer costs no extra
+    /// index work).
+    pub fn collapse_queued(&self) {
+        let inner = &self.inner;
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.queued = c.queued.saturating_sub(1);
+        inner.obs_queue_depth.set(c.queued as i64);
+        inner.served.fetch_add(1, Ordering::Relaxed);
+        inner.obs_served.incr();
+    }
+
+    /// An enqueued request left the system unserved (its connection
+    /// died, or shutdown drained the queue).
+    pub fn release_queued(&self) {
+        let inner = &self.inner;
+        let mut c = inner
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.queued = c.queued.saturating_sub(1);
+        inner.obs_queue_depth.set(c.queued as i64);
+    }
+
     /// Requests shed since startup.
     pub fn shed_count(&self) -> u64 {
         self.inner.shed.load(Ordering::Relaxed)
@@ -311,6 +446,88 @@ mod tests {
             waiter.join().unwrap().unwrap_err(),
             AdmitError::ShuttingDown
         );
+    }
+
+    #[test]
+    fn try_enqueue_sheds_exactly_beyond_capacity() {
+        // Capacity = max_inflight + max_queue total outstanding, the
+        // same rule `admit` enforces.
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 0,
+        });
+        let shutdown = AtomicBool::new(false);
+        a.try_enqueue(&shutdown).unwrap();
+        assert_eq!(
+            a.try_enqueue(&shutdown).unwrap_err(),
+            AdmitError::Overloaded
+        );
+        assert_eq!(a.shed_count(), 1);
+        let p = a.acquire_queued(Deadline::none(), &shutdown).unwrap();
+        // The slot is held: arrivals still shed.
+        assert_eq!(
+            a.try_enqueue(&shutdown).unwrap_err(),
+            AdmitError::Overloaded
+        );
+        drop(p);
+        a.try_enqueue(&shutdown).unwrap();
+        let _p2 = a.acquire_queued(Deadline::none(), &shutdown).unwrap();
+        assert_eq!(a.served_count(), 2);
+        assert_eq!(a.shed_count(), 2);
+    }
+
+    #[test]
+    fn promote_widens_up_to_max_inflight_only() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 2,
+            max_queue: 8,
+        });
+        let shutdown = AtomicBool::new(false);
+        for _ in 0..3 {
+            a.try_enqueue(&shutdown).unwrap();
+        }
+        let _leader = a.acquire_queued(Deadline::none(), &shutdown).unwrap();
+        let extra = a.try_promote();
+        assert!(extra.is_some(), "one free slot left");
+        assert!(a.try_promote().is_none(), "gate is full");
+        assert_eq!(a.served_count(), 2);
+    }
+
+    #[test]
+    fn collapse_counts_served_without_a_slot() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let shutdown = AtomicBool::new(false);
+        a.try_enqueue(&shutdown).unwrap();
+        a.try_enqueue(&shutdown).unwrap();
+        let _leader = a.acquire_queued(Deadline::none(), &shutdown).unwrap();
+        // The duplicate collapses onto the leader: served, never running.
+        a.collapse_queued();
+        assert_eq!(a.served_count(), 2);
+        assert!(a.try_promote().is_none(), "slot still held by the leader");
+    }
+
+    #[test]
+    fn acquire_queued_observes_deadline_and_shutdown() {
+        let a = Admission::new(AdmissionConfig {
+            max_inflight: 1,
+            max_queue: 4,
+        });
+        let shutdown = AtomicBool::new(false);
+        a.try_enqueue(&shutdown).unwrap();
+        let _p = a.acquire_queued(Deadline::none(), &shutdown).unwrap();
+        a.try_enqueue(&shutdown).unwrap();
+        let err = a
+            .acquire_queued(Deadline::from_ms(30), &shutdown)
+            .unwrap_err();
+        assert_eq!(err, AdmitError::DeadlineExceeded);
+        assert_eq!(a.deadline_miss_count(), 1);
+        a.try_enqueue(&shutdown).unwrap();
+        shutdown.store(true, Ordering::SeqCst);
+        let err = a.acquire_queued(Deadline::none(), &shutdown).unwrap_err();
+        assert_eq!(err, AdmitError::ShuttingDown);
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Blocking client for the wire protocol, reused by `spb-cli remote`.
 //!
-//! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol is strictly request/response per connection; open
-//! more clients for concurrency). Server-side failures surface as
+//! One [`Client`] wraps one TCP connection. The typed helpers issue one
+//! request and wait for its response; [`Client::send_many`] pipelines a
+//! whole slice of requests — all frames are written before any reply is
+//! read, and the server answers them strictly in request order. Frames
+//! encode into (and responses decode from) per-client scratch buffers
+//! that are reused across calls, so a steady request stream allocates
+//! nothing on the framing path. Server-side failures surface as
 //! [`ClientError::Server`] carrying the typed [`ErrorCode`], which is
 //! what `spb-cli` maps to its distinct exit codes.
 
 use std::fmt;
-use std::io;
+use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, Request, Response, WireError, WireHit, WireNn, WireStats,
-    DEFAULT_MAX_FRAME,
+    frame_into, read_frame_into, ErrorCode, Request, Response, WireError, WireHit, WireNn,
+    WireStats, DEFAULT_MAX_FRAME,
 };
 
 /// Why a client call failed.
@@ -64,6 +68,11 @@ impl From<WireError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame: u32,
+    /// Reusable encode scratch: request frames are serialised here and
+    /// written with one syscall (grow-once, no per-request `Vec`).
+    wr: Vec<u8>,
+    /// Reusable decode scratch: response payloads land here.
+    rd: Vec<u8>,
 }
 
 impl Client {
@@ -74,6 +83,8 @@ impl Client {
         Ok(Client {
             stream,
             max_frame: DEFAULT_MAX_FRAME,
+            wr: Vec::new(),
+            rd: Vec::new(),
         })
     }
 
@@ -81,9 +92,35 @@ impl Client {
     /// responses are returned as `Ok(Response::Error { .. })` here; the
     /// typed helpers below convert them to [`ClientError::Server`].
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode()).map_err(ClientError::Io)?;
-        let payload = read_frame(&mut self.stream, self.max_frame)?;
-        Ok(Response::decode(&payload)?)
+        self.wr.clear();
+        frame_into(&mut self.wr, |out| req.encode_into(out));
+        self.stream.write_all(&self.wr).map_err(ClientError::Io)?;
+        read_frame_into(&mut self.stream, self.max_frame, &mut self.rd)?;
+        Ok(Response::decode(&self.rd)?)
+    }
+
+    /// Pipelines `reqs`: every frame is encoded into one scratch buffer
+    /// and written before any reply is read, then the responses are
+    /// read back in request order (the order the server guarantees).
+    ///
+    /// Responses — including per-request typed `Error` responses — are
+    /// returned positionally; an `Err` from this method means the
+    /// connection itself broke. Pipelining past the server's
+    /// `max_pipeline` (default 256) is safe: the server simply stops
+    /// reading the socket until earlier responses are owed, so depth
+    /// beyond it only stops improving throughput.
+    pub fn send_many(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.wr.clear();
+        for req in reqs {
+            frame_into(&mut self.wr, |out| req.encode_into(out));
+        }
+        self.stream.write_all(&self.wr).map_err(ClientError::Io)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            read_frame_into(&mut self.stream, self.max_frame, &mut self.rd)?;
+            out.push(Response::decode(&self.rd)?);
+        }
+        Ok(out)
     }
 
     fn expect<T>(

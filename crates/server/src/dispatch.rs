@@ -1,0 +1,531 @@
+//! The batching dispatcher: workers that pull decoded requests off a
+//! shared queue, coalesce compatible queries into `range_batch` /
+//! `knn_batch` calls, and push completions back to the event loop.
+//!
+//! ## Why batching helps on the wire path
+//!
+//! The blocking server executed one request per connection thread, so
+//! the PR-3 batch engine never saw more than one query at a time. Here
+//! a worker that wins an execution slot first scans the queue it came
+//! from: every *identical* deadline-free query attaches to the same
+//! execution as a follower (the index runs once, the answer fans out —
+//! `SpbTree::range_locked` is deterministic, so followers receive
+//! byte-identical hits and stats, the property
+//! `same_query_twice_in_a_batch_reports_identical_stats` pins down),
+//! and every *distinct* compatible query is promoted into the same
+//! `range_batch`/`knn_batch` call if a free slot exists. One index
+//! pass amortises latch acquisition and page lookups across the whole
+//! batch; the `dispatch_batch_size` histogram records how wide each
+//! execution actually was.
+//!
+//! ## Ordering and accounting
+//!
+//! Batching never reorders a connection's responses — the event loop
+//! sequences responses by request seq — and admission accounting is
+//! exact: a follower leaves the queue via
+//! [`Admission::collapse_queued`] (served, no slot), a promoted query
+//! via [`Admission::try_promote`] (served, one slot), so
+//! `served + shed` always equals the number of admitted-or-shed work
+//! requests. Requests with a deadline never join a shared batch: their
+//! budget is theirs alone, and they execute solo under their own
+//! deadline exactly like the blocking server ran them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::admission::{Deadline, Permit};
+use crate::server::{admit_error_response, error_response, Shared};
+use crate::service::ServiceError;
+use crate::wire::{ErrorCode, Request, Response};
+
+/// Identifies a live connection in the event loop's slab. The `gen`
+/// field distinguishes a reused slab slot from the connection a stale
+/// completion was addressed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ConnId {
+    /// Slab index in the event loop.
+    pub idx: usize,
+    /// Generation of that slot when the work was submitted.
+    pub gen: u64,
+}
+
+/// One decoded work request travelling from the event loop to a worker.
+pub(crate) struct Work {
+    /// Destination connection.
+    pub conn: ConnId,
+    /// Per-connection response sequence number.
+    pub seq: u64,
+    /// The decoded request (never a control-plane variant).
+    pub req: Request,
+    /// Deadline pinned at receipt.
+    pub deadline: Deadline,
+    /// True for `Insert`/`Delete` (a per-connection ordering barrier).
+    pub write: bool,
+    /// When the request entered the admission queue (for
+    /// `phase.queue_wait`).
+    pub enqueued_at: Instant,
+}
+
+/// A finished response travelling back to the event loop.
+pub(crate) struct Completion {
+    /// Destination connection.
+    pub conn: ConnId,
+    /// Per-connection response sequence number.
+    pub seq: u64,
+    /// The response to encode.
+    pub resp: Response,
+    /// Mirrors [`Work::write`]: tells the event loop which inflight
+    /// counter to release.
+    pub write: bool,
+}
+
+/// The `phase.queue_wait` histogram: time an admitted request spent
+/// queued before its execution (or collapse) began, in nanoseconds.
+pub(crate) fn queue_wait_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("phase.queue_wait"))
+}
+
+/// The `dispatch_batch_size` histogram: how many requests each index
+/// execution answered (followers included). Values are counts, not
+/// nanoseconds.
+pub(crate) fn batch_size_hist() -> &'static Arc<spb_obs::Histogram> {
+    static H: OnceLock<Arc<spb_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| spb_obs::histogram("dispatch_batch_size"))
+}
+
+/// The FIFO between the event loop (producer) and the dispatcher
+/// workers (consumers).
+pub(crate) struct DispatchQueue {
+    q: Mutex<VecDeque<Work>>,
+    cv: Condvar,
+}
+
+impl DispatchQueue {
+    pub fn new() -> DispatchQueue {
+        DispatchQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues work and wakes one worker.
+    pub fn push(&self, w: Work) {
+        self.q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(w);
+        self.cv.notify_one();
+    }
+
+    /// Wakes every worker (shutdown).
+    pub fn kick_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Blocks for the next work item. Returns `None` only when the
+    /// queue is empty *and* shutdown has been requested, so queued
+    /// work is always drained (each drained item still gets a typed
+    /// `ShuttingDown` response from the caller).
+    pub fn pop_blocking(&self, shutdown: &std::sync::atomic::AtomicBool) -> Option<Work> {
+        let mut q = self
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(w) = q.pop_front() {
+                return Some(w);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Bounded wait so a missed notify cannot outlive shutdown.
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    /// Runs `f` under the queue lock — the coalescing scan uses this to
+    /// extract compatible work atomically with its admission updates.
+    fn with_queue<R>(&self, f: impl FnOnce(&mut VecDeque<Work>) -> R) -> R {
+        let mut q = self
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut q)
+    }
+}
+
+/// Pushes completions and wakes the event loop once.
+pub(crate) fn push_completions(shared: &Shared, comps: Vec<Completion>) {
+    if comps.is_empty() {
+        return;
+    }
+    shared
+        .completions
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .extend(comps);
+    shared.waker.wake();
+}
+
+/// A dispatcher worker: runs until shutdown *and* an empty queue.
+pub(crate) fn worker_loop(shared: &Shared) {
+    while let Some(work) = shared.dispatch.pop_blocking(&shared.shutdown) {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Shutdown drain: the request was enqueued but never won a
+            // slot; it leaves the system with a typed refusal.
+            shared.admission.release_queued();
+            let resp = error_response(ErrorCode::ShuttingDown, "server is draining");
+            push_completions(
+                shared,
+                vec![Completion {
+                    conn: work.conn,
+                    seq: work.seq,
+                    resp,
+                    write: work.write,
+                }],
+            );
+            continue;
+        }
+        run_work(shared, work);
+    }
+}
+
+/// What a coalescable execution shares: query kind and parameter.
+#[derive(Clone, Copy)]
+enum BatchKind {
+    Range { radius: f64 },
+    Knn { k: u32 },
+}
+
+impl BatchKind {
+    /// If `req` can join a batch of this kind, returns its query
+    /// object. Only deadline-free queries coalesce: a deadline budget
+    /// is per-request and must not gate (or be gated by) strangers.
+    fn matching_obj<'r>(&self, req: &'r Request) -> Option<&'r [u8]> {
+        match (self, req) {
+            (
+                BatchKind::Range { radius },
+                Request::Range {
+                    deadline_ms: 0,
+                    radius: r2,
+                    obj,
+                },
+            ) if radius.to_bits() == r2.to_bits() => Some(obj),
+            (
+                BatchKind::Knn { k },
+                Request::Knn {
+                    deadline_ms: 0,
+                    k: k2,
+                    obj,
+                },
+            ) if k == k2 => Some(obj),
+            _ => None,
+        }
+    }
+}
+
+/// Distinct queries one batch will carry at most (followers of each are
+/// unbounded — they cost nothing extra).
+const MAX_BATCH_UNIQUES: usize = 64;
+
+fn run_work(shared: &Shared, work: Work) {
+    let Work {
+        conn,
+        seq,
+        req,
+        deadline,
+        write,
+        enqueued_at,
+    } = work;
+    let permit = match shared.admission.acquire_queued(deadline, &shared.shutdown) {
+        Ok(p) => p,
+        Err(e) => {
+            push_completions(
+                shared,
+                vec![Completion {
+                    conn,
+                    seq,
+                    resp: admit_error_response(e),
+                    write,
+                }],
+            );
+            return;
+        }
+    };
+    queue_wait_hist().record(spb_obs::clock::nanos_since(enqueued_at));
+    match req {
+        Request::Range {
+            deadline_ms: 0,
+            radius,
+            obj,
+        } => run_batch(shared, BatchKind::Range { radius }, obj, conn, seq, permit),
+        Request::Knn {
+            deadline_ms: 0,
+            k,
+            obj,
+        } => run_batch(shared, BatchKind::Knn { k }, obj, conn, seq, permit),
+        other => {
+            let resp = execute(other, deadline, shared);
+            batch_size_hist().record(1);
+            drop(permit);
+            push_completions(
+                shared,
+                vec![Completion {
+                    conn,
+                    seq,
+                    resp,
+                    write,
+                }],
+            );
+        }
+    }
+}
+
+/// Executes a coalescable query, widening it with every compatible
+/// queued request first. `subs[i]` lists the `(conn, seq)` subscribers
+/// of `objs[i]`; the leader holds `permits[0]`.
+fn run_batch(
+    shared: &Shared,
+    kind: BatchKind,
+    leader_obj: Vec<u8>,
+    conn: ConnId,
+    seq: u64,
+    permit: Permit,
+) {
+    let mut objs: Vec<Vec<u8>> = vec![leader_obj];
+    let mut subs: Vec<Vec<(ConnId, u64)>> = vec![vec![(conn, seq)]];
+    let mut permits: Vec<Permit> = vec![permit];
+
+    shared.dispatch.with_queue(|q| {
+        let mut i = 0;
+        while i < q.len() {
+            let action = match q.get(i).and_then(|w| kind.matching_obj(&w.req)) {
+                None => None,
+                Some(obj) => match objs.iter().position(|o| o == obj) {
+                    // An identical in-flight query: answer it from the
+                    // same execution, no extra slot needed.
+                    Some(slot) => Some((slot, None)),
+                    // A distinct compatible query: promote it into the
+                    // batch if admission has a free execution slot.
+                    None if objs.len() < MAX_BATCH_UNIQUES => shared
+                        .admission
+                        .try_promote()
+                        .map(|p| (objs.len(), Some(p))),
+                    None => None,
+                },
+            };
+            let Some((slot, promoted)) = action else {
+                i += 1;
+                continue;
+            };
+            let Some(w) = q.remove(i) else { break };
+            queue_wait_hist().record(spb_obs::clock::nanos_since(w.enqueued_at));
+            match promoted {
+                Some(p) => {
+                    permits.push(p);
+                    if let Some(obj) = kind.matching_obj(&w.req) {
+                        objs.push(obj.to_vec());
+                    }
+                    subs.push(vec![(w.conn, w.seq)]);
+                }
+                None => {
+                    shared.admission.collapse_queued();
+                    if let Some(s) = subs.get_mut(slot) {
+                        s.push((w.conn, w.seq));
+                    }
+                }
+            }
+        }
+    });
+
+    let total: usize = subs.iter().map(Vec::len).sum();
+    batch_size_hist().record(total as u64);
+
+    let svc = shared.service.as_ref();
+    let threads = shared.cfg.worker_threads;
+    let mut comps: Vec<Completion> = Vec::with_capacity(total);
+    let rows = match kind {
+        BatchKind::Range { radius } => svc
+            .range_batch(&objs, radius, threads, Deadline::none())
+            .map(|rows| {
+                rows.into_iter()
+                    .map(|(hits, stats)| Response::Range { hits, stats })
+                    .collect::<Vec<_>>()
+            }),
+        BatchKind::Knn { k } => svc
+            .knn_batch(&objs, k as usize, threads, Deadline::none())
+            .map(|rows| {
+                rows.into_iter()
+                    .map(|(hits, stats)| Response::Knn { hits, stats })
+                    .collect::<Vec<_>>()
+            }),
+    };
+    match rows {
+        Ok(rows) => {
+            for (resp, fans) in rows.into_iter().zip(subs) {
+                for (c, s) in fans {
+                    comps.push(Completion {
+                        conn: c,
+                        seq: s,
+                        resp: resp.clone(),
+                        write: false,
+                    });
+                }
+            }
+        }
+        Err(_) => {
+            // A batch fails as a unit (e.g. one undecodable object), but
+            // each request deserves its own verdict — re-run the uniques
+            // solo so one bad query cannot poison its batchmates. Rare
+            // path: a retry costs one extra traversal per unique.
+            for (obj, fans) in objs.into_iter().zip(subs) {
+                let resp = match kind {
+                    BatchKind::Range { radius } => svc
+                        .range(&obj, radius)
+                        .map(|(hits, stats)| Response::Range { hits, stats }),
+                    BatchKind::Knn { k } => svc
+                        .knn(&obj, k as usize)
+                        .map(|(hits, stats)| Response::Knn { hits, stats }),
+                };
+                let resp = resp.unwrap_or_else(|e| service_error_response(e, shared));
+                for (c, s) in fans {
+                    comps.push(Completion {
+                        conn: c,
+                        seq: s,
+                        resp: resp.clone(),
+                        write: false,
+                    });
+                }
+            }
+        }
+    }
+    drop(permits);
+    push_completions(shared, comps);
+}
+
+fn service_error_response(e: ServiceError, shared: &Shared) -> Response {
+    match e {
+        ServiceError::Malformed(m) => error_response(ErrorCode::Malformed, m),
+        ServiceError::DeadlineExceeded => {
+            shared.admission.record_deadline_miss();
+            error_response(
+                ErrorCode::DeadlineExceeded,
+                "deadline expired mid-execution",
+            )
+        }
+        ServiceError::Internal(m) => error_response(ErrorCode::Internal, m),
+    }
+}
+
+/// Executes one work request solo (deadline-carrying queries, updates,
+/// and explicit client batches).
+fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
+    let svc = shared.service.as_ref();
+    let threads = shared.cfg.worker_threads;
+    let result = match req {
+        Request::Range { radius, obj, .. } => svc
+            .range(&obj, radius)
+            .map(|(hits, stats)| Response::Range { hits, stats }),
+        Request::Knn { k, obj, .. } => svc
+            .knn(&obj, k as usize)
+            .map(|(hits, stats)| Response::Knn { hits, stats }),
+        Request::Insert { obj, .. } => svc.insert(&obj).map(|stats| Response::Insert { stats }),
+        Request::Delete { obj, .. } => svc
+            .delete(&obj)
+            .map(|(found, stats)| Response::Delete { found, stats }),
+        Request::BatchRange { radius, objs, .. } => svc
+            .range_batch(&objs, radius, threads, deadline)
+            .map(|queries| Response::BatchRange { queries }),
+        Request::BatchKnn { k, objs, .. } => svc
+            .knn_batch(&objs, k as usize, threads, deadline)
+            .map(|queries| Response::BatchKnn { queries }),
+        Request::Ping
+        | Request::Stats
+        | Request::ObsStats
+        | Request::Shutdown
+        | Request::WalShip { .. } => {
+            // Control-plane requests are answered on the event loop; if
+            // one reaches here the dispatcher is broken, but a typed
+            // error beats aborting the worker thread.
+            return error_response(
+                ErrorCode::Internal,
+                "control-plane request reached the execution path",
+            );
+        }
+    };
+    match result {
+        Ok(resp) => resp,
+        Err(e) => service_error_response(e, shared),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_kind_matches_only_same_parameter_deadline_free() {
+        let kind = BatchKind::Range { radius: 1.5 };
+        let same = Request::Range {
+            deadline_ms: 0,
+            radius: 1.5,
+            obj: vec![1, 2],
+        };
+        let other_radius = Request::Range {
+            deadline_ms: 0,
+            radius: 2.0,
+            obj: vec![1, 2],
+        };
+        let with_deadline = Request::Range {
+            deadline_ms: 100,
+            radius: 1.5,
+            obj: vec![1, 2],
+        };
+        let knn = Request::Knn {
+            deadline_ms: 0,
+            k: 3,
+            obj: vec![1, 2],
+        };
+        assert_eq!(kind.matching_obj(&same), Some(&[1u8, 2][..]));
+        assert_eq!(kind.matching_obj(&other_radius), None);
+        assert_eq!(kind.matching_obj(&with_deadline), None);
+        assert_eq!(kind.matching_obj(&knn), None);
+
+        let kind = BatchKind::Knn { k: 3 };
+        assert_eq!(kind.matching_obj(&knn), Some(&[1u8, 2][..]));
+        assert_eq!(
+            kind.matching_obj(&Request::Knn {
+                deadline_ms: 0,
+                k: 4,
+                obj: vec![1, 2],
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn dispatch_queue_drains_under_shutdown() {
+        use std::sync::atomic::AtomicBool;
+        let q = DispatchQueue::new();
+        let shutdown = AtomicBool::new(true);
+        q.push(Work {
+            conn: ConnId { idx: 0, gen: 0 },
+            seq: 0,
+            req: Request::Ping,
+            deadline: Deadline::none(),
+            write: false,
+            enqueued_at: spb_obs::clock::now(),
+        });
+        // Queued work is still handed out after shutdown...
+        assert!(q.pop_blocking(&shutdown).is_some());
+        // ...and only then does the worker get its exit signal.
+        assert!(q.pop_blocking(&shutdown).is_none());
+    }
+}

@@ -15,20 +15,25 @@
 //!   [`SpbTree`](spb_core::SpbTree);
 //! * [`admission`] — bounded-queue admission control with load shedding
 //!   and per-request deadlines;
-//! * [`server`] — the std-`TcpListener`, thread-per-connection server
+//! * [`server`] — the readiness-based event-loop server (`poll(2)` over
+//!   non-blocking sockets, pipelined frames, a batching dispatcher)
 //!   with graceful drain-and-checkpoint shutdown;
-//! * [`client`] — a blocking client, reused by `spb-cli remote`.
+//! * [`client`] — a blocking client with a pipelined `send_many` path,
+//!   reused by `spb-cli remote`.
 //!
 //! No async runtime and no network dependencies: std threads and sockets
 //! only.
 
 // `deny`, not `forbid`: the signal-handler registration in `server.rs`
-// carries the workspace's only fenced `#[allow(unsafe_code)]` site.
+// and the `poll(2)` shim in `event_loop.rs` carry the workspace's only
+// fenced `#[allow(unsafe_code)]` sites.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
 pub mod client;
+mod dispatch;
+mod event_loop;
 pub mod schema;
 pub mod server;
 pub mod service;

@@ -657,7 +657,16 @@ impl Request {
     /// Serialises into a payload (version + opcode + body, no frame
     /// header).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = vec![PROTOCOL_VERSION];
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the payload to `out` without allocating a fresh buffer —
+    /// the zero-copy path the server's per-connection write buffers and
+    /// the client's scratch buffer use.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(PROTOCOL_VERSION);
         match self {
             Request::Ping => out.push(OP_PING),
             Request::Range {
@@ -668,7 +677,7 @@ impl Request {
                 out.push(OP_RANGE);
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
                 out.extend_from_slice(&radius.to_bits().to_le_bytes());
-                put_bytes(&mut out, obj);
+                put_bytes(out, obj);
             }
             Request::Knn {
                 deadline_ms,
@@ -678,17 +687,17 @@ impl Request {
                 out.push(OP_KNN);
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
                 out.extend_from_slice(&k.to_le_bytes());
-                put_bytes(&mut out, obj);
+                put_bytes(out, obj);
             }
             Request::Insert { deadline_ms, obj } => {
                 out.push(OP_INSERT);
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
-                put_bytes(&mut out, obj);
+                put_bytes(out, obj);
             }
             Request::Delete { deadline_ms, obj } => {
                 out.push(OP_DELETE);
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
-                put_bytes(&mut out, obj);
+                put_bytes(out, obj);
             }
             Request::BatchRange {
                 deadline_ms,
@@ -700,7 +709,7 @@ impl Request {
                 out.extend_from_slice(&radius.to_bits().to_le_bytes());
                 out.extend_from_slice(&(objs.len() as u32).to_le_bytes());
                 for o in objs {
-                    put_bytes(&mut out, o);
+                    put_bytes(out, o);
                 }
             }
             Request::BatchKnn {
@@ -713,7 +722,7 @@ impl Request {
                 out.extend_from_slice(&k.to_le_bytes());
                 out.extend_from_slice(&(objs.len() as u32).to_le_bytes());
                 for o in objs {
-                    put_bytes(&mut out, o);
+                    put_bytes(out, o);
                 }
             }
             Request::Stats => out.push(OP_STATS),
@@ -724,7 +733,6 @@ impl Request {
                 out.extend_from_slice(&from_lsn.to_le_bytes());
             }
         }
-        out
     }
 
     /// Decodes a request payload. Total: any input returns a request or a
@@ -797,7 +805,15 @@ impl Request {
 impl Response {
     /// Serialises into a payload (version + opcode + body).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = vec![PROTOCOL_VERSION];
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the payload to `out` without allocating a fresh buffer.
+    /// See [`Request::encode_into`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(PROTOCOL_VERSION);
         match self {
             Response::Pong {
                 version,
@@ -806,42 +822,42 @@ impl Response {
             } => {
                 out.push(OP_PING | RESP_BIT);
                 out.push(*version);
-                put_bytes(&mut out, schema.as_bytes());
+                put_bytes(out, schema.as_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
             }
             Response::Range { hits, stats } => {
                 out.push(OP_RANGE | RESP_BIT);
-                put_stats(&mut out, stats);
-                put_hits(&mut out, hits);
+                put_stats(out, stats);
+                put_hits(out, hits);
             }
             Response::Knn { hits, stats } => {
                 out.push(OP_KNN | RESP_BIT);
-                put_stats(&mut out, stats);
-                put_nns(&mut out, hits);
+                put_stats(out, stats);
+                put_nns(out, hits);
             }
             Response::Insert { stats } => {
                 out.push(OP_INSERT | RESP_BIT);
-                put_stats(&mut out, stats);
+                put_stats(out, stats);
             }
             Response::Delete { found, stats } => {
                 out.push(OP_DELETE | RESP_BIT);
                 out.push(u8::from(*found));
-                put_stats(&mut out, stats);
+                put_stats(out, stats);
             }
             Response::BatchRange { queries } => {
                 out.push(OP_BATCH_RANGE | RESP_BIT);
                 out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
                 for (hits, stats) in queries {
-                    put_stats(&mut out, stats);
-                    put_hits(&mut out, hits);
+                    put_stats(out, stats);
+                    put_hits(out, hits);
                 }
             }
             Response::BatchKnn { queries } => {
                 out.push(OP_BATCH_KNN | RESP_BIT);
                 out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
                 for (nns, stats) in queries {
-                    put_stats(&mut out, stats);
-                    put_nns(&mut out, nns);
+                    put_stats(out, stats);
+                    put_nns(out, nns);
                 }
             }
             Response::Stats {
@@ -854,7 +870,7 @@ impl Response {
                 deadline_miss,
             } => {
                 out.push(OP_STATS | RESP_BIT);
-                put_bytes(&mut out, schema.as_bytes());
+                put_bytes(out, schema.as_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(&storage_bytes.to_le_bytes());
                 out.extend_from_slice(&num_pivots.to_le_bytes());
@@ -864,13 +880,13 @@ impl Response {
             }
             Response::ObsStats { snapshot } => {
                 out.push(OP_OBS_STATS | RESP_BIT);
-                put_snapshot(&mut out, snapshot);
+                put_snapshot(out, snapshot);
             }
             Response::Shutdown => out.push(OP_SHUTDOWN | RESP_BIT),
             Response::WalShip { wal_len, frames } => {
                 out.push(OP_WAL_SHIP | RESP_BIT);
                 out.extend_from_slice(&wal_len.to_le_bytes());
-                put_bytes(&mut out, frames);
+                put_bytes(out, frames);
             }
             Response::Error {
                 code,
@@ -880,10 +896,9 @@ impl Response {
                 out.push(OP_ERROR);
                 out.push(*code as u8);
                 out.push(*server_version);
-                put_bytes(&mut out, message.as_bytes());
+                put_bytes(out, message.as_bytes());
             }
         }
-        out
     }
 
     /// Decodes a response payload. Total, like [`Request::decode`].
@@ -994,6 +1009,23 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Appends one framed message to `out`: reserves the 8-byte header,
+/// lets `payload` serialise directly into the buffer, then backpatches
+/// the length and CRC. This is the zero-copy encode path — the message
+/// bytes are written exactly once, into a buffer the caller reuses.
+pub fn frame_into(out: &mut Vec<u8>, payload: impl FnOnce(&mut Vec<u8>)) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; FRAME_HEADER]);
+    payload(out);
+    let body_len = out.len().saturating_sub(start + FRAME_HEADER);
+    let crc = crc32(out.get(start + FRAME_HEADER..).unwrap_or(&[]));
+    if let Some(header) = out.get_mut(start..start + FRAME_HEADER) {
+        let (len_b, crc_b) = header.split_at_mut(4);
+        len_b.copy_from_slice(&(body_len as u32).to_le_bytes());
+        crc_b.copy_from_slice(&crc.to_le_bytes());
+    }
+}
+
 /// Parses a frame header into `(payload_len, payload_crc)`, validating
 /// the length against `max` before anything is allocated.
 pub fn parse_frame_header(header: &[u8; FRAME_HEADER], max: u32) -> Result<(u32, u32), WireError> {
@@ -1020,13 +1052,27 @@ pub fn check_payload(expected_crc: u32, payload: &[u8]) -> Result<(), WireError>
 
 /// Reads one complete frame (blocking) and returns its verified payload.
 pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, max, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one complete frame (blocking) into a caller-owned buffer,
+/// reusing its capacity across calls. The buffer holds exactly the
+/// verified payload on success.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    max: u32,
+    payload: &mut Vec<u8>,
+) -> Result<(), WireError> {
     let mut header = [0u8; FRAME_HEADER];
     r.read_exact(&mut header)?;
     let (len, crc) = parse_frame_header(&header, max)?;
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    check_payload(crc, &payload)?;
-    Ok(payload)
+    payload.clear();
+    payload.resize(len as usize, 0);
+    r.read_exact(payload)?;
+    check_payload(crc, payload)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! | `catch-all` | deny | no `_ =>` arms in wire/WAL decode functions |
 //! | `dead-variant` | warn | every counter field / error variant referenced outside its definition |
 //! | `raw-instant` | deny | no bare `Instant::now()` on hot paths; time through `spb_obs::clock` |
+//! | `no-block-in-event-loop` | deny | no blocking I/O (`read_exact`/`write_all`/`accept`) on the event-loop thread |
 //! | `bad-allow` | deny | malformed suppression markers |
 //!
 //! # Suppression markers
@@ -57,6 +58,9 @@ pub enum Rule {
     /// Bare `Instant::now()` on a hot path instead of the `spb_obs`
     /// clock helpers.
     RawInstant,
+    /// Blocking I/O call inside the event-loop module, where every
+    /// socket is non-blocking and one sleep stalls every connection.
+    NoBlockInEventLoop,
     /// Malformed suppression marker.
     BadAllow,
 }
@@ -71,6 +75,7 @@ impl Rule {
             Rule::CatchAll => "catch-all",
             Rule::DeadVariant => "dead-variant",
             Rule::RawInstant => "raw-instant",
+            Rule::NoBlockInEventLoop => "no-block-in-event-loop",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -85,6 +90,7 @@ impl Rule {
             "catch-all" => Some(Rule::CatchAll),
             "dead-variant" => Some(Rule::DeadVariant),
             "raw-instant" => Some(Rule::RawInstant),
+            "no-block-in-event-loop" => Some(Rule::NoBlockInEventLoop),
             "bad-allow" => Some(Rule::BadAllow),
             other => {
                 let _ = other;
@@ -236,6 +242,7 @@ pub fn run(cfg: &Config) -> Report {
         rules::lock_order(d, &mut report.violations);
         rules::catch_all(d, &mut report.violations);
         rules::raw_instant(d, &mut report.violations);
+        rules::no_block_in_event_loop(d, &mut report.violations);
     }
     rules::crate_roots(&datas, &mut report.violations);
     rules::dead_variants(&datas, &mut report.violations);

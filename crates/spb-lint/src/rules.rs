@@ -13,6 +13,7 @@ use crate::{end_of_attr, match_brace, FileData, Rule, Violation};
 pub const NO_PANIC_ZONES: &[&str] = &[
     "crates/server/src/wire.rs",
     "crates/server/src/server.rs",
+    "crates/server/src/event_loop.rs",
     "crates/storage/src/raf.rs",
     "crates/storage/src/pager.rs",
     "crates/storage/src/wal.rs",
@@ -470,6 +471,8 @@ pub fn catch_all(d: &FileData, out: &mut Vec<Violation>) {
 /// gets instrumented.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/server/src/server.rs",
+    "crates/server/src/event_loop.rs",
+    "crates/server/src/dispatch.rs",
     "crates/server/src/admission.rs",
     "crates/server/src/service.rs",
     "crates/core/src/tree.rs",
@@ -505,6 +508,62 @@ pub fn raw_instant(d: &FileData, out: &mut Vec<Violation>) {
                  reading stays on the clock the phase histograms use"
                     .to_string(),
             );
+        }
+    }
+}
+
+/// Files that run on the event-loop thread. Every socket there is
+/// non-blocking; a single blocking call stalls every connection the
+/// loop multiplexes.
+pub const EVENT_LOOP_FILES: &[&str] = &["crates/server/src/event_loop.rs"];
+
+/// Blocking std I/O entry points with no `WouldBlock` awareness, as
+/// method-call token sequences, paired with the event-loop-safe fix.
+const BLOCKING_CALLS: &[(&[&str], &str)] = &[
+    (
+        &[".", "read_exact", "("],
+        "loop over non-blocking `read`, resuming on WouldBlock",
+    ),
+    (
+        &[".", "write_all", "("],
+        "buffer the bytes and drain with vectored writes that resume after partial writes",
+    ),
+    (
+        &[".", "accept", "("],
+        "only a listener registered non-blocking may be polled; fence a vetted accept site \
+         with an allow marker",
+    ),
+];
+
+/// R7 — `no-block-in-event-loop`: no blocking `read_exact` /
+/// `write_all` / `accept` calls inside the event-loop module. These
+/// park the only thread that services every connection; readiness-aware
+/// loops must use non-blocking `read`/`write_vectored` and resume on
+/// `WouldBlock`.
+pub fn no_block_in_event_loop(d: &FileData, out: &mut Vec<Violation>) {
+    if !EVENT_LOOP_FILES.contains(&d.rel.as_str()) {
+        return;
+    }
+    let toks = &d.code;
+    for (seq, fix) in BLOCKING_CALLS {
+        for i in 0..toks.len().saturating_sub(seq.len() - 1) {
+            if seq
+                .iter()
+                .zip(&toks[i..])
+                .all(|(want, tok)| tok.text == *want)
+            {
+                push(
+                    d,
+                    out,
+                    Rule::NoBlockInEventLoop,
+                    toks[i].line,
+                    format!(
+                        "blocking `.{}()` on the event-loop thread stalls every connection; {}",
+                        seq.get(1).copied().unwrap_or_default(),
+                        fix
+                    ),
+                );
+            }
         }
     }
 }
@@ -643,6 +702,7 @@ mod tests {
         lock_order(&d, &mut out);
         catch_all(&d, &mut out);
         raw_instant(&d, &mut out);
+        no_block_in_event_loop(&d, &mut out);
         out
     }
 
@@ -743,6 +803,35 @@ mod tests {
     fn raw_instant_honors_allow_marker() {
         let src = "fn f() {\n    // spb-lint: allow(raw-instant) — calibration probe\n    let _ = Instant::now();\n}";
         assert!(lint_one("crates/core/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_calls_flagged_only_in_event_loop_files() {
+        let src = "fn f(s: &mut std::net::TcpStream, b: &mut [u8]) {\n    let _ = s.read_exact(b);\n    let _ = s.write_all(b);\n}\nfn g(l: &std::net::TcpListener) {\n    let _ = l.accept();\n}";
+        let v = lint_one("crates/server/src/event_loop.rs", src);
+        let lines: Vec<u32> = v
+            .iter()
+            .filter(|v| v.rule == Rule::NoBlockInEventLoop)
+            .map(|v| v.line)
+            .collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [2, 3, 6]);
+        // The same calls are legal outside the event loop.
+        assert!(lint_one("crates/server/src/client.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_call_honors_allow_marker() {
+        let src = "fn g(l: &std::net::TcpListener) {\n    // spb-lint: allow(no-block-in-event-loop) — listener is non-blocking\n    let _ = l.accept();\n}";
+        let v = lint_one("crates/server/src/event_loop.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn nonblocking_read_is_not_flagged() {
+        let src = "fn f(s: &mut std::net::TcpStream, b: &mut [u8]) -> std::io::Result<usize> {\n    s.read(b)\n}";
+        assert!(lint_one("crates/server/src/event_loop.rs", src).is_empty());
     }
 
     #[test]

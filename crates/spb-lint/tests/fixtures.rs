@@ -121,6 +121,23 @@ fn r6_raw_instant_fixture_reports_every_site() {
 }
 
 #[test]
+fn r7_block_in_event_loop_fixture_reports_every_site() {
+    let (d, mut out) = fixture(
+        "r7_block_in_event_loop.rs",
+        "crates/server/src/event_loop.rs",
+    );
+    rules::no_block_in_event_loop(&d, &mut out);
+    let mut lines = lines_of(&out, Rule::NoBlockInEventLoop);
+    lines.sort_unstable();
+    // read_exact, write_all, accept.
+    assert_eq!(lines, [6, 7, 8]);
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/server/src/event_loop.rs:6: [no-block-in-event-loop]"));
+    assert!(out[0].message.contains("read_exact"));
+}
+
+#[test]
 fn fixtures_are_denied_under_deny_all_but_dead_variant_warns_by_default() {
     assert!(Rule::NoPanic.denied(false));
     assert!(!Rule::DeadVariant.denied(false));

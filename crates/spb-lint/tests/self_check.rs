@@ -90,6 +90,30 @@ fn raw_instant_rule_is_live_on_real_server_rs() {
 }
 
 #[test]
+fn no_block_rule_is_live_on_real_event_loop_rs() {
+    // Liveness for the event-loop blocking-I/O rule: append a blocking
+    // probe to the real event_loop.rs text and check it gets flagged
+    // (the clean run above proves the real file has none outside its
+    // one allow-marked accept site — which also proves marker coverage
+    // works on the real source).
+    let path = repo_root().join("crates/server/src/event_loop.rs");
+    let src = std::fs::read_to_string(path).expect("read event_loop.rs");
+    let seeded = format!(
+        "{src}\nfn probe(s: &mut std::net::TcpStream, b: &mut [u8]) {{ let _ = s.read_exact(b); }}\n"
+    );
+    let mut out = Vec::new();
+    let d = analyze(
+        "crates/server/src/event_loop.rs".to_string(),
+        &seeded,
+        &mut out,
+    );
+    rules::no_block_in_event_loop(&d, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, Rule::NoBlockInEventLoop);
+    assert_eq!(out[0].line as usize, seeded.lines().count());
+}
+
+#[test]
 fn query_stats_counters_are_all_live() {
     // QueryStats extraction against the real tree.rs must find the
     // counter fields (the dead-counter rule would be vacuous if the

@@ -4,15 +4,18 @@
 //! must enforce its load-shedding and deadline contracts under real
 //! concurrent TCP load.
 
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use spb::metric::{dataset, MetricObject, Word};
 use spb::storage::TempDir;
 use spb::{SpbConfig, SpbTree};
 use spb_server::{
-    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Schema,
-    ServerConfig,
+    open_index, schema_path, serve, AdmissionConfig, Client, ClientError, ErrorCode, Request,
+    Response, Schema, ServerConfig,
 };
 
 const RADIUS: f64 = 2.0;
@@ -189,4 +192,182 @@ fn expired_deadlines_get_typed_errors() {
     // The connection survives a deadline miss: the next request works.
     let (_, stats) = client.range(&data[0].encoded(), RADIUS, 0).unwrap();
     assert!(stats.compdists > 0);
+}
+
+/// Zeroes the server-side wall-clock field so responses can be compared
+/// byte-for-byte (everything else the server returns is deterministic).
+fn normalize(mut resp: Response) -> Response {
+    match &mut resp {
+        Response::Range { stats, .. }
+        | Response::Knn { stats, .. }
+        | Response::Insert { stats }
+        | Response::Delete { stats, .. } => stats.duration_nanos = 0,
+        Response::BatchRange { queries } => {
+            for (_, s) in queries.iter_mut() {
+                s.duration_nanos = 0;
+            }
+        }
+        Response::BatchKnn { queries } => {
+            for (_, s) in queries.iter_mut() {
+                s.duration_nanos = 0;
+            }
+        }
+        _ => {}
+    }
+    resp
+}
+
+/// A mixed pipelined workload (with deliberate duplicate queries, which
+/// the dispatcher may collapse into batch calls) must come back in
+/// request order with responses byte-identical to sequential execution.
+#[test]
+fn pipelined_responses_match_sequential_execution() {
+    let dir = TempDir::new("e2e-pipeline");
+    let (data, _) = build_words(&dir, 500, 45);
+    let server = start_server(&dir, ServerConfig::default());
+
+    let mut reqs: Vec<Request> = Vec::new();
+    for i in 0..48 {
+        let obj = data[i % 12].encoded();
+        if i % 3 == 0 {
+            reqs.push(Request::Knn {
+                deadline_ms: 0,
+                k: K,
+                obj,
+            });
+        } else {
+            reqs.push(Request::Range {
+                deadline_ms: 0,
+                radius: RADIUS,
+                obj,
+            });
+        }
+    }
+
+    let mut seq_client = Client::connect(server.addr()).unwrap();
+    let sequential: Vec<Vec<u8>> = reqs
+        .iter()
+        .map(|r| normalize(seq_client.request(r).unwrap()).encode())
+        .collect();
+
+    let mut pipe_client = Client::connect(server.addr()).unwrap();
+    let pipelined = pipe_client.send_many(&reqs).unwrap();
+    assert_eq!(pipelined.len(), reqs.len());
+    for (i, (p, s)) in pipelined.into_iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            &normalize(p).encode(),
+            s,
+            "pipelined response {i} differs from sequential execution"
+        );
+    }
+}
+
+/// The same in-order, byte-identical guarantee must hold when the
+/// transport misbehaves: request bytes dribbled into the server a few
+/// bytes at a time (the server state machine resumes partial frames
+/// across reads) and replies read back through a 3-bytes-per-call
+/// reader (the client-side framing resumes partial reads).
+#[test]
+fn pipelining_survives_injected_partial_reads_and_writes() {
+    let dir = TempDir::new("e2e-partial-io");
+    let (data, _) = build_words(&dir, 300, 46);
+    let server = start_server(&dir, ServerConfig::default());
+
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request::Range {
+            deadline_ms: 0,
+            radius: RADIUS,
+            obj: data[i].encoded(),
+        })
+        .collect();
+
+    let mut seq_client = Client::connect(server.addr()).unwrap();
+    let sequential: Vec<Vec<u8>> = reqs
+        .iter()
+        .map(|r| normalize(seq_client.request(r).unwrap()).encode())
+        .collect();
+
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    let mut bytes = Vec::new();
+    for r in &reqs {
+        spb_server::wire::frame_into(&mut bytes, |out| r.encode_into(out));
+    }
+    for chunk in bytes.chunks(7) {
+        s.write_all(chunk).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    struct Trickle<'a>(&'a mut TcpStream);
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.0.read(&mut buf[..n])
+        }
+    }
+    let mut tr = Trickle(&mut s);
+    for (i, want) in sequential.iter().enumerate() {
+        let payload =
+            spb_server::wire::read_frame(&mut tr, spb_server::wire::DEFAULT_MAX_FRAME).unwrap();
+        let got = normalize(Response::decode(&payload).unwrap()).encode();
+        assert_eq!(&got, want, "response {i} differs under partial I/O");
+    }
+}
+
+/// Inserts and deletes inside a pipeline are full ordering barriers: a
+/// read queued after a write must observe it, and reads queued before
+/// it must not — exactly the semantics of sequential execution.
+#[test]
+fn pipelined_writes_act_as_ordering_barriers() {
+    let dir = TempDir::new("e2e-pipeline-barrier");
+    let (_, _) = build_words(&dir, 300, 47);
+    let server = start_server(&dir, ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let novel = Word::new("zzzpipeline").encoded();
+    let probe = || Request::Range {
+        deadline_ms: 0,
+        radius: 0.0,
+        obj: novel.clone(),
+    };
+    let reqs = vec![
+        probe(),
+        Request::Insert {
+            deadline_ms: 0,
+            obj: novel.clone(),
+        },
+        probe(),
+        Request::Delete {
+            deadline_ms: 0,
+            obj: novel.clone(),
+        },
+        probe(),
+    ];
+    let resps = client.send_many(&reqs).unwrap();
+    assert_eq!(resps.len(), 5);
+    match &resps[0] {
+        Response::Range { hits, .. } => assert!(hits.is_empty(), "not inserted yet"),
+        other => panic!("expected Range, got {other:?}"),
+    }
+    assert!(matches!(&resps[1], Response::Insert { .. }), "{resps:?}");
+    match &resps[2] {
+        Response::Range { hits, .. } => {
+            assert!(
+                hits.iter().any(|(_, o)| o == &novel),
+                "read after the insert barrier must observe it"
+            );
+        }
+        other => panic!("expected Range, got {other:?}"),
+    }
+    match &resps[3] {
+        Response::Delete { found, .. } => assert!(*found),
+        other => panic!("expected Delete, got {other:?}"),
+    }
+    match &resps[4] {
+        Response::Range { hits, .. } => {
+            assert!(hits.is_empty(), "read after the delete barrier sees no hit")
+        }
+        other => panic!("expected Range, got {other:?}"),
+    }
 }
