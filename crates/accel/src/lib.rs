@@ -1,0 +1,123 @@
+//! # spb-accel: learned positioning + recall-targeted approximation
+//!
+//! Two cooperating engines that accelerate SPB-tree queries:
+//!
+//! 1. **Learned positioning** ([`LeafModel`]): a flattened directory of
+//!    the B⁺-tree leaf level plus a piecewise-linear model mapping SFC
+//!    key → leaf ordinal (the LIMS recipe applied to the SPB-tree's
+//!    one-dimensional SFC key space). Exactness is preserved by a
+//!    bounded-error local search inside the model's recorded max-error
+//!    window; when the window invariant cannot be verified the caller
+//!    falls back to classic inner-node descent.
+//! 2. **Recall-targeted approximation** ([`tune`], [`recall`]): the
+//!    Chávez–Navarro radius-contraction recipe — shrink the pruning
+//!    radius by a factor `c ∈ (0,1]` (equivalently inflate the kNN
+//!    termination bound by `α = 1/c`) and auto-tune the factor against
+//!    sampled exact ground truth until a recall target is met.
+//!
+//! The model is trained at build/checkpoint time, persisted next to
+//! `spb.meta` as [`MODEL_FILE`], and stamped with the tree epoch
+//! `(len, next_id)`; a mismatching epoch means the tree mutated since
+//! training and the model must not be trusted (classic fallback,
+//! lazy retrain at the next checkpoint).
+//!
+//! This crate is deliberately storage-agnostic: leaves are described by
+//! raw `u64` page ids and `u128` SFC keys, so it depends only on
+//! `spb-storage` (atomic file replacement + CRC) and `spb-obs`.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+mod model;
+mod tune;
+
+pub use model::{LeafEntry, LeafModel, Located, MODEL_FILE, MODEL_MAGIC};
+pub use tune::{recall, tune, Tuned, ALPHA_LADDER, CONTRACTION_LADDER};
+
+/// Build-time acceleration policy carried by `SpbConfig::accel`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AccelPolicy {
+    /// No model is trained or persisted; queries always use classic
+    /// B⁺-tree descent. The paper-faithful default.
+    #[default]
+    Off,
+    /// Train a [`LeafModel`] at build and every checkpoint, persist it
+    /// alongside `spb.meta`, and let queries use learned positioning.
+    Learned,
+}
+
+/// Per-query positioning selector (how to walk the index, not what the
+/// query answers — both choices return byte-identical results).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Positioning {
+    /// Learned when a fresh model is available, classic otherwise.
+    #[default]
+    Auto,
+    /// Force classic B⁺-tree descent.
+    Classic,
+    /// Request learned positioning; silently falls back to classic
+    /// (counted in `accel.model_fallback`) when no fresh model exists.
+    Learned,
+}
+
+/// Result semantics of a (batched) query. Exact and approximate
+/// requests must never be coalesced into one traversal: an approximate
+/// traversal prunes with a contracted radius and would silently drop
+/// answers from exact queries sharing it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryMode {
+    /// Full, paper-exact semantics.
+    Exact,
+    /// Pruning radius contracted by `contraction ∈ (0, 1]`; range
+    /// queries keep perfect precision (every hit is re-checked against
+    /// the true radius) but may miss answers, kNN runs with
+    /// `α = 1/contraction ≥ 1`.
+    Approx {
+        /// Radius-contraction factor in `(0, 1]`; `1.0` degenerates to
+        /// exact semantics through the approximate code path.
+        contraction: f64,
+    },
+}
+
+impl QueryMode {
+    /// The radius-contraction factor (`1.0` for exact).
+    pub fn contraction(&self) -> f64 {
+        match *self {
+            QueryMode::Exact => 1.0,
+            QueryMode::Approx { contraction } => contraction,
+        }
+    }
+
+    /// The equivalent kNN bound-inflation factor `α = 1/c ≥ 1`.
+    pub fn alpha(&self) -> f64 {
+        let c = self.contraction();
+        if c > 0.0 && c < 1.0 {
+            1.0 / c
+        } else {
+            1.0
+        }
+    }
+
+    /// True for [`QueryMode::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, QueryMode::Exact)
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+
+    #[test]
+    fn mode_contraction_and_alpha() {
+        assert_eq!(QueryMode::Exact.contraction(), 1.0);
+        assert_eq!(QueryMode::Exact.alpha(), 1.0);
+        let m = QueryMode::Approx { contraction: 0.5 };
+        assert_eq!(m.contraction(), 0.5);
+        assert_eq!(m.alpha(), 2.0);
+        assert!(!m.is_exact());
+        // Degenerate contraction never yields alpha < 1 or NaN.
+        let d = QueryMode::Approx { contraction: 0.0 };
+        assert_eq!(d.alpha(), 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Extension experiment (beyond the paper): the `spb-accel` subsystem.
+//!
+//! Three claims are *asserted*, not just measured:
+//!
+//! 1. **Byte-identity** — learned leaf positioning returns exactly the
+//!    classic-descent answer (same ids, same distances, same
+//!    compdists) for every range and kNN query in the workload.
+//! 2. **Recall target** — the auto-tuned approximate modes meet their
+//!    recall target against exact ground truth.
+//! 3. **Cost** — approximate queries never cost more distance
+//!    computations than their exact counterparts.
+//!
+//! Besides the printed table, the run writes `BENCH_accel.json` with
+//! one row per mode (exact-classic, exact-learned, approx sweeps) for
+//! the CI smoke check to grep.
+
+use std::fmt::Write as _;
+
+use spb_accel::{AccelPolicy, Positioning};
+use spb_core::SpbConfig;
+use spb_metric::dataset;
+
+use crate::experiments::common::workload;
+use crate::runner::{average, fmt_num, AvgStats};
+use crate::{Scale, Table};
+
+const K: usize = 8;
+const RADIUS: f64 = 2.0;
+const RECALL_TARGET: f64 = 0.9;
+
+/// One measured mode, serialised into `BENCH_accel.json`.
+struct Row {
+    mode: &'static str,
+    workload: &'static str,
+    param: f64,
+    avg: AvgStats,
+    recall: f64,
+}
+
+fn row_json(r: &Row) -> String {
+    format!(
+        "{{\"mode\": \"{}\", \"workload\": \"{}\", \"param\": {}, \"pa\": {:.2}, \
+         \"compdists\": {:.2}, \"time_s\": {:.6}, \"recall\": {:.4}}}",
+        r.mode, r.workload, r.param, r.avg.pa, r.avg.compdists, r.avg.time_s, r.recall
+    )
+}
+
+/// Runs the accel experiment at the given scale and writes
+/// `BENCH_accel.json`.
+pub fn run(scale: Scale) {
+    let n = scale.words();
+    let data = dataset::words(n, scale.seed());
+    let queries = workload(&data, &scale);
+
+    let dir = spb_storage::TempDir::new("accel-words");
+    let cfg = SpbConfig {
+        accel: AccelPolicy::Learned,
+        ..SpbConfig::default()
+    };
+    let tree =
+        spb_core::SpbTree::build(dir.path(), &data, dataset::words_metric(), &cfg).expect("build");
+    assert!(
+        tree.accel_model_fresh(),
+        "build with AccelPolicy::Learned must install a fresh model"
+    );
+
+    let mut t = Table::new(
+        &format!("spb-accel (Words, n={n}, {} queries)", queries.len()),
+        &[
+            "Mode",
+            "Workload",
+            "param",
+            "PA",
+            "compdists",
+            "Time(s)",
+            "recall",
+        ],
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut push = |t: &mut Table, r: Row| {
+        t.row(vec![
+            r.mode.to_owned(),
+            r.workload.to_owned(),
+            format!("{}", r.param),
+            fmt_num(r.avg.pa),
+            fmt_num(r.avg.compdists),
+            format!("{:.4}", r.avg.time_s),
+            format!("{:.3}", r.recall),
+        ]);
+        rows.push(r);
+    };
+
+    // --- Exact: classic descent vs learned positioning, asserted
+    // byte-identical per query (claim 1).
+    let hits_before = spb_accel::metrics::model_hit().get();
+    let classic_range = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            let (classic, stats) = tree
+                .range_positioned(q, RADIUS, Positioning::Classic)
+                .expect("classic range");
+            let (learned, lstats) = tree
+                .range_positioned(q, RADIUS, Positioning::Learned)
+                .expect("learned range");
+            assert_eq!(classic, learned, "learned range diverged on {q:?}");
+            assert_eq!(
+                stats.compdists, lstats.compdists,
+                "learned range compdists diverged on {q:?}"
+            );
+            stats
+        },
+    );
+    let learned_range = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            tree.range_positioned(q, RADIUS, Positioning::Learned)
+                .expect("learned range")
+                .1
+        },
+    );
+    let classic_knn = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            let (classic, stats) = tree
+                .knn_positioned(q, K, Positioning::Classic)
+                .expect("classic knn");
+            let (learned, lstats) = tree
+                .knn_positioned(q, K, Positioning::Learned)
+                .expect("learned knn");
+            assert_eq!(classic, learned, "learned knn diverged on {q:?}");
+            assert_eq!(
+                stats.compdists, lstats.compdists,
+                "learned knn compdists diverged on {q:?}"
+            );
+            stats
+        },
+    );
+    let learned_knn = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            tree.knn_positioned(q, K, Positioning::Learned)
+                .expect("learned knn")
+                .1
+        },
+    );
+    assert!(
+        spb_accel::metrics::model_hit().get() > hits_before,
+        "learned positioning never hit the model"
+    );
+    eprintln!("[accel] learned-identical: OK ({} queries)", queries.len());
+
+    push(
+        &mut t,
+        Row {
+            mode: "exact-classic",
+            workload: "range",
+            param: RADIUS,
+            avg: classic_range,
+            recall: 1.0,
+        },
+    );
+    push(
+        &mut t,
+        Row {
+            mode: "exact-learned",
+            workload: "range",
+            param: RADIUS,
+            avg: learned_range,
+            recall: 1.0,
+        },
+    );
+    push(
+        &mut t,
+        Row {
+            mode: "exact-classic",
+            workload: "knn",
+            param: K as f64,
+            avg: classic_knn,
+            recall: 1.0,
+        },
+    );
+    push(
+        &mut t,
+        Row {
+            mode: "exact-learned",
+            workload: "knn",
+            param: K as f64,
+            avg: learned_knn,
+            recall: 1.0,
+        },
+    );
+
+    // --- Approximate: auto-tuned to the recall target (claims 2 and 3).
+    let sample: Vec<_> = queries.iter().cloned().map(|q| (q, RADIUS)).collect();
+    let tuned_c = tree
+        .tune_range_contraction(&sample, RECALL_TARGET)
+        .expect("tune contraction");
+    let mut range_recall = 0.0;
+    let approx_range = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            let (_, stats) = tree
+                .range_approx_measured(q, RADIUS, tuned_c.param)
+                .expect("range_approx");
+            range_recall += stats.recall.unwrap_or(1.0);
+            stats
+        },
+    );
+    range_recall /= queries.len() as f64;
+
+    let tuned_a = tree
+        .tune_knn_alpha(queries, K, RECALL_TARGET)
+        .expect("tune alpha");
+    let mut knn_recall = 0.0;
+    let approx_knn = average(
+        queries,
+        || tree.flush_caches(),
+        |q| {
+            let (_, stats) = tree
+                .knn_approx_measured(q, K, tuned_a.param)
+                .expect("knn_approx");
+            knn_recall += stats.recall.unwrap_or(1.0);
+            stats
+        },
+    );
+    knn_recall /= queries.len() as f64;
+
+    assert!(
+        range_recall >= RECALL_TARGET && knn_recall >= RECALL_TARGET,
+        "tuned recall below target: range {range_recall:.3}, knn {knn_recall:.3} < {RECALL_TARGET}"
+    );
+    assert!(
+        approx_range.compdists <= classic_range.compdists + 1e-9,
+        "approx range cost more compdists than exact"
+    );
+    assert!(
+        approx_knn.compdists <= classic_knn.compdists + 1e-9,
+        "approx knn cost more compdists than exact"
+    );
+    eprintln!(
+        "[accel] recall: OK (range {range_recall:.3} @ c={}, knn {knn_recall:.3} @ a={}, \
+         target {RECALL_TARGET})",
+        tuned_c.param, tuned_a.param
+    );
+
+    push(
+        &mut t,
+        Row {
+            mode: "approx-tuned",
+            workload: "range",
+            param: tuned_c.param,
+            avg: approx_range,
+            recall: range_recall,
+        },
+    );
+    push(
+        &mut t,
+        Row {
+            mode: "approx-tuned",
+            workload: "knn",
+            param: tuned_a.param,
+            avg: approx_knn,
+            recall: knn_recall,
+        },
+    );
+    t.print();
+
+    let mut json = format!(
+        "{{\n  \"experiment\": \"accel\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"dataset\": {{\"name\": \"words\", \"n\": {n}, \"queries\": {}, \"radius\": {RADIUS}, \"k\": {K}}},\n  \
+         \"recall_target\": {RECALL_TARGET},\n  \
+         \"learned_identical\": true,\n  \
+         \"rows\": [\n",
+        queries.len()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {}{}",
+            row_json(r),
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_accel.json", &json).expect("write BENCH_accel.json");
+    eprintln!("[accel] wrote BENCH_accel.json");
+}

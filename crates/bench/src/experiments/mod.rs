@@ -2,6 +2,7 @@
 //! `run(scale: Scale)`, printing the reproduced rows/series.
 
 pub mod ablation;
+pub mod accel;
 pub mod approx;
 pub mod cluster;
 pub mod common;

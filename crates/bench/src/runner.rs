@@ -87,6 +87,7 @@ mod tests {
                 btree_pa: 0,
                 raf_pa: 0,
                 fsyncs: 0,
+                recall: None,
                 duration: Duration::from_millis(x as u64),
             },
         );

@@ -82,6 +82,17 @@ fn client_error(e: ClientError) -> CliError {
     }
 }
 
+/// Parses the `--accel` flag: `off` / `learned`.
+pub fn parse_accel(s: &str) -> Result<spb_core::AccelPolicy, String> {
+    match s {
+        "off" => Ok(spb_core::AccelPolicy::Off),
+        "learned" => Ok(spb_core::AccelPolicy::Learned),
+        other => Err(format!(
+            "unknown accel policy {other:?} (expected off|learned)"
+        )),
+    }
+}
+
 /// Parses the `--curve` flag: `hilbert` / `z`.
 pub fn parse_curve(s: &str) -> Result<spb_sfc::CurveKind, String> {
     match s {
@@ -106,6 +117,9 @@ pub enum Command {
         pivots: usize,
         /// `hilbert` or `z`.
         curve: String,
+        /// `off` or `learned` (`--accel`): train and persist a learned
+        /// leaf-positioning model alongside the index.
+        accel: String,
     },
     /// Range query.
     Range {
@@ -135,6 +149,12 @@ pub enum Command {
         k: usize,
         /// Approximation factor (1 = exact).
         alpha: f64,
+        /// Measure and report the achieved recall against the exact
+        /// answer (`--approx`).
+        approx: bool,
+        /// Auto-tune `alpha` to the smallest ladder value meeting this
+        /// recall target (`--recall-target`); implies measurement.
+        recall_target: Option<f64>,
     },
     /// Batch of queries from a file, fanned across worker threads.
     Batch {
@@ -233,6 +253,10 @@ pub enum RemoteCommand {
         query: String,
         /// Number of neighbours.
         k: u32,
+        /// Use the α-approximate wire op (`--approx`).
+        approx: bool,
+        /// Approximation factor for `--approx` (default 1.0).
+        alpha: f64,
         /// Relative deadline in ms (`0` = none).
         deadline_ms: u32,
     },
@@ -308,6 +332,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got {:?}", rest[i]))?;
+        // `--approx` is a bare switch: it takes no value.
+        if key == "approx" {
+            flags.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+            continue;
+        }
         let value = rest
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -331,6 +361,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 .parse()
                 .map_err(|_| "--pivots must be an integer".to_owned())?,
             curve: opt("curve", "hilbert"),
+            accel: opt("accel", "off"),
         }),
         "range" | "count" => {
             let index = PathBuf::from(need("index")?);
@@ -361,6 +392,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             alpha: opt("alpha", "1.0")
                 .parse()
                 .map_err(|_| "--alpha must be a number".to_owned())?,
+            approx: flags.contains_key("approx"),
+            recall_target: flags
+                .get("recall-target")
+                .map(|t| t.parse::<f64>())
+                .transpose()
+                .map_err(|_| "--recall-target must be a number".to_owned())?,
         }),
         "batch" => {
             let radius = flags
@@ -458,6 +495,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     k: opt("k", "10")
                         .parse()
                         .map_err(|_| "--k must be an integer".to_owned())?,
+                    approx: flags.contains_key("approx"),
+                    alpha: opt("alpha", "1.0")
+                        .parse()
+                        .map_err(|_| "--alpha must be a number".to_owned())?,
                     deadline_ms,
                 })),
                 "insert" => Ok(Command::Remote(RemoteCommand::Insert {
@@ -505,10 +546,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 /// The usage banner.
 pub fn usage() -> String {
     "usage: spb-cli <command> [--flag value ...]\n\
-     \x20 build --input FILE --index DIR [--schema words|vectors:l2|vectors:l5] [--pivots N] [--curve hilbert|z]\n\
+     \x20 build --input FILE --index DIR [--schema words|vectors:l2|vectors:l5] [--pivots N] [--curve hilbert|z] [--accel off|learned]\n\
      \x20 range --index DIR --query Q --radius R\n\
      \x20 count --index DIR --query Q --radius R\n\
-     \x20 knn   --index DIR --query Q [--k K] [--alpha A]\n\
+     \x20 knn   --index DIR --query Q [--k K] [--alpha A] [--approx] [--recall-target T]\n\
      \x20 batch --index DIR --queries FILE (--radius R | --k K) [--threads N]\n\
      \x20 stats --index DIR | --addr HOST:PORT\n\
      \x20 verify --index DIR\n\
@@ -517,7 +558,7 @@ pub fn usage() -> String {
      \x20 cluster --input FILE [--shards N] [--replicas R] [--dir DIR]\n\
      \x20 remote ping --addr HOST:PORT\n\
      \x20 remote range --addr HOST:PORT --query Q --radius R [--deadline-ms MS]\n\
-     \x20 remote knn --addr HOST:PORT --query Q [--k K] [--deadline-ms MS]\n\
+     \x20 remote knn --addr HOST:PORT --query Q [--k K] [--approx] [--alpha A] [--deadline-ms MS]\n\
      \x20 remote insert --addr HOST:PORT --object O [--deadline-ms MS]\n\
      \x20 remote delete --addr HOST:PORT --object O [--deadline-ms MS]\n\
      \x20 remote batch --addr HOST:PORT --queries FILE (--radius R | --k K) [--deadline-ms MS]\n\
@@ -666,11 +707,19 @@ fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
             addr,
             query,
             k,
+            approx,
+            alpha,
             deadline_ms,
         } => {
             let (mut client, schema) = connect_with_schema(addr)?;
             let obj = schema.encode_text(query)?;
-            let (nn, stats) = client.knn(&obj, *k, *deadline_ms).map_err(client_error)?;
+            let (nn, stats) = if *approx {
+                client
+                    .knn_approx(&obj, *k, *alpha, *deadline_ms)
+                    .map_err(client_error)?
+            } else {
+                client.knn(&obj, *k, *deadline_ms).map_err(client_error)?
+            };
             for (id, d, bytes) in &nn {
                 let _ = writeln!(out, "{id}\t{d}\t{}", schema.render(bytes)?);
             }
@@ -800,6 +849,21 @@ fn run_remote(cmd: &RemoteCommand, out: &mut String) -> Result<(), CliError> {
                                 h.p50, h.p90, h.max, h.count
                             );
                         }
+                        // Learned-positioning health: how often queries
+                        // ride the model vs fall back to classic
+                        // descent, and the last measured recall.
+                        let hit = snap.counter("accel.model_hit").unwrap_or(0);
+                        let fallback = snap.counter("accel.model_fallback").unwrap_or(0);
+                        if hit + fallback > 0 {
+                            let _ = writeln!(out, "accel model hits: {hit}");
+                            let _ = writeln!(out, "accel model fallbacks: {fallback}");
+                        }
+                        if let Some(v) = snap.counter("accel.model_retrain") {
+                            let _ = writeln!(out, "accel model retrains: {v}");
+                        }
+                        if let Some(v) = snap.gauge("accel.recall_permille") {
+                            let _ = writeln!(out, "accel recall: {:.3}", v as f64 / 1000.0);
+                        }
                     }
                     Ok(())
                 }
@@ -900,11 +964,14 @@ fn run_local(cmd: &Command, out: &mut String) -> Result<(), String> {
             schema_flag,
             pivots,
             curve,
+            accel,
         } => {
             let curve = parse_curve(curve)?;
+            let accel = parse_accel(accel)?;
             let cfg = SpbConfig {
                 num_pivots: *pivots,
                 curve,
+                accel,
                 ..SpbConfig::default()
             };
             let file = std::fs::File::open(input).map_err(|e| format!("open {input:?}: {e}"))?;
@@ -995,11 +1062,13 @@ fn run_local(cmd: &Command, out: &mut String) -> Result<(), String> {
             query,
             k,
             alpha,
+            approx,
+            recall_target,
         } => with_index(index, |idx| match idx {
             Index::Words(tree) => {
-                let (nn, stats) = tree
-                    .knn_approx(&Word::new(query.clone()), *k, *alpha)
-                    .map_err(|e| e.to_string())?;
+                let q = Word::new(query.clone());
+                let (nn, stats) =
+                    run_knn_tuned(out, tree, &q, *k, *alpha, *approx, *recall_target)?;
                 for (id, w, d) in &nn {
                     let _ = writeln!(out, "{id}\t{d}\t{}", w.as_str());
                 }
@@ -1008,7 +1077,8 @@ fn run_local(cmd: &Command, out: &mut String) -> Result<(), String> {
             }
             Index::Vectors(tree, dim) => {
                 let q = parse_vector(query, dim)?;
-                let (nn, stats) = tree.knn_approx(&q, *k, *alpha).map_err(|e| e.to_string())?;
+                let (nn, stats) =
+                    run_knn_tuned(out, tree, &q, *k, *alpha, *approx, *recall_target)?;
                 for (id, _, d) in &nn {
                     let _ = writeln!(out, "{id}\t{d}");
                 }
@@ -1376,6 +1446,49 @@ fn report_query(out: &mut String, results: usize, stats: &spb_core::QueryStats) 
         stats.page_accesses,
         stats.duration.as_secs_f64() * 1e3
     );
+    if let Some(recall) = stats.recall {
+        let _ = writeln!(out, "# recall: {recall:.3}");
+    }
+}
+
+/// A kNN answer: `(id, object, distance)` triples plus query stats.
+type KnnAnswer<O> = (Vec<(u32, O, f64)>, spb_core::QueryStats);
+
+/// Runs a local kNN query with the requested accuracy mode:
+/// `--recall-target` auto-tunes `alpha` on the query itself (walking
+/// the ladder, exact `1.0` last), `--approx` measures recall for the
+/// given `alpha`, and the default runs `alpha` unmeasured (exact when
+/// `alpha = 1`).
+fn run_knn_tuned<O, D>(
+    out: &mut String,
+    tree: &SpbTree<O, D>,
+    q: &O,
+    k: usize,
+    alpha: f64,
+    approx: bool,
+    recall_target: Option<f64>,
+) -> Result<KnnAnswer<O>, String>
+where
+    O: spb_metric::MetricObject,
+    D: spb_metric::Distance<O>,
+{
+    if let Some(target) = recall_target {
+        let tuned = tree
+            .tune_knn_alpha(std::slice::from_ref(q), k, target)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "# tuned alpha: {} (measured recall {:.3}, target {target})",
+            tuned.param, tuned.achieved
+        );
+        tree.knn_approx_measured(q, k, tuned.param)
+            .map_err(|e| e.to_string())
+    } else if approx {
+        tree.knn_approx_measured(q, k, alpha)
+            .map_err(|e| e.to_string())
+    } else {
+        tree.knn_approx(q, k, alpha).map_err(|e| e.to_string())
+    }
 }
 
 fn describe(out: &mut String, len: u64, storage: u64, pivots: usize, delta: f64) {
@@ -1407,6 +1520,7 @@ mod tests {
                 schema_flag: "words".into(),
                 pivots: 7,
                 curve: "z".into(),
+                accel: "off".into(),
             }
         );
     }
@@ -1421,11 +1535,65 @@ mod tests {
                 query: "hello".into(),
                 k: 10,
                 alpha: 1.0,
+                approx: false,
+                recall_target: None,
             }
         );
         assert!(parse_args(&args("range --index ./idx --query hello")).is_err());
         assert!(parse_args(&args("bogus --x y")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_approx_flags() {
+        // `--approx` is a bare switch (no value), composable with other
+        // flags in any position.
+        let cmd = parse_args(&args(
+            "knn --index ./idx --approx --query hello --alpha 2.0",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Knn {
+                index: "./idx".into(),
+                query: "hello".into(),
+                k: 10,
+                alpha: 2.0,
+                approx: true,
+                recall_target: None,
+            }
+        );
+        let cmd = parse_args(&args("knn --index ./idx --query hello --recall-target 0.9")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Knn {
+                index: "./idx".into(),
+                query: "hello".into(),
+                k: 10,
+                alpha: 1.0,
+                approx: false,
+                recall_target: Some(0.9),
+            }
+        );
+        assert!(parse_args(&args(
+            "knn --index ./idx --query hello --recall-target high"
+        ))
+        .is_err());
+        let cmd = parse_args(&args(
+            "remote knn --addr 127.0.0.1:7878 --query hello --approx --alpha 1.5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Remote(RemoteCommand::Knn {
+                addr: "127.0.0.1:7878".into(),
+                query: "hello".into(),
+                k: 10,
+                approx: true,
+                alpha: 1.5,
+                deadline_ms: 0,
+            })
+        );
     }
 
     #[test]
@@ -1468,6 +1636,7 @@ mod tests {
                 schema_flag: "words".into(),
                 pivots: 2,
                 curve: "hilbert".into(),
+                accel: "off".into(),
             },
             &mut out,
         )
@@ -1495,11 +1664,30 @@ mod tests {
                 query: "parrots".into(),
                 k: 2,
                 alpha: 1.0,
+                approx: false,
+                recall_target: None,
             },
             &mut out,
         )
         .unwrap();
         assert!(out.contains("parrot"));
+
+        // `--recall-target` tunes alpha and reports measured recall.
+        let mut out = String::new();
+        run(
+            &Command::Knn {
+                index: index.clone(),
+                query: "parrots".into(),
+                k: 2,
+                alpha: 1.0,
+                approx: false,
+                recall_target: Some(1.0),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("tuned alpha"), "missing tune report: {out}");
+        assert!(out.contains("# recall:"), "missing recall line: {out}");
 
         let mut out = String::new();
         run(
@@ -1510,6 +1698,37 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("objects: 5"));
+
+        // `--accel learned` persists a model next to the index and the
+        // learned index answers identically.
+        let accel_index = dir.join("idx-accel");
+        let data2 = dir.join("words2.txt");
+        std::fs::write(&data2, "carrot\ncarrots\nparrot\nbanana\napple\n").unwrap();
+        let mut out = String::new();
+        run(
+            &Command::Build {
+                input: data2,
+                index: accel_index.clone(),
+                schema_flag: "words".into(),
+                pivots: 2,
+                curve: "hilbert".into(),
+                accel: "learned".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(accel_index.join("spb.model").exists());
+        let mut out = String::new();
+        run(
+            &Command::Range {
+                index: accel_index,
+                query: "carrot".into(),
+                radius: 1.0,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("carrots"));
 
         // A freshly built index verifies clean and has nothing to recover.
         let mut out = String::new();
@@ -1595,6 +1814,7 @@ mod tests {
                 schema_flag: "words".into(),
                 pivots: 2,
                 curve: "hilbert".into(),
+                accel: "off".into(),
             },
             &mut out,
         )
@@ -1669,6 +1889,7 @@ mod tests {
                 schema_flag: "vectors:l2".into(),
                 pivots: 2,
                 curve: "hilbert".into(),
+                accel: "off".into(),
             },
             &mut out,
         )
@@ -1909,6 +2130,7 @@ mod tests {
                 schema_flag: "words".into(),
                 pivots: 2,
                 curve: "hilbert".into(),
+                accel: "off".into(),
             },
             &mut out,
         )

@@ -285,6 +285,46 @@ impl<O: MetricObject, D: Distance<O> + Clone> IndexService for ReplicaService<O,
         self.with_service(|s| s.knn(obj, k))
     }
 
+    fn range_approx(
+        &self,
+        obj: &[u8],
+        radius: f64,
+        contraction: f64,
+    ) -> Result<(Vec<WireHit>, WireStats), ServiceError> {
+        self.with_service(|s| s.range_approx(obj, radius, contraction))
+    }
+
+    fn knn_approx(
+        &self,
+        obj: &[u8],
+        k: usize,
+        alpha: f64,
+    ) -> Result<(Vec<WireNn>, WireStats), ServiceError> {
+        self.with_service(|s| s.knn_approx(obj, k, alpha))
+    }
+
+    fn range_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        radius: f64,
+        contraction: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ServiceError> {
+        self.with_service(|s| s.range_approx_batch(objs, radius, contraction, threads, deadline))
+    }
+
+    fn knn_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        k: usize,
+        alpha: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ServiceError> {
+        self.with_service(|s| s.knn_approx_batch(objs, k, alpha, threads, deadline))
+    }
+
     fn insert(&self, _obj: &[u8]) -> Result<WireStats, ServiceError> {
         Err(ServiceError::Internal(
             "replica is read-only; write to the shard primary".to_owned(),

@@ -385,6 +385,95 @@ impl<O: MetricObject, D: Distance<O>> Router<O, D> {
         Ok((best, stats))
     }
 
+    /// Approximate `RQ(q, r)` across the cluster: every shard contracts
+    /// its pruning radius by `contraction` while checking candidates
+    /// against the true `r`, so the merged answer keeps perfect
+    /// precision and trades only recall. Shard pruning still uses the
+    /// true radius — a contracted shard fan-out would compound the
+    /// recall loss invisibly.
+    pub fn range_approx(
+        &self,
+        q: &O,
+        radius: f64,
+        contraction: f64,
+    ) -> Result<(Vec<WireHit>, WireStats), RouterError> {
+        let qp = self.q_phi(q);
+        let obj = encode(q);
+        let targets: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| shard_mind(&qp, &self.nodes[i].route.mbb) <= radius)
+            .collect();
+        fanout_hist().record(targets.len() as u64);
+        let results = self.scatter(&targets, &move |c: &mut Client| {
+            c.range_approx(&obj, radius, contraction, 0)
+        })?;
+
+        let mut hits = Vec::new();
+        let mut stats = WireStats::default();
+        for (shard_hits, shard_stats) in results {
+            sum_stats(&mut stats, &shard_stats);
+            hits.extend(shard_hits);
+        }
+        hits.sort_unstable_by_key(|&(id, _)| id);
+        Ok((hits, stats))
+    }
+
+    /// α-approximate `kNN(q, k)` across the cluster: one wave over
+    /// every shard that could contribute at `α = 1` (shard pruning must
+    /// not compound the per-shard approximation), each shard answering
+    /// its α-approximate top-`k`; the merged list is the best `k` of
+    /// those candidates, so every returned distance is within `α` of
+    /// the true k-th NN distance.
+    pub fn knn_approx(
+        &self,
+        q: &O,
+        k: usize,
+        alpha: f64,
+    ) -> Result<(Vec<WireNn>, WireStats), RouterError> {
+        let mut stats = WireStats::default();
+        if k == 0 || self.nodes.is_empty() {
+            fanout_hist().record(0);
+            return Ok((Vec::new(), stats));
+        }
+        let qp = self.q_phi(q);
+        let obj = encode(q);
+        let bounds: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| shard_mind(&qp, &n.route.mbb))
+            .collect();
+        let min_bound = bounds.iter().copied().fold(f64::INFINITY, f64::min);
+
+        let mut visited = vec![false; self.nodes.len()];
+        let mut best: Vec<WireNn> = Vec::new();
+        let mut wave: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| bounds[i] <= min_bound)
+            .collect();
+        let mut fanout = 0u64;
+        while !wave.is_empty() {
+            fanout += wave.len() as u64;
+            let results = self.scatter(&wave, &|c: &mut Client| {
+                c.knn_approx(&obj, k as u32, alpha, 0)
+            })?;
+            let mut lists = vec![std::mem::take(&mut best)];
+            for (&shard, (nns, shard_stats)) in wave.iter().zip(results) {
+                visited[shard] = true;
+                sum_stats(&mut stats, &shard_stats);
+                lists.push(nns);
+            }
+            best = merge_topk(k, lists);
+            let r_k = if best.len() >= k {
+                best.last().map(|&(_, d, _)| d).unwrap_or(f64::INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            wave = (0..self.nodes.len())
+                .filter(|&i| !visited[i] && bounds[i] <= r_k)
+                .collect();
+        }
+        fanout_hist().record(fanout);
+        Ok((best, stats))
+    }
+
     /// A batch of range queries sharing one radius. Each query routes
     /// independently (per-query pruning differs), so results and
     /// per-query stats match [`Router::range`] exactly.

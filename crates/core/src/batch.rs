@@ -4,7 +4,7 @@
 //! traversals are read-only under the structure latch — so a workload of
 //! independent queries should use every core. [`SpbTree::range_batch`]
 //! and [`SpbTree::knn_batch`] take the read latch **once** on the calling
-//! thread and run the per-query bodies (`range_locked` / `knn_locked`) on
+//! thread and run the per-query bodies (`range_exec` / `knn_locked`) on
 //! a [`WorkerPool`]; updates queue behind the whole batch, exactly as
 //! they would behind any single reader.
 //!
@@ -16,6 +16,7 @@
 
 use std::io;
 
+use spb_accel::QueryMode;
 use spb_metric::{Distance, MetricObject};
 
 use crate::exec::WorkerPool;
@@ -38,11 +39,30 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// [`SpbTree::range`] per query (under the paper's flush-before-query
     /// protocol), for any thread count.
     pub fn range_batch(&self, queries: &[(O, f64)], threads: usize) -> io::Result<RangeBatch<O>> {
+        self.range_batch_mode(queries, QueryMode::Exact, threads)
+    }
+
+    /// [`SpbTree::range_batch`] with explicit result semantics. The mode
+    /// applies to the whole batch: every query in it shares one
+    /// [`QueryMode`], so exact and approximate requests can never be
+    /// mixed into one traversal — a caller with both runs two batches.
+    pub fn range_batch_mode(
+        &self,
+        queries: &[(O, f64)],
+        mode: QueryMode,
+        threads: usize,
+    ) -> io::Result<RangeBatch<O>> {
+        let contraction = mode.contraction();
+        assert!(
+            contraction > 0.0 && contraction <= 1.0,
+            "contraction must be in (0, 1]"
+        );
         let _guard = self.latch_shared();
         let pool = WorkerPool::new(threads);
         pool.map(queries, |_, (q, r)| {
             let mut col = self.collector();
-            let hits = self.range_locked(q, *r, &mut col)?;
+            let hits =
+                self.range_exec(q, *r, contraction, spb_accel::Positioning::Auto, &mut col)?;
             Ok((hits, col.finish()))
         })
         .into_iter()
@@ -64,11 +84,33 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         traversal: Traversal,
         threads: usize,
     ) -> io::Result<KnnBatch<O>> {
+        self.knn_batch_mode(queries, k, traversal, QueryMode::Exact, threads)
+    }
+
+    /// [`SpbTree::knn_batch_with`] with explicit result semantics; an
+    /// approximate mode runs every query with `α = 1/contraction`. One
+    /// mode per batch — see [`SpbTree::range_batch_mode`].
+    pub fn knn_batch_mode(
+        &self,
+        queries: &[O],
+        k: usize,
+        traversal: Traversal,
+        mode: QueryMode,
+        threads: usize,
+    ) -> io::Result<KnnBatch<O>> {
+        let alpha = mode.alpha();
         let _guard = self.latch_shared();
         let pool = WorkerPool::new(threads);
         pool.map(queries, |_, q| {
             let mut col = self.collector();
-            let nn = self.knn_locked(q, k, traversal, 1.0, &mut col)?;
+            let nn = self.knn_locked(
+                q,
+                k,
+                traversal,
+                alpha,
+                spb_accel::Positioning::Auto,
+                &mut col,
+            )?;
             Ok((nn, col.finish()))
         })
         .into_iter()

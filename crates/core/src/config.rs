@@ -51,6 +51,12 @@ pub struct SpbConfig {
     /// (one fsync per update) and replayed on reopen. On by default; the
     /// update benchmarks toggle it off to measure the WAL's cost.
     pub durability: bool,
+    /// Learned-positioning policy (`spb-accel`): `Learned` trains a
+    /// piecewise-linear SFC-key → leaf-position model at build and every
+    /// checkpoint, persisted next to `spb.meta`, which queries use in
+    /// place of inner-node descent. `Off` (the paper-faithful default)
+    /// trains nothing.
+    pub accel: spb_accel::AccelPolicy,
 }
 
 impl Default for SpbConfig {
@@ -68,6 +74,7 @@ impl Default for SpbConfig {
             use_lemma2: true,
             use_cell_merge: true,
             durability: true,
+            accel: spb_accel::AccelPolicy::Off,
         }
     }
 }
@@ -107,6 +114,11 @@ mod tests {
         assert_eq!(c.curve, CurveKind::Hilbert);
         assert_eq!(c.pivot_method, PivotMethod::Hfi);
         assert!(c.delta.is_none());
+        assert_eq!(
+            c.accel,
+            spb_accel::AccelPolicy::Off,
+            "learned positioning must be opt-in"
+        );
     }
 
     #[test]

@@ -260,6 +260,7 @@ fn combine_join_stats(col_q: StatsCollector, col_o: StatsCollector, start: Insta
         raf_pa: sq.raf_pa + so.raf_pa,
         fsyncs: 0,
         duration: start.elapsed(),
+        recall: None,
     }
 }
 

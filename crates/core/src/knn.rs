@@ -111,7 +111,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
 
     /// `kNN(q, k)` with an explicit traversal strategy.
     pub fn knn_with(&self, q: &O, k: usize, traversal: Traversal) -> KnnResult<O> {
-        self.knn_full(q, k, traversal, 1.0)
+        self.knn_full(q, k, traversal, 1.0, spb_accel::Positioning::Auto)
     }
 
     /// α-approximate `kNN(q, k)` (`alpha ≥ 1`): the traversal terminates
@@ -122,13 +122,108 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// approximate metric search (cf. the M-Index's approximate mode).
     pub fn knn_approx(&self, q: &O, k: usize, alpha: f64) -> KnnResult<O> {
         assert!(alpha >= 1.0, "alpha must be >= 1");
-        self.knn_full(q, k, Traversal::Incremental, alpha)
+        self.knn_full(
+            q,
+            k,
+            Traversal::Incremental,
+            alpha,
+            spb_accel::Positioning::Auto,
+        )
     }
 
-    fn knn_full(&self, q: &O, k: usize, traversal: Traversal, alpha: f64) -> KnnResult<O> {
+    /// [`knn`](SpbTree::knn) with an explicit positioning choice
+    /// (classic descent vs learned leaf positioning). Byte-identical
+    /// results either way; only the traversal cost differs.
+    pub fn knn_positioned(&self, q: &O, k: usize, pos: spb_accel::Positioning) -> KnnResult<O> {
+        self.knn_full(q, k, Traversal::Incremental, 1.0, pos)
+    }
+
+    /// [`knn_approx`](SpbTree::knn_approx) plus a recall measurement
+    /// against the exact answer (run with a separate collector, so the
+    /// returned stats reflect the approximate query's cost alone). Sets
+    /// `QueryStats::recall` and the `accel.recall_permille` gauge.
+    pub fn knn_approx_measured(&self, q: &O, k: usize, alpha: f64) -> KnnResult<O> {
+        assert!(alpha >= 1.0, "alpha must be >= 1");
         let _guard = self.latch_shared();
         let mut col = self.collector();
-        let out = self.knn_locked(q, k, traversal, alpha, &mut col)?;
+        let approx = self.knn_locked(
+            q,
+            k,
+            Traversal::Incremental,
+            alpha,
+            spb_accel::Positioning::Auto,
+            &mut col,
+        )?;
+        let mut stats = col.finish();
+        let mut exact_col = self.collector();
+        let exact = self.knn_locked(
+            q,
+            k,
+            Traversal::Incremental,
+            1.0,
+            spb_accel::Positioning::Auto,
+            &mut exact_col,
+        )?;
+        let exact_ids: Vec<u32> = exact.iter().map(|&(id, _, _)| id).collect();
+        let approx_ids: Vec<u32> = approx.iter().map(|&(id, _, _)| id).collect();
+        let rec = spb_accel::recall(&exact_ids, &approx_ids);
+        spb_accel::metrics::record_recall(rec);
+        stats.recall = Some(rec);
+        Ok((approx, stats))
+    }
+
+    /// Auto-tunes `alpha` to meet `target` recall for `k`-NN queries
+    /// over a sample, walking the ladder from most to least aggressive;
+    /// the ladder ends at the exact `alpha = 1`, so any target ≤ 1 is
+    /// eventually met.
+    pub fn tune_knn_alpha(
+        &self,
+        sample: &[O],
+        k: usize,
+        target: f64,
+    ) -> io::Result<spb_accel::Tuned> {
+        let mut err = None;
+        let tuned = spb_accel::tune(&spb_accel::ALPHA_LADDER, target, |alpha| {
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for q in sample {
+                match self.knn_approx_measured(q, k, alpha) {
+                    Ok((_, stats)) => {
+                        sum += stats.recall.unwrap_or(1.0);
+                        n += 1;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        return 0.0;
+                    }
+                }
+            }
+            if n == 0 {
+                1.0
+            } else {
+                sum / f64::from(n)
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => {
+                spb_accel::metrics::record_recall(tuned.achieved);
+                Ok(tuned)
+            }
+        }
+    }
+
+    fn knn_full(
+        &self,
+        q: &O,
+        k: usize,
+        traversal: Traversal,
+        alpha: f64,
+        pos: spb_accel::Positioning,
+    ) -> KnnResult<O> {
+        let _guard = self.latch_shared();
+        let mut col = self.collector();
+        let out = self.knn_locked(q, k, traversal, alpha, pos, &mut col)?;
         Ok((out, col.finish()))
     }
 
@@ -140,12 +235,43 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         k: usize,
         traversal: Traversal,
         alpha: f64,
+        pos: spb_accel::Positioning,
         col: &mut StatsCollector,
     ) -> io::Result<Vec<(u32, O, f64)>> {
         let mut best: BinaryHeap<Best<O>> = BinaryHeap::new();
         if k > 0 && !self.is_empty() {
             let q_phi = self.phi_traced(col, q);
-            self.knn_traverse(q, &q_phi, k, traversal, alpha, col, &mut best)?;
+            let ops = *self.btree.ops();
+            // Seed the frontier: classic starts at the root; learned
+            // positioning seeds every leaf from the in-memory directory
+            // (each at its true MIND), skipping all inner-node reads.
+            // The best-first loop and the canonical (distance, id)
+            // result set are unchanged, so both seeds produce
+            // byte-identical answers.
+            let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+            match self.accel_model_for_query(pos) {
+                Some(model) => {
+                    for e in model.leaves() {
+                        let mbb = spb_bptree::Mbb {
+                            lo: e.mbb_lo,
+                            hi: e.mbb_hi,
+                        };
+                        heap.push(HeapItem {
+                            mind: self.table.mind_box(&q_phi, &ops.to_box(mbb)),
+                            kind: ItemKind::Node(spb_storage::PageId(e.page)),
+                        });
+                    }
+                }
+                None => {
+                    if let Some(root) = self.btree.root_page() {
+                        heap.push(HeapItem {
+                            mind: 0.0,
+                            kind: ItemKind::Node(root),
+                        });
+                    }
+                }
+            }
+            self.knn_traverse(q, &q_phi, k, traversal, alpha, heap, col, &mut best)?;
         }
         let mut out: Vec<(u32, O, f64)> = best
             .into_sorted_vec()
@@ -166,19 +292,11 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
         k: usize,
         traversal: Traversal,
         alpha: f64,
+        mut heap: BinaryHeap<HeapItem>,
         col: &mut StatsCollector,
         best: &mut BinaryHeap<Best<O>>,
     ) -> io::Result<()> {
-        let Some(root) = self.btree.root_page() else {
-            return Ok(());
-        };
         let ops = *self.btree.ops();
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-        heap.push(HeapItem {
-            mind: 0.0,
-            kind: ItemKind::Node(root),
-        });
-
         let cur_nd = |best: &BinaryHeap<Best<O>>| {
             if best.len() < k {
                 f64::INFINITY

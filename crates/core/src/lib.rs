@@ -27,6 +27,7 @@
 //! | Cost models | eqs. 1–8 | [`CostModel`] |
 //! | Count-only range query | extension | [`SpbTree::range_count`] |
 //! | α-approximate kNN | extension | [`SpbTree::knn_approx`] |
+//! | Learned positioning + recall-targeted search | extension | [`AccelPolicy`], [`SpbTree::range_approx`], [`SpbTree::tune_knn_alpha`] |
 //! | Persistence | — | [`SpbTree::open`] |
 //! | Crash recovery | extension | [`recover_dir`] (run by `open`) |
 //! | Integrity check | extension | [`verify_dir`] |
@@ -88,4 +89,5 @@ pub use knn::{KnnResult, Traversal};
 pub use mapping::{PivotTable, SfcMbbOps};
 pub use partition::{plan_shards, shard_mind, ShardPlan, ShardSpec};
 pub use recovery::{recover_dir, verify_dir, RecoveryReport, VerifyProblem, VerifyReport};
+pub use spb_accel::{AccelPolicy, LeafModel, Positioning, QueryMode, Tuned};
 pub use tree::{BuildStats, QueryStats, SpbTree};

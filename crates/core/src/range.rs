@@ -45,29 +45,150 @@ impl RangeScratch {
     }
 }
 
+/// Cell budget for the learned enumeration path: when `RR(q, r)` holds at
+/// most this many cells, every candidate SFC value is located directly
+/// through the PLA model instead of scanning the leaf directory.
+const LEARNED_ENUM_CELLS: u128 = 1024;
+
 impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// `RQ(q, O, r)`: all indexed objects within distance `r` of `q`
     /// (Definition 2), with the query's cost metrics.
     pub fn range(&self, q: &O, r: f64) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
-        let _guard = self.latch_shared();
-        let mut col = self.collector();
-        let result = self.range_locked(q, r, &mut col)?;
-        Ok((result, col.finish()))
+        self.range_positioned(q, r, spb_accel::Positioning::Auto)
     }
 
-    /// The range query body. The caller holds the read latch (directly or
-    /// via a batch) and owns the per-query collector.
-    pub(crate) fn range_locked(
+    /// [`range`](SpbTree::range) with an explicit positioning choice
+    /// (classic descent vs learned leaf positioning). Both return
+    /// byte-identical results; only the traversal cost differs.
+    pub fn range_positioned(
         &self,
         q: &O,
         r: f64,
+        pos: spb_accel::Positioning,
+    ) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
+        let _guard = self.latch_shared();
+        let mut col = self.collector();
+        let result = self.range_exec(q, r, 1.0, pos, &mut col)?;
+        Ok((result, col.finish()))
+    }
+
+    /// Approximate range query: the pruning radius is contracted to
+    /// `r · contraction` (`contraction ∈ (0, 1]`), so objects whose
+    /// mapped vectors fall in the shaved-off shell are never inspected.
+    /// Perfect precision (every returned object truly is within `r`),
+    /// recall ≤ 1. `contraction = 1` degenerates to the exact query.
+    pub fn range_approx(
+        &self,
+        q: &O,
+        r: f64,
+        contraction: f64,
+    ) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
+        assert!(
+            contraction > 0.0 && contraction <= 1.0,
+            "contraction must be in (0, 1]"
+        );
+        let _guard = self.latch_shared();
+        let mut col = self.collector();
+        let result = self.range_exec(q, r, contraction, spb_accel::Positioning::Auto, &mut col)?;
+        Ok((result, col.finish()))
+    }
+
+    /// [`range_approx`](SpbTree::range_approx) plus a recall measurement
+    /// against the exact answer (computed with a separate collector, so
+    /// the returned stats reflect the approximate query's cost alone).
+    /// Sets `QueryStats::recall` and the `accel.recall_permille` gauge.
+    pub fn range_approx_measured(
+        &self,
+        q: &O,
+        r: f64,
+        contraction: f64,
+    ) -> io::Result<(Vec<(u32, O)>, QueryStats)> {
+        assert!(
+            contraction > 0.0 && contraction <= 1.0,
+            "contraction must be in (0, 1]"
+        );
+        let _guard = self.latch_shared();
+        let mut col = self.collector();
+        let approx = self.range_exec(q, r, contraction, spb_accel::Positioning::Auto, &mut col)?;
+        let mut stats = col.finish();
+        let mut exact_col = self.collector();
+        let exact = self.range_exec(q, r, 1.0, spb_accel::Positioning::Auto, &mut exact_col)?;
+        let exact_ids: Vec<u32> = exact.iter().map(|&(id, _)| id).collect();
+        let approx_ids: Vec<u32> = approx.iter().map(|&(id, _)| id).collect();
+        let rec = spb_accel::recall(&exact_ids, &approx_ids);
+        spb_accel::metrics::record_recall(rec);
+        stats.recall = Some(rec);
+        Ok((approx, stats))
+    }
+
+    /// Auto-tunes the contraction factor to meet `target` recall over a
+    /// sample of `(query, radius)` pairs, walking the ladder from most
+    /// to least aggressive (the Chávez–Navarro protocol: measure against
+    /// exact ground truth, keep the cheapest setting that still hits the
+    /// target — the ladder ends at the exact `1.0`).
+    pub fn tune_range_contraction(
+        &self,
+        sample: &[(O, f64)],
+        target: f64,
+    ) -> io::Result<spb_accel::Tuned> {
+        let mut err = None;
+        let tuned = spb_accel::tune(&spb_accel::CONTRACTION_LADDER, target, |c| {
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for (q, r) in sample {
+                match self.range_approx_measured(q, *r, c) {
+                    Ok((_, stats)) => {
+                        sum += stats.recall.unwrap_or(1.0);
+                        n += 1;
+                    }
+                    Err(e) => {
+                        err = Some(e);
+                        return 0.0;
+                    }
+                }
+            }
+            if n == 0 {
+                1.0
+            } else {
+                sum / f64::from(n)
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => {
+                spb_accel::metrics::record_recall(tuned.achieved);
+                Ok(tuned)
+            }
+        }
+    }
+
+    /// Shared body of the exact/approximate range variants: the pruning
+    /// region is built from the contracted radius, while Lemma 2 and the
+    /// final distance check keep the true radius `r` (precision is never
+    /// sacrificed, only recall). The caller holds the read latch.
+    pub(crate) fn range_exec(
+        &self,
+        q: &O,
+        r: f64,
+        contraction: f64,
+        pos: spb_accel::Positioning,
         col: &mut StatsCollector,
     ) -> io::Result<Vec<(u32, O)>> {
         let mut result = Vec::new();
         if !self.is_empty() && r >= 0.0 {
             let q_phi = self.phi_traced(col, q);
-            if let Some(rr) = self.table.rr_cells(&q_phi, r) {
-                self.range_traverse(q, &q_phi, r, &rr, col, &mut result)?;
+            let prune_r = if contraction < 1.0 {
+                r * contraction
+            } else {
+                r
+            };
+            if let Some(rr) = self.table.rr_cells(&q_phi, prune_r) {
+                match self.accel_model_for_query(pos) {
+                    Some(model) => {
+                        self.range_learned(q, &q_phi, r, &rr, &model, col, &mut result)?;
+                    }
+                    None => self.range_traverse(q, &q_phi, r, &rr, col, &mut result)?,
+                }
             }
         }
         Ok(result)
@@ -105,71 +226,204 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
                     }
                 }
                 Node::Leaf(leaf) => {
-                    if rr.contains_box(&mbb) {
-                        // MBB(N) ⊆ RR: Lemma 1 holds for every entry.
-                        for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
-                            self.verify_rq(
-                                q,
-                                q_phi,
-                                r,
-                                rr,
-                                key,
-                                off,
-                                false,
-                                col,
-                                &mut scratch.cell_buf,
-                                result,
-                            )?;
-                        }
+                    self.range_leaf(q, q_phi, r, rr, &leaf, &mbb, col, &mut scratch, result)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's three-way leaf split (Algorithm 1 lines 11–23),
+    /// shared by classic descent and the learned directory scan.
+    #[allow(clippy::too_many_arguments)]
+    fn range_leaf(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        r: f64,
+        rr: &GridBox,
+        leaf: &spb_bptree::LeafNode,
+        mbb: &GridBox,
+        col: &mut StatsCollector,
+        scratch: &mut RangeScratch,
+        result: &mut Vec<(u32, O)>,
+    ) -> io::Result<()> {
+        if rr.contains_box(mbb) {
+            // MBB(N) ⊆ RR: Lemma 1 holds for every entry.
+            for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                self.verify_rq(
+                    q,
+                    q_phi,
+                    r,
+                    rr,
+                    key,
+                    off,
+                    false,
+                    col,
+                    &mut scratch.cell_buf,
+                    result,
+                )?;
+            }
+        } else {
+            let inter = mbb.intersection(rr).expect("pushed nodes intersect RR");
+            if self.use_cell_merge && inter.cell_count() < leaf.keys.len() as u128 {
+                // Enumerate the intersected region's SFC values
+                // and merge with the (sorted) leaf entries.
+                inter.sfc_values_sorted_into(&self.curve, &mut scratch.svals);
+                let svals = &scratch.svals;
+                let mut si = 0usize;
+                let mut ei = 0usize;
+                while si < svals.len() && ei < leaf.keys.len() {
+                    if leaf.keys[ei] == svals[si] {
+                        self.verify_rq(
+                            q,
+                            q_phi,
+                            r,
+                            rr,
+                            leaf.keys[ei],
+                            leaf.values[ei],
+                            false,
+                            col,
+                            &mut scratch.cell_buf,
+                            result,
+                        )?;
+                        ei += 1; // same SFC value may repeat in the leaf
+                    } else if leaf.keys[ei] > svals[si] {
+                        si += 1;
                     } else {
-                        let inter = mbb.intersection(rr).expect("pushed nodes intersect RR");
-                        if self.use_cell_merge && inter.cell_count() < leaf.keys.len() as u128 {
-                            // Enumerate the intersected region's SFC values
-                            // and merge with the (sorted) leaf entries.
-                            inter.sfc_values_sorted_into(&self.curve, &mut scratch.svals);
-                            let svals = &scratch.svals;
-                            let mut si = 0usize;
-                            let mut ei = 0usize;
-                            while si < svals.len() && ei < leaf.keys.len() {
-                                if leaf.keys[ei] == svals[si] {
-                                    self.verify_rq(
-                                        q,
-                                        q_phi,
-                                        r,
-                                        rr,
-                                        leaf.keys[ei],
-                                        leaf.values[ei],
-                                        false,
-                                        col,
-                                        &mut scratch.cell_buf,
-                                        result,
-                                    )?;
-                                    ei += 1; // same SFC value may repeat in the leaf
-                                } else if leaf.keys[ei] > svals[si] {
-                                    si += 1;
-                                } else {
-                                    ei += 1;
-                                }
-                            }
-                        } else {
-                            for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
-                                self.verify_rq(
-                                    q,
-                                    q_phi,
-                                    r,
-                                    rr,
-                                    key,
-                                    off,
-                                    true,
-                                    col,
-                                    &mut scratch.cell_buf,
-                                    result,
-                                )?;
-                            }
+                        ei += 1;
+                    }
+                }
+            } else {
+                for (&key, &off) in leaf.keys.iter().zip(&leaf.values) {
+                    self.verify_rq(
+                        q,
+                        q_phi,
+                        r,
+                        rr,
+                        key,
+                        off,
+                        true,
+                        col,
+                        &mut scratch.cell_buf,
+                        result,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Learned-positioning range traversal: the persisted leaf directory
+    /// replaces every inner-node read. Two regimes:
+    ///
+    /// - **Enumeration** (small `RR`): enumerate `RR`'s SFC values once
+    ///   and locate each through the PLA model — only leaves whose key
+    ///   range holds a candidate value are read at all (a strictly
+    ///   stronger prune than MBB intersection).
+    /// - **Directory scan** (large `RR`): walk the in-memory directory,
+    ///   reading exactly the leaves whose MBB intersects `RR` — the
+    ///   same leaves classic descent reads, minus the internal pages.
+    ///
+    /// Leaves are visited in descending key order and entries in
+    /// ascending order, matching classic right-to-left DFS, so results
+    /// are byte-identical to [`range_traverse`](Self::range_traverse).
+    /// Any window miss or directory/page mismatch restarts classically.
+    #[allow(clippy::too_many_arguments)]
+    fn range_learned(
+        &self,
+        q: &O,
+        q_phi: &[f64],
+        r: f64,
+        rr: &GridBox,
+        model: &spb_accel::LeafModel,
+        col: &mut StatsCollector,
+        result: &mut Vec<(u32, O)>,
+    ) -> io::Result<()> {
+        let ops = *self.btree.ops();
+        let leaves = model.leaves();
+        let mut scratch = RangeScratch::new(self.table.num_pivots());
+        if self.use_cell_merge && !leaves.is_empty() && rr.cell_count() <= LEARNED_ENUM_CELLS {
+            let mut svals: Vec<SfcValue> = Vec::new();
+            rr.sfc_values_sorted_into(&self.curve, &mut svals);
+            let mut pairs: Vec<(usize, SfcValue)> = Vec::new();
+            for &s in &svals {
+                match model.locate(s) {
+                    spb_accel::Located::Run(first, last) => {
+                        for leaf in first..=last {
+                            pairs.push((leaf, s));
                         }
+                    }
+                    spb_accel::Located::Absent => {}
+                    spb_accel::Located::Miss => {
+                        spb_accel::metrics::model_fallback().incr();
+                        result.clear();
+                        return self.range_traverse(q, q_phi, r, rr, col, result);
                     }
                 }
             }
+            // Stable sort: descending leaf order (classic emission
+            // order), preserving each leaf's ascending SFC values.
+            pairs.sort_by_key(|&(leaf, _)| std::cmp::Reverse(leaf));
+            let mut i = 0usize;
+            while i < pairs.len() {
+                let leaf_idx = pairs[i].0;
+                let mut j = i;
+                while j < pairs.len() && pairs[j].0 == leaf_idx {
+                    j += 1;
+                }
+                let group = &pairs[i..j];
+                i = j;
+                let Some(entry) = leaves.get(leaf_idx) else {
+                    continue;
+                };
+                let node = self.read_node_traced(spb_storage::PageId(entry.page), col)?;
+                let Node::Leaf(leaf) = node else {
+                    spb_accel::metrics::model_fallback().incr();
+                    result.clear();
+                    return self.range_traverse(q, q_phi, r, rr, col, result);
+                };
+                let mut si = 0usize;
+                let mut ei = 0usize;
+                while si < group.len() && ei < leaf.keys.len() {
+                    if leaf.keys[ei] == group[si].1 {
+                        self.verify_rq(
+                            q,
+                            q_phi,
+                            r,
+                            rr,
+                            leaf.keys[ei],
+                            leaf.values[ei],
+                            false,
+                            col,
+                            &mut scratch.cell_buf,
+                            result,
+                        )?;
+                        ei += 1;
+                    } else if leaf.keys[ei] > group[si].1 {
+                        si += 1;
+                    } else {
+                        ei += 1;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for entry in leaves.iter().rev() {
+            let mbb = ops.to_box(spb_bptree::Mbb {
+                lo: entry.mbb_lo,
+                hi: entry.mbb_hi,
+            });
+            if !mbb.intersects(rr) {
+                continue;
+            }
+            let node = self.read_node_traced(spb_storage::PageId(entry.page), col)?;
+            let Node::Leaf(leaf) = node else {
+                spb_accel::metrics::model_fallback().incr();
+                result.clear();
+                return self.range_traverse(q, q_phi, r, rr, col, result);
+            };
+            self.range_leaf(q, q_phi, r, rr, &leaf, &mbb, col, &mut scratch, result)?;
         }
         Ok(())
     }

@@ -135,6 +135,7 @@ impl StatsCollector {
             raf_pa,
             fsyncs: 0,
             duration: self.start.elapsed(),
+            recall: None,
         }
     }
 }

@@ -78,10 +78,19 @@ pub struct QueryStats {
     pub fsyncs: u64,
     /// Wall-clock time.
     pub duration: Duration,
+    /// Achieved recall against exact ground truth, only set by the
+    /// measured approximate APIs (`range_approx_measured`,
+    /// `knn_approx_measured`, auto-tuning). `None` everywhere else —
+    /// exact queries have recall 1 by definition and unmeasured
+    /// approximate runs do not guess.
+    pub recall: Option<f64>,
 }
 
 impl QueryStats {
-    /// Element-wise sum (for averaging workloads).
+    /// Element-wise sum (for averaging workloads). `recall` is not a
+    /// cost and does not sum; the later measurement wins so a workload
+    /// loop ends up with its final query's recall (benchmarks that
+    /// average recall do so themselves).
     pub fn add(&mut self, other: &QueryStats) {
         self.compdists += other.compdists;
         self.page_accesses += other.page_accesses;
@@ -89,6 +98,9 @@ impl QueryStats {
         self.raf_pa += other.raf_pa;
         self.fsyncs += other.fsyncs;
         self.duration += other.duration;
+        if other.recall.is_some() {
+            self.recall = other.recall;
+        }
     }
 }
 
@@ -110,6 +122,14 @@ pub struct SpbTree<O: MetricObject, D: Distance<O>> {
     dir: std::path::PathBuf,
     pub(crate) use_lemma2: bool,
     pub(crate) use_cell_merge: bool,
+    /// Learned leaf-positioning model (`spb-accel`), shared so queries
+    /// clone the `Arc` out and never hold the slot across I/O. The
+    /// plain mutex is a leaf lock: taken only momentarily, with no
+    /// other lock acquired while held.
+    accel: parking_lot::Mutex<Option<std::sync::Arc<spb_accel::LeafModel>>>,
+    /// Whether learned positioning is wanted (`SpbConfig::accel` at
+    /// build, model-file presence at open, or `set_accel_policy`).
+    accel_on: std::sync::atomic::AtomicBool,
     /// Structure latch: queries take it shared, updates exclusively, so a
     /// reader never observes a half-applied B⁺-tree split (node pages are
     /// written one at a time). Queries are fully concurrent with each
@@ -305,8 +325,17 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             dir: dir.to_path_buf(),
             use_lemma2: config.use_lemma2,
             use_cell_merge: config.use_cell_merge,
+            accel: parking_lot::Mutex::new(None),
+            accel_on: std::sync::atomic::AtomicBool::new(
+                config.accel == spb_accel::AccelPolicy::Learned,
+            ),
             latch: RwLock::new(()),
         };
+        if config.accel == spb_accel::AccelPolicy::Learned {
+            // Model file first, then `spb.meta`: a crash between the two
+            // leaves a model whose epoch recovery can still validate.
+            tree.train_and_save_accel()?;
+        }
         tree.write_meta()?;
         Ok(tree)
     }
@@ -376,6 +405,18 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             SfcMbbOps::new(curve),
         )?;
         let raf = Raf::open_sharded(&dir.join("objects.raf"), cache_pages, cache_shards)?;
+
+        // A persisted model signals the build's accel policy. Loading
+        // tolerates torn or corrupt files (`None`): queries then fall
+        // back to classic descent and the model is rebuilt lazily at
+        // the next checkpoint / explicit `rebuild_accel`.
+        let accel_path = dir.join(spb_accel::MODEL_FILE);
+        let accel_on = accel_path.exists();
+        let accel_model = if accel_on {
+            spb_accel::LeafModel::load(&accel_path)?.map(std::sync::Arc::new)
+        } else {
+            None
+        };
 
         // δ-accurate φ proxies from the stored keys.
         let half = if table.is_discrete() {
@@ -458,6 +499,8 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             dir: dir.to_path_buf(),
             use_lemma2: true,
             use_cell_merge: true,
+            accel: parking_lot::Mutex::new(accel_model),
+            accel_on: std::sync::atomic::AtomicBool::new(accel_on),
             latch: RwLock::new(()),
         })
     }
@@ -613,6 +656,15 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     /// [`checkpoint`](SpbTree::checkpoint) body, for callers that already
     /// hold the write latch (the latch is not reentrant).
     fn checkpoint_locked(&self) -> io::Result<()> {
+        // Retrain a stale model first: if we crash after the model file
+        // lands but before the WAL truncates, replay restores exactly
+        // the tree state the model was trained at, so its epoch stamp
+        // still validates. (A crash *during* the model write leaves the
+        // old file — the write is atomic — whose stale epoch sends
+        // queries back to classic descent.)
+        if self.accel_on.load(Ordering::SeqCst) && !self.accel_model_fresh() {
+            self.train_and_save_accel()?;
+        }
         let Some(wal) = &self.wal else {
             return Ok(());
         };
@@ -788,6 +840,123 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
     }
 
     // ------------------------------------------------------------------
+    // Learned positioning (spb-accel) lifecycle. The model is a flat
+    // directory of the leaf level plus a PLA key→ordinal model, stamped
+    // with the (len, next_id) epoch it was trained at; any mutation
+    // changes the epoch and silently invalidates it (classic fallback)
+    // until the next checkpoint retrains.
+    // ------------------------------------------------------------------
+
+    /// Walks the leaf chain and trains a fresh positioning model.
+    fn train_accel(&self) -> io::Result<spb_accel::LeafModel> {
+        let mut leaves = Vec::new();
+        let mut cur = self.btree.first_leaf();
+        while let Some(id) = cur {
+            let node = self.btree.read_node(id)?;
+            let mbb = self.btree.node_mbb(&node);
+            let spb_bptree::Node::Leaf(leaf) = node else {
+                break; // chain invariant broken; model over what we saw
+            };
+            cur = leaf.next;
+            let (Some(&min_key), Some(&max_key)) = (leaf.keys.first(), leaf.keys.last()) else {
+                continue; // fully emptied leaf holds no keys to cover
+            };
+            let Some(mbb) = mbb else { continue };
+            leaves.push(spb_accel::LeafEntry {
+                min_key,
+                max_key,
+                page: id.0,
+                mbb_lo: mbb.lo,
+                mbb_hi: mbb.hi,
+            });
+        }
+        Ok(spb_accel::LeafModel::train(
+            leaves,
+            self.len(),
+            self.next_id.load(Ordering::SeqCst),
+        ))
+    }
+
+    /// Trains, persists (atomic write, so fault injection covers it like
+    /// any other metadata file), and installs the model.
+    fn train_and_save_accel(&self) -> io::Result<()> {
+        let model = self.train_accel()?;
+        model.save(&self.dir.join(spb_accel::MODEL_FILE))?;
+        spb_accel::metrics::model_retrain().incr();
+        *self.accel.lock() = Some(std::sync::Arc::new(model));
+        Ok(())
+    }
+
+    /// True when the installed model matches the current tree epoch.
+    pub fn accel_model_fresh(&self) -> bool {
+        self.accel
+            .lock()
+            .as_ref()
+            .is_some_and(|m| m.fresh(self.len(), self.next_id.load(Ordering::SeqCst)))
+    }
+
+    /// The installed positioning model, if any (fresh or stale).
+    pub fn accel_model(&self) -> Option<std::sync::Arc<spb_accel::LeafModel>> {
+        self.accel.lock().clone()
+    }
+
+    /// Forces a model (re)build now — the lazy-rebuild entry point after
+    /// recovery discarded or outdated the persisted model. Enables
+    /// learned positioning as a side effect.
+    pub fn rebuild_accel(&self) -> io::Result<()> {
+        let _guard = self.latch_exclusive();
+        self.accel_on
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.train_and_save_accel()
+    }
+
+    /// Switches learned positioning on or off for subsequent queries
+    /// (`Off` never consults the model; `Learned` uses it when fresh).
+    pub fn set_accel_policy(&self, policy: spb_accel::AccelPolicy) {
+        self.accel_on.store(
+            policy == spb_accel::AccelPolicy::Learned,
+            std::sync::atomic::Ordering::SeqCst,
+        );
+    }
+
+    /// The currently effective acceleration policy.
+    pub fn accel_policy(&self) -> spb_accel::AccelPolicy {
+        if self.accel_on.load(std::sync::atomic::Ordering::SeqCst) {
+            spb_accel::AccelPolicy::Learned
+        } else {
+            spb_accel::AccelPolicy::Off
+        }
+    }
+
+    /// Resolves a per-query positioning request to a usable model.
+    /// Returns `None` (classic descent) when positioning is off, the
+    /// model is missing, or its epoch is stale; the stale/missing cases
+    /// under a learned request count as `accel.model_fallback`.
+    pub(crate) fn accel_model_for_query(
+        &self,
+        pos: spb_accel::Positioning,
+    ) -> Option<std::sync::Arc<spb_accel::LeafModel>> {
+        let want = match pos {
+            spb_accel::Positioning::Classic => false,
+            spb_accel::Positioning::Learned => true,
+            spb_accel::Positioning::Auto => self.accel_on.load(std::sync::atomic::Ordering::SeqCst),
+        };
+        if !want {
+            return None;
+        }
+        match self.accel.lock().clone() {
+            Some(m) if m.fresh(self.len(), self.next_id.load(Ordering::SeqCst)) => {
+                spb_accel::metrics::model_hit().incr();
+                Some(m)
+            }
+            _ => {
+                spb_accel::metrics::model_fallback().incr();
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Accessors & accounting.
     // ------------------------------------------------------------------
 
@@ -889,6 +1058,7 @@ impl<O: MetricObject, D: Distance<O>> SpbTree<O, D> {
             raf_pa,
             fsyncs: (b1.fsyncs - b0.fsyncs) + (r1.fsyncs - r0.fsyncs) + (w1 - w0),
             duration: t0.elapsed(),
+            recall: None,
         }
     }
 }

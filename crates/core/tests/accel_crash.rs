@@ -1,0 +1,181 @@
+//! Crash safety of the learned-positioning model: the checkpoint
+//! sequence "retrain stale model → write `spb.model` → update
+//! `spb.meta`" is crashed at *every* durable operation (including the
+//! window between the model write and the meta update). After each
+//! injected crash the index must reopen consistent, answer queries
+//! byte-identically to brute force whether or not the model survived
+//! (classic-descent fallback), and an explicit `rebuild_accel` must
+//! restore learned positioning with identical results.
+
+use std::path::Path;
+
+use spb_core::{verify_dir, AccelPolicy, Positioning, SpbConfig, SpbTree};
+use spb_metric::{dataset, Distance, EditDistance, Word};
+use spb_storage::fault::{self, FaultMode, FaultPlan};
+use spb_storage::TempDir;
+
+const BASELINE: usize = 80;
+const RADIUS: f64 = 2.0;
+const K: usize = 5;
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// The crashed workload: insertions stale the model, then a checkpoint
+/// retrains it, writes `spb.model`, and updates `spb.meta` — the window
+/// the satellite targets. Returns the first injected error, if any.
+fn apply(tree: &SpbTree<Word, EditDistance>, extra: &[Word]) -> Option<std::io::Error> {
+    for w in extra {
+        if let Err(e) = tree.insert(w) {
+            return Some(e);
+        }
+    }
+    tree.checkpoint().err()
+}
+
+fn brute_range(set: &[Word], q: &Word, r: f64) -> Vec<String> {
+    let metric = EditDistance::default();
+    let mut words: Vec<String> = set
+        .iter()
+        .filter(|w| metric.distance(q, w) <= r)
+        .map(|w| w.as_str().to_owned())
+        .collect();
+    words.sort();
+    words
+}
+
+/// Queries the recovered tree and checks agreement with brute force
+/// over `expected` — via the default (Auto) path and via an explicitly
+/// requested Learned path, which must silently fall back when the crash
+/// left no usable model.
+fn check_queries(tree: &SpbTree<Word, EditDistance>, expected: &[Word], q: &Word, ctx: &str) {
+    let want = brute_range(expected, q, RADIUS);
+    for pos in [
+        Positioning::Auto,
+        Positioning::Classic,
+        Positioning::Learned,
+    ] {
+        let (hits, _) = tree.range_positioned(q, RADIUS, pos).unwrap();
+        let mut got: Vec<String> = hits.iter().map(|(_, w)| w.as_str().to_owned()).collect();
+        got.sort();
+        assert_eq!(
+            got, want,
+            "{ctx}: range ({pos:?}) disagrees with brute force"
+        );
+    }
+    let (classic, _) = tree.knn_positioned(q, K, Positioning::Classic).unwrap();
+    let (learned, _) = tree.knn_positioned(q, K, Positioning::Learned).unwrap();
+    assert_eq!(classic, learned, "{ctx}: knn fallback diverged");
+}
+
+#[test]
+fn model_write_crash_falls_back_then_rebuilds() {
+    let _serial = fault::test_lock();
+    let root = TempDir::new("spb-accel-crash");
+
+    // Baseline: built with learned positioning, cleanly shut down, so
+    // `spb.model` exists and matches the epoch.
+    let base = root.path().join("base");
+    let baseline = dataset::words(BASELINE, 13);
+    let cfg = SpbConfig {
+        accel: AccelPolicy::Learned,
+        ..SpbConfig::default()
+    };
+    let tree = SpbTree::build(&base, &baseline, EditDistance::default(), &cfg).unwrap();
+    assert!(tree.accel_model_fresh());
+    drop(tree);
+    assert!(verify_dir(&base).unwrap().ok());
+    assert!(base.join(spb_accel::MODEL_FILE).exists());
+
+    let extra: Vec<Word> = (0..4).map(|i| Word::new(format!("zqaccel{i}"))).collect();
+    let mut expected = baseline.clone();
+    expected.extend(extra.iter().cloned());
+    let query = baseline[7].clone();
+
+    // Pass 1: count durable operations with a plan that never fires.
+    // The count covers the inserts, the checkpoint's WAL/meta work, and
+    // the model rewrite (its atomic write routes through the hooks).
+    let count_dir = root.path().join("count");
+    copy_dir(&base, &count_dir);
+    let guard = FaultPlan {
+        scope: count_dir.clone(),
+        fail_after: u64::MAX,
+        mode: FaultMode::Clean,
+        seed: 0,
+    }
+    .install();
+    let tree = SpbTree::open(&count_dir, EditDistance::default(), 32).unwrap();
+    assert!(apply(&tree, &extra).is_none());
+    assert!(
+        tree.accel_model_fresh(),
+        "checkpoint must retrain the staled model"
+    );
+    drop(tree);
+    let total_ops = guard.ops_observed();
+    drop(guard);
+    assert!(total_ops > 6, "workload has only {total_ops} durable ops");
+
+    // Pass 2: crash at every durable operation.
+    for k in 0..total_ops {
+        let work = root.path().join(format!("k{k}"));
+        copy_dir(&base, &work);
+        let mode = match k % 3 {
+            0 => FaultMode::Clean,
+            1 => FaultMode::Partial,
+            _ => FaultMode::BitFlip,
+        };
+        let guard = FaultPlan {
+            scope: work.clone(),
+            fail_after: k,
+            mode,
+            seed: 0xacce1 ^ k,
+        }
+        .install();
+        let tree = SpbTree::open(&work, EditDistance::default(), 32).unwrap();
+        if let Some(e) = apply(&tree, &extra) {
+            assert!(
+                fault::is_injected_crash(&e),
+                "k={k}: real I/O error, not the injected crash: {e}"
+            );
+        }
+        drop(tree);
+        assert!(guard.tripped(), "k={k}: the crash never fired");
+        drop(guard);
+
+        // Reopen: recovery must produce a consistent index regardless
+        // of whether the crash landed before, inside, or after the
+        // model write. A torn/missing/out-of-date model is *not* an
+        // error — queries fall back to classic descent.
+        let tree = SpbTree::open(&work, EditDistance::default(), 32).unwrap();
+        let report = verify_dir(&work).unwrap();
+        assert!(report.ok(), "k={k} ({mode:?}): {:?}", report.problems);
+        let committed: &[Word] = if tree.len() == expected.len() as u64 {
+            &expected
+        } else {
+            // The crash cut the insert sequence short; queries must
+            // agree with whatever prefix was made durable.
+            let n = (tree.len() as usize)
+                .checked_sub(baseline.len())
+                .expect("recovered tree lost baseline objects");
+            &expected[..baseline.len() + n]
+        };
+        check_queries(&tree, committed, &query, &format!("k={k} ({mode:?})"));
+
+        // Lazy rebuild restores learned positioning with — again —
+        // identical results.
+        tree.rebuild_accel().unwrap();
+        assert!(
+            tree.accel_model_fresh(),
+            "k={k}: rebuild left a stale model"
+        );
+        check_queries(&tree, committed, &query, &format!("k={k} rebuilt"));
+
+        drop(tree);
+        std::fs::remove_dir_all(&work).unwrap();
+    }
+}

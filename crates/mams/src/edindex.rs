@@ -379,6 +379,7 @@ impl<O: MetricObject, D: Distance<O>> EdIndex<O, D> {
                 raf_pa: 0,
                 fsyncs: 0,
                 duration: t0.elapsed(),
+                recall: None,
             },
         ))
     }

@@ -379,6 +379,7 @@ impl<O: MetricObject, D: Distance<O>> MIndex<O, D> {
             raf_pa,
             fsyncs: 0,
             duration: t0.elapsed(),
+            recall: None,
         }
     }
 }

@@ -847,6 +847,7 @@ impl<O: MetricObject, D: Distance<O>> MTree<O, D> {
             raf_pa: 0,
             fsyncs: 0,
             duration: t0.elapsed(),
+            recall: None,
         }
     }
 }

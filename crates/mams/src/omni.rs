@@ -330,6 +330,7 @@ impl<O: MetricObject, D: Distance<O>> OmniRTree<O, D> {
             raf_pa,
             fsyncs: 0,
             duration: at.elapsed(),
+            recall: None,
         }
     }
 }

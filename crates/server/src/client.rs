@@ -192,6 +192,47 @@ impl Client {
         })
     }
 
+    /// Approximate `RQ(q, r)` with the pruning radius contracted to
+    /// `r · contraction` (precision stays exact, recall is traded).
+    pub fn range_approx(
+        &mut self,
+        obj: &[u8],
+        radius: f64,
+        contraction: f64,
+        deadline_ms: u32,
+    ) -> Result<(Vec<WireHit>, WireStats), ClientError> {
+        let req = Request::RangeApprox {
+            deadline_ms,
+            radius,
+            contraction,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Range { hits, stats } => Ok((hits, stats)),
+            other => Err(other),
+        })
+    }
+
+    /// α-approximate `kNN(q, k)` over the wire (`alpha ≥ 1`).
+    pub fn knn_approx(
+        &mut self,
+        obj: &[u8],
+        k: u32,
+        alpha: f64,
+        deadline_ms: u32,
+    ) -> Result<(Vec<WireNn>, WireStats), ClientError> {
+        let req = Request::KnnApprox {
+            deadline_ms,
+            k,
+            alpha,
+            obj: obj.to_vec(),
+        };
+        self.expect(&req, |r| match r {
+            Response::Knn { hits, stats } => Ok((hits, stats)),
+            other => Err(other),
+        })
+    }
+
     /// Inserts one encoded object.
     pub fn insert(&mut self, obj: &[u8], deadline_ms: u32) -> Result<WireStats, ClientError> {
         let req = Request::Insert {

@@ -197,17 +197,25 @@ pub(crate) fn worker_loop(shared: &Shared) {
     }
 }
 
-/// What a coalescable execution shares: query kind and parameter.
+/// What a coalescable execution shares: query kind and parameters.
+/// Exact and approximate queries are distinct kinds by construction —
+/// an approximate request can never widen (or ride along with) an
+/// exact traversal, whatever its parameters.
 #[derive(Clone, Copy)]
 enum BatchKind {
     Range { radius: f64 },
     Knn { k: u32 },
+    RangeApprox { radius: f64, contraction: f64 },
+    KnnApprox { k: u32, alpha: f64 },
 }
 
 impl BatchKind {
     /// If `req` can join a batch of this kind, returns its query
     /// object. Only deadline-free queries coalesce: a deadline budget
     /// is per-request and must not gate (or be gated by) strangers.
+    /// Float parameters compare bitwise; invalid values (NaN, α < 1)
+    /// only ever coalesce with bit-identical peers, and the execution
+    /// rejects that whole batch as `Malformed`.
     fn matching_obj<'r>(&self, req: &'r Request) -> Option<&'r [u8]> {
         match (self, req) {
             (
@@ -226,6 +234,29 @@ impl BatchKind {
                     obj,
                 },
             ) if k == k2 => Some(obj),
+            (
+                BatchKind::RangeApprox {
+                    radius,
+                    contraction,
+                },
+                Request::RangeApprox {
+                    deadline_ms: 0,
+                    radius: r2,
+                    contraction: c2,
+                    obj,
+                },
+            ) if radius.to_bits() == r2.to_bits() && contraction.to_bits() == c2.to_bits() => {
+                Some(obj)
+            }
+            (
+                BatchKind::KnnApprox { k, alpha },
+                Request::KnnApprox {
+                    deadline_ms: 0,
+                    k: k2,
+                    alpha: a2,
+                    obj,
+                },
+            ) if k == k2 && alpha.to_bits() == a2.to_bits() => Some(obj),
             _ => None,
         }
     }
@@ -271,6 +302,35 @@ fn run_work(shared: &Shared, work: Work) {
             k,
             obj,
         } => run_batch(shared, BatchKind::Knn { k }, obj, conn, seq, permit),
+        Request::RangeApprox {
+            deadline_ms: 0,
+            radius,
+            contraction,
+            obj,
+        } => run_batch(
+            shared,
+            BatchKind::RangeApprox {
+                radius,
+                contraction,
+            },
+            obj,
+            conn,
+            seq,
+            permit,
+        ),
+        Request::KnnApprox {
+            deadline_ms: 0,
+            k,
+            alpha,
+            obj,
+        } => run_batch(
+            shared,
+            BatchKind::KnnApprox { k, alpha },
+            obj,
+            conn,
+            seq,
+            permit,
+        ),
         other => {
             let resp = execute(other, deadline, shared);
             batch_size_hist().record(1);
@@ -366,6 +426,23 @@ fn run_batch(
                     .map(|(hits, stats)| Response::Knn { hits, stats })
                     .collect::<Vec<_>>()
             }),
+        BatchKind::RangeApprox {
+            radius,
+            contraction,
+        } => svc
+            .range_approx_batch(&objs, radius, contraction, threads, Deadline::none())
+            .map(|rows| {
+                rows.into_iter()
+                    .map(|(hits, stats)| Response::Range { hits, stats })
+                    .collect::<Vec<_>>()
+            }),
+        BatchKind::KnnApprox { k, alpha } => svc
+            .knn_approx_batch(&objs, k as usize, alpha, threads, Deadline::none())
+            .map(|rows| {
+                rows.into_iter()
+                    .map(|(hits, stats)| Response::Knn { hits, stats })
+                    .collect::<Vec<_>>()
+            }),
     };
     match rows {
         Ok(rows) => {
@@ -392,6 +469,15 @@ fn run_batch(
                         .map(|(hits, stats)| Response::Range { hits, stats }),
                     BatchKind::Knn { k } => svc
                         .knn(&obj, k as usize)
+                        .map(|(hits, stats)| Response::Knn { hits, stats }),
+                    BatchKind::RangeApprox {
+                        radius,
+                        contraction,
+                    } => svc
+                        .range_approx(&obj, radius, contraction)
+                        .map(|(hits, stats)| Response::Range { hits, stats }),
+                    BatchKind::KnnApprox { k, alpha } => svc
+                        .knn_approx(&obj, k as usize, alpha)
                         .map(|(hits, stats)| Response::Knn { hits, stats }),
                 };
                 let resp = resp.unwrap_or_else(|e| service_error_response(e, shared));
@@ -435,6 +521,17 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
             .map(|(hits, stats)| Response::Range { hits, stats }),
         Request::Knn { k, obj, .. } => svc
             .knn(&obj, k as usize)
+            .map(|(hits, stats)| Response::Knn { hits, stats }),
+        Request::RangeApprox {
+            radius,
+            contraction,
+            obj,
+            ..
+        } => svc
+            .range_approx(&obj, radius, contraction)
+            .map(|(hits, stats)| Response::Range { hits, stats }),
+        Request::KnnApprox { k, alpha, obj, .. } => svc
+            .knn_approx(&obj, k as usize, alpha)
             .map(|(hits, stats)| Response::Knn { hits, stats }),
         Request::Insert { obj, .. } => svc.insert(&obj).map(|stats| Response::Insert { stats }),
         Request::Delete { obj, .. } => svc
@@ -508,6 +605,94 @@ mod tests {
             }),
             None
         );
+    }
+
+    #[test]
+    fn exact_and_approx_queries_never_coalesce() {
+        // The QueryMode satellite's invariant: an approximate request
+        // must never widen an exact traversal or vice versa, even when
+        // every shared parameter (object, radius, k) is identical.
+        let obj = vec![1, 2, 3];
+        let exact_range = Request::Range {
+            deadline_ms: 0,
+            radius: 1.5,
+            obj: obj.clone(),
+        };
+        let approx_range = Request::RangeApprox {
+            deadline_ms: 0,
+            radius: 1.5,
+            contraction: 0.8,
+            obj: obj.clone(),
+        };
+        // Even a no-op contraction of 1.0 keeps the modes apart: the
+        // client asked for approximate semantics and gets that batch.
+        let approx_range_full = Request::RangeApprox {
+            deadline_ms: 0,
+            radius: 1.5,
+            contraction: 1.0,
+            obj: obj.clone(),
+        };
+        let exact_kind = BatchKind::Range { radius: 1.5 };
+        assert!(exact_kind.matching_obj(&exact_range).is_some());
+        assert!(exact_kind.matching_obj(&approx_range).is_none());
+        assert!(exact_kind.matching_obj(&approx_range_full).is_none());
+
+        let approx_kind = BatchKind::RangeApprox {
+            radius: 1.5,
+            contraction: 0.8,
+        };
+        assert!(approx_kind.matching_obj(&approx_range).is_some());
+        assert!(approx_kind.matching_obj(&exact_range).is_none());
+        assert!(
+            approx_kind.matching_obj(&approx_range_full).is_none(),
+            "different contractions are different batches"
+        );
+
+        let exact_knn = Request::Knn {
+            deadline_ms: 0,
+            k: 5,
+            obj: obj.clone(),
+        };
+        let approx_knn = Request::KnnApprox {
+            deadline_ms: 0,
+            k: 5,
+            alpha: 1.0,
+            obj: obj.clone(),
+        };
+        let exact_kind = BatchKind::Knn { k: 5 };
+        assert!(exact_kind.matching_obj(&exact_knn).is_some());
+        assert!(
+            exact_kind.matching_obj(&approx_knn).is_none(),
+            "alpha = 1 is still the approximate mode"
+        );
+        let approx_kind = BatchKind::KnnApprox { k: 5, alpha: 1.0 };
+        assert!(approx_kind.matching_obj(&approx_knn).is_some());
+        assert!(approx_kind.matching_obj(&exact_knn).is_none());
+
+        // Parameters compare bitwise, so two requests with the same NaN
+        // bit pattern do coalesce — harmlessly: the execution rejects
+        // the whole batch as Malformed and every subscriber gets its own
+        // typed error. A *different* NaN payload never matches.
+        let nan_kind = BatchKind::KnnApprox {
+            k: 5,
+            alpha: f64::NAN,
+        };
+        assert!(nan_kind
+            .matching_obj(&Request::KnnApprox {
+                deadline_ms: 0,
+                k: 5,
+                alpha: f64::NAN,
+                obj: obj.clone(),
+            })
+            .is_some());
+        assert!(nan_kind
+            .matching_obj(&Request::KnnApprox {
+                deadline_ms: 0,
+                k: 5,
+                alpha: f64::from_bits(f64::NAN.to_bits() ^ 1),
+                obj,
+            })
+            .is_none());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::fmt;
 use std::io;
 
-use spb_core::SpbTree;
+use spb_core::{QueryMode, SpbTree, Traversal};
 use spb_metric::{Distance, MetricObject};
 
 use crate::admission::Deadline;
@@ -80,6 +80,47 @@ pub trait IndexService: Send + Sync {
 
     /// `kNN(q, k)` for an encoded query object.
     fn knn(&self, obj: &[u8], k: usize) -> Result<(Vec<WireNn>, WireStats), ServiceError>;
+
+    /// Approximate `RQ(q, r)` with the pruning radius contracted to
+    /// `r · contraction` (precision stays exact; recall is traded). A
+    /// `contraction` outside `(0, 1]` is `Malformed`.
+    fn range_approx(
+        &self,
+        obj: &[u8],
+        radius: f64,
+        contraction: f64,
+    ) -> Result<(Vec<WireHit>, WireStats), ServiceError>;
+
+    /// α-approximate `kNN(q, k)`. An `alpha` below 1 (or non-finite) is
+    /// `Malformed`.
+    fn knn_approx(
+        &self,
+        obj: &[u8],
+        k: usize,
+        alpha: f64,
+    ) -> Result<(Vec<WireNn>, WireStats), ServiceError>;
+
+    /// A batch of approximate range queries sharing one radius and
+    /// contraction (the dispatcher's coalescing path — approximate
+    /// requests only ever batch with other approximate requests).
+    fn range_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        radius: f64,
+        contraction: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ServiceError>;
+
+    /// A batch of α-approximate kNN queries sharing one `k` and `alpha`.
+    fn knn_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        k: usize,
+        alpha: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ServiceError>;
 
     /// Inserts one encoded object.
     fn insert(&self, obj: &[u8]) -> Result<WireStats, ServiceError>;
@@ -156,6 +197,27 @@ impl<O: MetricObject, D: Distance<O>> TreeService<O, D> {
     }
 }
 
+/// Validates a wire-supplied contraction factor (service-level, so a bad
+/// value becomes `Malformed` instead of tripping the tree's assert).
+fn check_contraction(contraction: f64) -> Result<(), ServiceError> {
+    if contraction.is_finite() && contraction > 0.0 && contraction <= 1.0 {
+        Ok(())
+    } else {
+        Err(ServiceError::Malformed(format!(
+            "contraction {contraction} not in (0, 1]"
+        )))
+    }
+}
+
+/// Validates a wire-supplied kNN approximation factor.
+fn check_alpha(alpha: f64) -> Result<(), ServiceError> {
+    if alpha.is_finite() && alpha >= 1.0 {
+        Ok(())
+    } else {
+        Err(ServiceError::Malformed(format!("alpha {alpha} is below 1")))
+    }
+}
+
 /// How many queries run between deadline checks in a batch request: one
 /// traversal batch per worker pass.
 fn slice_size(threads: usize) -> usize {
@@ -208,6 +270,105 @@ impl<O: MetricObject, D: Distance<O>> IndexService for TreeService<O, D> {
             .map(|(id, o, d)| (id, d, o.encoded()))
             .collect();
         Ok((nn, WireStats::from(&stats)))
+    }
+
+    fn range_approx(
+        &self,
+        obj: &[u8],
+        radius: f64,
+        contraction: f64,
+    ) -> Result<(Vec<WireHit>, WireStats), ServiceError> {
+        check_contraction(contraction)?;
+        let q = self.decode_obj(obj)?;
+        let (hits, stats) = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.range_approx(&q, radius, contraction)?
+        };
+        let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
+        Ok((hits, WireStats::from(&stats)))
+    }
+
+    fn knn_approx(
+        &self,
+        obj: &[u8],
+        k: usize,
+        alpha: f64,
+    ) -> Result<(Vec<WireNn>, WireStats), ServiceError> {
+        check_alpha(alpha)?;
+        let q = self.decode_obj(obj)?;
+        let (nn, stats) = {
+            let _span = spb_obs::span!(traversal_hist(), "traversal");
+            self.tree.knn_approx(&q, k, alpha)?
+        };
+        let nn = nn
+            .into_iter()
+            .map(|(id, o, d)| (id, d, o.encoded()))
+            .collect();
+        Ok((nn, WireStats::from(&stats)))
+    }
+
+    fn range_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        radius: f64,
+        contraction: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireHit>, WireStats)>, ServiceError> {
+        check_contraction(contraction)?;
+        let qs = self.decode_objs(objs)?;
+        let pairs: Vec<(O, f64)> = qs.into_iter().map(|q| (q, radius)).collect();
+        let mode = QueryMode::Approx { contraction };
+        let mut out = Vec::with_capacity(pairs.len());
+        for slice in pairs.chunks(slice_size(threads)) {
+            if deadline.expired() {
+                return Err(ServiceError::DeadlineExceeded);
+            }
+            let batch = {
+                let _span = spb_obs::span!(traversal_hist(), "traversal");
+                self.tree.range_batch_mode(slice, mode, threads)?
+            };
+            for (hits, stats) in batch {
+                let hits = hits.into_iter().map(|(id, o)| (id, o.encoded())).collect();
+                out.push((hits, WireStats::from(&stats)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn knn_approx_batch(
+        &self,
+        objs: &[Vec<u8>],
+        k: usize,
+        alpha: f64,
+        threads: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Vec<WireNn>, WireStats)>, ServiceError> {
+        check_alpha(alpha)?;
+        let qs = self.decode_objs(objs)?;
+        // QueryMode carries a contraction; its alpha() is the reciprocal.
+        let mode = QueryMode::Approx {
+            contraction: 1.0 / alpha,
+        };
+        let mut out = Vec::with_capacity(qs.len());
+        for slice in qs.chunks(slice_size(threads)) {
+            if deadline.expired() {
+                return Err(ServiceError::DeadlineExceeded);
+            }
+            let batch = {
+                let _span = spb_obs::span!(traversal_hist(), "traversal");
+                self.tree
+                    .knn_batch_mode(slice, k, Traversal::Incremental, mode, threads)?
+            };
+            for (nn, stats) in batch {
+                let nn = nn
+                    .into_iter()
+                    .map(|(id, o, d)| (id, d, o.encoded()))
+                    .collect();
+                out.push((nn, WireStats::from(&stats)));
+            }
+        }
+        Ok(out)
     }
 
     fn insert(&self, obj: &[u8]) -> Result<WireStats, ServiceError> {

@@ -65,6 +65,8 @@ const OP_STATS: u8 = 0x08;
 const OP_SHUTDOWN: u8 = 0x09;
 const OP_OBS_STATS: u8 = 0x0A;
 const OP_WAL_SHIP: u8 = 0x0B;
+const OP_RANGE_APPROX: u8 = 0x0C;
+const OP_KNN_APPROX: u8 = 0x0D;
 /// Response opcode for every failure.
 const OP_ERROR: u8 = 0xFF;
 /// Successful responses echo the request opcode with this bit set.
@@ -236,6 +238,7 @@ impl From<&WireStats> for QueryStats {
             raf_pa: w.raf_pa,
             fsyncs: w.fsyncs,
             duration: Duration::from_nanos(w.duration_nanos),
+            recall: None,
         }
     }
 }
@@ -310,6 +313,35 @@ pub enum Request {
     ObsStats,
     /// Ask the server to drain in-flight work, checkpoint and exit.
     Shutdown,
+    /// Approximate `RQ(q, r)`: the pruning region is built from
+    /// `r · contraction` while correctness checks keep the true `r`, so
+    /// precision stays perfect and only recall is traded. The server
+    /// answers with a plain [`Response::Range`]; a `contraction` outside
+    /// `(0, 1]` (or non-finite) is `Malformed`.
+    RangeApprox {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Search radius.
+        radius: f64,
+        /// Pruning-radius contraction factor in `(0, 1]`.
+        contraction: f64,
+        /// Encoded query object.
+        obj: Vec<u8>,
+    },
+    /// α-approximate `kNN(q, k)`: every returned distance is at most
+    /// `alpha` times the true k-th NN distance. Answered with a plain
+    /// [`Response::Knn`]; an `alpha` below 1 (or non-finite) is
+    /// `Malformed`.
+    KnnApprox {
+        /// Relative deadline in ms (0 = none).
+        deadline_ms: u32,
+        /// Neighbour count.
+        k: u32,
+        /// Approximation factor, `≥ 1`.
+        alpha: f64,
+        /// Encoded query object.
+        obj: Vec<u8>,
+    },
     /// Replication pull: stream the primary's CRC-framed WAL bytes
     /// starting at a byte offset (LSN). Control-plane: bypasses
     /// admission so replicas keep catching up while the primary sheds
@@ -725,6 +757,30 @@ impl Request {
                     put_bytes(out, o);
                 }
             }
+            Request::RangeApprox {
+                deadline_ms,
+                radius,
+                contraction,
+                obj,
+            } => {
+                out.push(OP_RANGE_APPROX);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&radius.to_bits().to_le_bytes());
+                out.extend_from_slice(&contraction.to_bits().to_le_bytes());
+                put_bytes(out, obj);
+            }
+            Request::KnnApprox {
+                deadline_ms,
+                k,
+                alpha,
+                obj,
+            } => {
+                out.push(OP_KNN_APPROX);
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+                out.extend_from_slice(&alpha.to_bits().to_le_bytes());
+                put_bytes(out, obj);
+            }
             Request::Stats => out.push(OP_STATS),
             Request::ObsStats => out.push(OP_OBS_STATS),
             Request::Shutdown => out.push(OP_SHUTDOWN),
@@ -774,6 +830,18 @@ impl Request {
                 k: c.u32()?,
                 objs: get_objs(&mut c)?,
             },
+            OP_RANGE_APPROX => Request::RangeApprox {
+                deadline_ms: c.u32()?,
+                radius: c.f64()?,
+                contraction: c.f64()?,
+                obj: c.lbytes()?,
+            },
+            OP_KNN_APPROX => Request::KnnApprox {
+                deadline_ms: c.u32()?,
+                k: c.u32()?,
+                alpha: c.f64()?,
+                obj: c.lbytes()?,
+            },
             OP_STATS => Request::Stats,
             OP_OBS_STATS => Request::ObsStats,
             OP_SHUTDOWN => Request::Shutdown,
@@ -792,7 +860,9 @@ impl Request {
             | Request::Insert { deadline_ms, .. }
             | Request::Delete { deadline_ms, .. }
             | Request::BatchRange { deadline_ms, .. }
-            | Request::BatchKnn { deadline_ms, .. } => *deadline_ms,
+            | Request::BatchKnn { deadline_ms, .. }
+            | Request::RangeApprox { deadline_ms, .. }
+            | Request::KnnApprox { deadline_ms, .. } => *deadline_ms,
             Request::Ping
             | Request::Stats
             | Request::ObsStats
@@ -1130,6 +1200,18 @@ mod tests {
             deadline_ms: 0,
             k: 3,
             objs: vec![b"q".to_vec()],
+        });
+        roundtrip_req(Request::RangeApprox {
+            deadline_ms: 50,
+            radius: 4.0,
+            contraction: 0.7,
+            obj: b"carrot".to_vec(),
+        });
+        roundtrip_req(Request::KnnApprox {
+            deadline_ms: 0,
+            k: 8,
+            alpha: 1.5,
+            obj: vec![],
         });
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::ObsStats);

@@ -1,0 +1,12 @@
+//! Known-bad fixture for R8 `nan-unsafe`: `partial_cmp` float
+//! comparisons in the accel zone. A NaN model parameter makes the
+//! first site panic and the second impose an arbitrary order.
+
+fn worst_error(errs: &mut [f64]) -> f64 {
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let best = errs.iter().cloned().reduce(|a, b| match a.partial_cmp(&b) {
+        Some(std::cmp::Ordering::Less) => a,
+        _ => b,
+    });
+    best.unwrap_or(0.0)
+}

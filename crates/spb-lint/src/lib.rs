@@ -19,6 +19,7 @@
 //! | `dead-variant` | warn | every counter field / error variant referenced outside its definition |
 //! | `raw-instant` | deny | no bare `Instant::now()` on hot paths; time through `spb_obs::clock` |
 //! | `no-block-in-event-loop` | deny | no blocking I/O (`read_exact`/`write_all`/`accept`) on the event-loop thread |
+//! | `nan-unsafe` | deny | no `partial_cmp` float comparisons in the accel zone; use `total_cmp` |
 //! | `bad-allow` | deny | malformed suppression markers |
 //!
 //! # Suppression markers
@@ -61,6 +62,9 @@ pub enum Rule {
     /// Blocking I/O call inside the event-loop module, where every
     /// socket is non-blocking and one sleep stalls every connection.
     NoBlockInEventLoop,
+    /// NaN-unsafe float comparison (`partial_cmp`) in the accel zone,
+    /// where model parameters come from arithmetic that can degenerate.
+    NanUnsafe,
     /// Malformed suppression marker.
     BadAllow,
 }
@@ -76,6 +80,7 @@ impl Rule {
             Rule::DeadVariant => "dead-variant",
             Rule::RawInstant => "raw-instant",
             Rule::NoBlockInEventLoop => "no-block-in-event-loop",
+            Rule::NanUnsafe => "nan-unsafe",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -91,6 +96,7 @@ impl Rule {
             "dead-variant" => Some(Rule::DeadVariant),
             "raw-instant" => Some(Rule::RawInstant),
             "no-block-in-event-loop" => Some(Rule::NoBlockInEventLoop),
+            "nan-unsafe" => Some(Rule::NanUnsafe),
             "bad-allow" => Some(Rule::BadAllow),
             other => {
                 let _ = other;
@@ -243,6 +249,7 @@ pub fn run(cfg: &Config) -> Report {
         rules::catch_all(d, &mut report.violations);
         rules::raw_instant(d, &mut report.violations);
         rules::no_block_in_event_loop(d, &mut report.violations);
+        rules::nan_unsafe(d, &mut report.violations);
     }
     rules::crate_roots(&datas, &mut report.violations);
     rules::dead_variants(&datas, &mut report.violations);

@@ -568,6 +568,44 @@ pub fn no_block_in_event_loop(d: &FileData, out: &mut Vec<Violation>) {
     }
 }
 
+/// Path prefixes where float comparisons must be NaN-total. The accel
+/// crate compares model errors, recall numbers, and user-supplied
+/// contraction/alpha parameters — values produced by arithmetic that
+/// can degenerate to NaN (empty leaves, zero-length runs) or arrive
+/// hostile off the wire. `partial_cmp` there either feeds an `unwrap`
+/// (a panic in a no-panic zone) or silently imposes an arbitrary
+/// order; `f64::total_cmp` / explicit NaN handling is always available.
+pub const NAN_UNSAFE_ZONES: &[&str] = &["crates/accel/src/"];
+
+/// R8 — `nan-unsafe`: no `.partial_cmp(..)` calls inside the accel
+/// zone; sort and compare floats with `total_cmp` (or handle NaN
+/// explicitly) so a degenerate model parameter cannot panic or
+/// scramble an ordering.
+pub fn nan_unsafe(d: &FileData, out: &mut Vec<Violation>) {
+    if !NAN_UNSAFE_ZONES.iter().any(|z| d.rel.starts_with(z)) {
+        return;
+    }
+    let toks = &d.code;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "partial_cmp"
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            push(
+                d,
+                out,
+                Rule::NanUnsafe,
+                t.line,
+                "`.partial_cmp()` is NaN-unsafe in the accel zone; use `f64::total_cmp` \
+                 or handle the NaN case explicitly"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum DefKind {
     Enum,

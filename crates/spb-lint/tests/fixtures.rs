@@ -138,6 +138,24 @@ fn r7_block_in_event_loop_fixture_reports_every_site() {
 }
 
 #[test]
+fn r8_nan_unsafe_fixture_reports_every_site() {
+    let (d, mut out) = fixture("r8_nan_unsafe.rs", "crates/accel/src/tune.rs");
+    rules::nan_unsafe(&d, &mut out);
+    // The sort comparator and the reduce comparator.
+    assert_eq!(lines_of(&out, Rule::NanUnsafe), [6, 7]);
+    assert!(out[0]
+        .to_string()
+        .starts_with("crates/accel/src/tune.rs:6: [nan-unsafe]"));
+    assert!(out[0].message.contains("total_cmp"));
+
+    // The same source outside the accel zone is fine: `partial_cmp`
+    // is only banned where a NaN parameter can reach it.
+    let (d, mut out) = fixture("r8_nan_unsafe.rs", "crates/metric/src/lib.rs");
+    rules::nan_unsafe(&d, &mut out);
+    assert!(lines_of(&out, Rule::NanUnsafe).is_empty());
+}
+
+#[test]
 fn fixtures_are_denied_under_deny_all_but_dead_variant_warns_by_default() {
     assert!(Rule::NoPanic.denied(false));
     assert!(!Rule::DeadVariant.denied(false));

@@ -114,6 +114,23 @@ fn no_block_rule_is_live_on_real_event_loop_rs() {
 }
 
 #[test]
+fn nan_unsafe_rule_is_live_on_real_tune_rs() {
+    // Liveness for the accel-zone NaN rule: append a `partial_cmp`
+    // probe to the real tune.rs text and check it gets flagged (the
+    // clean run above proves the real file itself has none).
+    let path = repo_root().join("crates/accel/src/tune.rs");
+    let src = std::fs::read_to_string(path).expect("read tune.rs");
+    let seeded =
+        format!("{src}\nfn probe(a: f64, b: f64) -> bool {{ a.partial_cmp(&b).is_some() }}\n");
+    let mut out = Vec::new();
+    let d = analyze("crates/accel/src/tune.rs".to_string(), &seeded, &mut out);
+    rules::nan_unsafe(&d, &mut out);
+    assert_eq!(out.len(), 1, "{out:?}");
+    assert_eq!(out[0].rule, Rule::NanUnsafe);
+    assert_eq!(out[0].line as usize, seeded.lines().count());
+}
+
+#[test]
 fn query_stats_counters_are_all_live() {
     // QueryStats extraction against the real tree.rs must find the
     // counter fields (the dead-counter rule would be vacuous if the
