@@ -19,6 +19,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use spb_storage::lockrank::LockRank;
+
+use crate::ranked::{self, RankedGuard};
+
 /// A request's absolute time budget.
 ///
 /// Wire deadlines are relative (`deadline_ms` from receipt); this pins
@@ -113,6 +117,16 @@ struct AdmissionInner {
     obs_queue_depth: Arc<spb_obs::Gauge>,
 }
 
+impl AdmissionInner {
+    /// Acquires the counter mutex at rank 4 — the single sanctioned
+    /// acquisition point (`lock-order` bans raw `.counters.lock()`
+    /// calls). Rank 4 sits above the dispatcher queue (rank 2): the
+    /// batch-coalescing scan updates admission while holding the queue.
+    fn lock_counters(&self) -> RankedGuard<'_, Counters> {
+        ranked::lock(&self.counters, LockRank::AdmissionCounters)
+    }
+}
+
 /// RAII execution slot: dropping it frees the slot and wakes one waiter.
 pub struct Permit {
     inner: Arc<AdmissionInner>,
@@ -129,12 +143,8 @@ impl Drop for Permit {
         // A poisoned mutex means a handler panicked while holding it; the
         // counters are still sound (each critical section updates them
         // atomically), so recover the guard rather than panic and leak
-        // the slot.
-        let mut c = self
-            .inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // the slot (`lock_counters` tolerates poison).
+        let mut c = self.inner.lock_counters();
         c.running = c.running.saturating_sub(1);
         drop(c);
         self.inner.slot_freed.notify_one();
@@ -170,10 +180,7 @@ impl Admission {
     /// the request while holding it.
     pub fn admit(&self, deadline: Deadline, shutdown: &AtomicBool) -> Result<Permit, AdmitError> {
         let inner = &self.inner;
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return Err(AdmitError::ShuttingDown);
@@ -204,11 +211,7 @@ impl Admission {
                 .remaining()
                 .unwrap_or(Duration::from_millis(50))
                 .min(Duration::from_millis(50));
-            let (guard, _timeout) = inner
-                .slot_freed
-                .wait_timeout(c, wait)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            c = guard;
+            c = c.wait_timeout_on(&inner.slot_freed, wait);
             c.queued = c.queued.saturating_sub(1);
             inner.obs_queue_depth.set(c.queued as i64);
         }
@@ -235,10 +238,7 @@ impl Admission {
         if shutdown.load(Ordering::SeqCst) {
             return Err(AdmitError::ShuttingDown);
         }
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         if c.running + c.queued >= inner.cfg.max_inflight + inner.cfg.max_queue {
             inner.shed.fetch_add(1, Ordering::Relaxed);
             inner.obs_shed.incr();
@@ -258,10 +258,7 @@ impl Admission {
         shutdown: &AtomicBool,
     ) -> Result<Permit, AdmitError> {
         let inner = &self.inner;
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 c.queued = c.queued.saturating_sub(1);
@@ -291,11 +288,7 @@ impl Admission {
                 .remaining()
                 .unwrap_or(Duration::from_millis(50))
                 .min(Duration::from_millis(50));
-            let (guard, _timeout) = inner
-                .slot_freed
-                .wait_timeout(c, wait)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            c = guard;
+            c = c.wait_timeout_on(&inner.slot_freed, wait);
         }
     }
 
@@ -304,10 +297,7 @@ impl Admission {
     /// holds a permit (which could deadlock a full gate).
     pub fn try_promote(&self) -> Option<Permit> {
         let inner = &self.inner;
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         if c.running >= inner.cfg.max_inflight {
             return None;
         }
@@ -327,10 +317,7 @@ impl Admission {
     /// index work).
     pub fn collapse_queued(&self) {
         let inner = &self.inner;
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         c.queued = c.queued.saturating_sub(1);
         inner.obs_queue_depth.set(c.queued as i64);
         inner.served.fetch_add(1, Ordering::Relaxed);
@@ -341,10 +328,7 @@ impl Admission {
     /// died, or shutdown drained the queue).
     pub fn release_queued(&self) {
         let inner = &self.inner;
-        let mut c = inner
-            .counters
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut c = inner.lock_counters();
         c.queued = c.queued.saturating_sub(1);
         inner.obs_queue_depth.set(c.queued as i64);
     }

@@ -35,7 +35,10 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use spb_storage::lockrank::LockRank;
+
 use crate::admission::{Deadline, Permit};
+use crate::ranked::{self, RankedGuard};
 use crate::server::{admit_error_response, error_response, Shared};
 use crate::service::ServiceError;
 use crate::wire::{ErrorCode, Request, Response};
@@ -63,6 +66,10 @@ pub(crate) struct Work {
     pub deadline: Deadline,
     /// True for `Insert`/`Delete` (a per-connection ordering barrier).
     pub write: bool,
+    /// Control-plane work (`WalShip`): bypasses admission — it holds no
+    /// queue place and no execution slot — but runs on a worker because
+    /// it reads the WAL file, which must not block the event loop.
+    pub control: bool,
     /// When the request entered the admission queue (for
     /// `phase.queue_wait`).
     pub enqueued_at: Instant,
@@ -111,12 +118,17 @@ impl DispatchQueue {
         }
     }
 
+    /// Acquires the queue mutex at rank 2 — the single sanctioned
+    /// acquisition point for this lock (`lock-order` bans raw
+    /// `.q.lock()` calls; `lock-graph` checks rank ascent through
+    /// every caller).
+    fn lock_queue(&self) -> RankedGuard<'_, VecDeque<Work>> {
+        ranked::lock(&self.q, LockRank::DispatchQueue)
+    }
+
     /// Enqueues work and wakes one worker.
     pub fn push(&self, w: Work) {
-        self.q
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push_back(w);
+        self.lock_queue().push_back(w);
         self.cv.notify_one();
     }
 
@@ -130,10 +142,7 @@ impl DispatchQueue {
     /// work is always drained (each drained item still gets a typed
     /// `ShuttingDown` response from the caller).
     pub fn pop_blocking(&self, shutdown: &std::sync::atomic::AtomicBool) -> Option<Work> {
-        let mut q = self
-            .q
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut q = self.lock_queue();
         loop {
             if let Some(w) = q.pop_front() {
                 return Some(w);
@@ -142,22 +151,8 @@ impl DispatchQueue {
                 return None;
             }
             // Bounded wait so a missed notify cannot outlive shutdown.
-            let (guard, _timeout) = self
-                .cv
-                .wait_timeout(q, Duration::from_millis(50))
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            q = guard;
+            q = q.wait_timeout_on(&self.cv, Duration::from_millis(50));
         }
-    }
-
-    /// Runs `f` under the queue lock — the coalescing scan uses this to
-    /// extract compatible work atomically with its admission updates.
-    fn with_queue<R>(&self, f: impl FnOnce(&mut VecDeque<Work>) -> R) -> R {
-        let mut q = self
-            .q
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        f(&mut q)
     }
 }
 
@@ -166,11 +161,7 @@ pub(crate) fn push_completions(shared: &Shared, comps: Vec<Completion>) {
     if comps.is_empty() {
         return;
     }
-    shared
-        .completions
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .extend(comps);
+    shared.lock_completions().extend(comps);
     shared.waker.wake();
 }
 
@@ -179,8 +170,11 @@ pub(crate) fn worker_loop(shared: &Shared) {
     while let Some(work) = shared.dispatch.pop_blocking(&shared.shutdown) {
         if shared.shutdown.load(Ordering::SeqCst) {
             // Shutdown drain: the request was enqueued but never won a
-            // slot; it leaves the system with a typed refusal.
-            shared.admission.release_queued();
+            // slot; it leaves the system with a typed refusal. Control
+            // work never held a queue place.
+            if !work.control {
+                shared.admission.release_queued();
+            }
             let resp = error_response(ErrorCode::ShuttingDown, "server is draining");
             push_completions(
                 shared,
@@ -273,8 +267,25 @@ fn run_work(shared: &Shared, work: Work) {
         req,
         deadline,
         write,
+        control,
         enqueued_at,
     } = work;
+    if control {
+        // Control-plane work skips admission entirely: replication must
+        // keep catching up precisely when the primary is shedding query
+        // traffic.
+        let resp = execute(req, deadline, shared);
+        push_completions(
+            shared,
+            vec![Completion {
+                conn,
+                seq,
+                resp,
+                write,
+            }],
+        );
+        return;
+    }
     let permit = match shared.admission.acquire_queued(deadline, &shared.shutdown) {
         Ok(p) => p,
         Err(e) => {
@@ -363,7 +374,12 @@ fn run_batch(
     let mut subs: Vec<Vec<(ConnId, u64)>> = vec![vec![(conn, seq)]];
     let mut permits: Vec<Permit> = vec![permit];
 
-    shared.dispatch.with_queue(|q| {
+    {
+        // The coalescing scan extracts compatible work atomically with
+        // its admission updates: queue (rank 2) held across the counter
+        // (rank 4) acquisitions inside `try_promote`/`collapse_queued`
+        // — an ascending chain the `lock-graph` rule verifies.
+        let mut q = shared.dispatch.lock_queue();
         let mut i = 0;
         while i < q.len() {
             let action = match q.get(i).and_then(|w| kind.matching_obj(&w.req)) {
@@ -403,7 +419,7 @@ fn run_batch(
                 }
             }
         }
-    });
+    }
 
     let total: usize = subs.iter().map(Vec::len).sum();
     batch_size_hist().record(total as u64);
@@ -543,13 +559,14 @@ fn execute(req: Request, deadline: Deadline, shared: &Shared) -> Response {
         Request::BatchKnn { k, objs, .. } => svc
             .knn_batch(&objs, k as usize, threads, deadline)
             .map(|queries| Response::BatchKnn { queries }),
-        Request::Ping
-        | Request::Stats
-        | Request::ObsStats
-        | Request::Shutdown
-        | Request::WalShip { .. } => {
-            // Control-plane requests are answered on the event loop; if
-            // one reaches here the dispatcher is broken, but a typed
+        // Replication is control-plane but file-backed: the WAL segment
+        // read happens here, on a worker, never on the event loop.
+        Request::WalShip { from_lsn } => svc
+            .wal_segment(from_lsn)
+            .map(|(wal_len, frames)| Response::WalShip { wal_len, frames }),
+        Request::Ping | Request::Stats | Request::ObsStats | Request::Shutdown => {
+            // In-memory control requests are answered on the event loop;
+            // if one reaches here the dispatcher is broken, but a typed
             // error beats aborting the worker thread.
             return error_response(
                 ErrorCode::Internal,
@@ -706,6 +723,7 @@ mod tests {
             req: Request::Ping,
             deadline: Deadline::none(),
             write: false,
+            control: false,
             enqueued_at: spb_obs::clock::now(),
         });
         // Queued work is still handed out after shutdown...

@@ -190,6 +190,9 @@ struct PendingWork {
     req: Request,
     deadline: Deadline,
     write: bool,
+    /// Mirrors [`Work::control`]: admission-free control-plane work
+    /// (`WalShip`) riding the dispatcher for its file I/O.
+    control: bool,
     enqueued_at: Instant,
 }
 
@@ -477,9 +480,31 @@ fn handle_parsed(conn: &mut Conn, shared: &Shared, req: Request) {
     let seq = conn.next_seq;
     conn.next_seq += 1;
     match req {
-        Request::Ping | Request::Stats | Request::ObsStats | Request::WalShip { .. } => {
+        Request::Ping | Request::Stats | Request::ObsStats => {
             let resp = control_response(req, shared);
             deliver(conn, seq, resp);
+        }
+        // Control-plane too, but file-backed: the WAL segment read
+        // would block the event loop, so it rides the dispatcher like
+        // work — minus admission (replicas must keep catching up
+        // precisely when the primary is shedding query traffic).
+        Request::WalShip { .. } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                deliver(
+                    conn,
+                    seq,
+                    error_response(ErrorCode::ShuttingDown, "server is draining"),
+                );
+                return;
+            }
+            conn.pending.push_back(PendingWork {
+                seq,
+                req,
+                deadline: Deadline::none(),
+                write: false,
+                control: true,
+                enqueued_at: spb_obs::clock::now(),
+            });
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -506,6 +531,7 @@ fn handle_parsed(conn: &mut Conn, shared: &Shared, req: Request) {
                         req: work,
                         deadline,
                         write,
+                        control: false,
                         enqueued_at: spb_obs::clock::now(),
                     });
                 }
@@ -542,6 +568,7 @@ fn pump(conn: &mut Conn, shared: &Shared) {
             req: w.req,
             deadline: w.deadline,
             write: w.write,
+            control: w.control,
             enqueued_at: w.enqueued_at,
         });
     }
@@ -727,6 +754,10 @@ fn accept_ready(
                     continue;
                 }
                 if *live >= shared.cfg.max_connections {
+                    // spb-lint: allow(block-reach) — refuse_connection
+                    // writes one small frame under a 100 ms write
+                    // timeout; a bounded courtesy beats silently
+                    // dropping the socket.
                     crate::server::refuse_connection(stream);
                     continue;
                 }
@@ -775,10 +806,7 @@ fn drain_waker(rx: &UnixStream) {
 /// reuse), releases the barrier, and pumps newly eligible work.
 fn route_completions(shared: &Shared, conns: &mut [Option<Conn>]) {
     let comps = {
-        let mut g = shared
-            .completions
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut g = shared.lock_completions();
         std::mem::take(&mut *g)
     };
     for comp in comps {
@@ -810,7 +838,9 @@ fn begin_drain(shared: &Shared, conns: &mut [Option<Conn>]) {
         c.close_after_drain = true;
         let pend: Vec<PendingWork> = c.pending.drain(..).collect();
         for w in pend {
-            shared.admission.release_queued();
+            if !w.control {
+                shared.admission.release_queued();
+            }
             deliver(
                 c,
                 w.seq,
@@ -832,8 +862,10 @@ fn close_conn(
 ) {
     let Some(slot) = conns.get_mut(i) else { return };
     let Some(mut c) = slot.take() else { return };
-    for _w in c.pending.drain(..) {
-        shared.admission.release_queued();
+    for w in c.pending.drain(..) {
+        if !w.control {
+            shared.admission.release_queued();
+        }
     }
     free.push(i);
     *live = live.saturating_sub(1);

@@ -1,0 +1,105 @@
+//! Ranked guards for the server's own `std::sync` mutexes.
+//!
+//! The storage crate's [`spb_storage::lockrank`] layer covers the
+//! `parking_lot` locks below the service boundary; the server's locks
+//! (completion queue, dispatcher queue, admission counters) are plain
+//! [`std::sync::Mutex`]es — this module gives them the same treatment:
+//! every acquisition goes through [`lock`], which registers the rank on
+//! the debug-build thread-local stack *before* blocking, so an ordering
+//! violation panics instead of deadlocking. Poisoning is tolerated
+//! everywhere (`PoisonError::into_inner`): a panicking worker must not
+//! wedge the event loop.
+//!
+//! `spb-lint`'s interprocedural `lock-graph` rule recognises the
+//! `lock_completions` / `lock_queue` / `lock_counters` helpers built on
+//! this module and checks rank ascent across the whole call graph.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use spb_storage::lockrank::{acquire, HeldRank, LockRank};
+
+/// A [`MutexGuard`] tied to its rank registration. The mutex guard
+/// drops (releasing the lock) before the rank pops, mirroring
+/// `lockrank::RankedMutexGuard` for `parking_lot`.
+#[derive(Debug)]
+pub(crate) struct RankedGuard<'a, T: ?Sized> {
+    guard: MutexGuard<'a, T>,
+    held: HeldRank,
+}
+
+impl<T: ?Sized> std::ops::Deref for RankedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<'a, T> RankedGuard<'a, T> {
+    /// Waits on `cv` with a timeout, releasing and re-acquiring the
+    /// mutex like [`Condvar::wait_timeout`]. The rank registration is
+    /// kept across the wait: the thread re-holds the same lock on wake,
+    /// and it acquires nothing else while parked.
+    pub fn wait_timeout_on(self, cv: &Condvar, dur: Duration) -> RankedGuard<'a, T> {
+        let RankedGuard { guard, held } = self;
+        let (guard, _timeout) = cv
+            .wait_timeout(guard, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        RankedGuard { guard, held }
+    }
+}
+
+/// Locks `mutex` at `rank`, tolerating poison. The rank check runs
+/// before blocking so a cycle panics (debug builds) instead of hanging.
+pub(crate) fn lock<T: ?Sized>(mutex: &Mutex<T>, rank: LockRank) -> RankedGuard<'_, T> {
+    let held = acquire(rank);
+    RankedGuard {
+        guard: mutex.lock().unwrap_or_else(PoisonError::into_inner),
+        held,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_derefs_and_releases() {
+        let m = Mutex::new(7u32);
+        {
+            let mut g = lock(&m, LockRank::DispatchQueue);
+            *g += 1;
+        }
+        assert_eq!(*lock(&m, LockRank::DispatchQueue), 8);
+    }
+
+    #[test]
+    fn wait_timeout_keeps_the_guard_usable() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let g = lock(&m, LockRank::DispatchQueue);
+        let mut g = g.wait_timeout_on(&cv, Duration::from_millis(1));
+        *g = 5;
+        drop(g);
+        assert_eq!(*lock(&m, LockRank::DispatchQueue), 5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn descending_acquisition_panics_in_debug() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let _counters = lock(&a, LockRank::AdmissionCounters);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _queue = lock(&b, LockRank::DispatchQueue);
+        }));
+        assert!(r.is_err(), "rank 2 after rank 4 must panic");
+    }
+}

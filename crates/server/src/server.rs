@@ -33,10 +33,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
+use spb_storage::lockrank::LockRank;
+
 use crate::admission::{Admission, AdmissionConfig, AdmitError};
 use crate::dispatch::{self, Completion, DispatchQueue};
 use crate::event_loop::{self, Waker};
-use crate::service::{IndexService, ServiceError};
+use crate::ranked::{self, RankedGuard};
+use crate::service::IndexService;
 use crate::wire::{write_frame, ErrorCode, Request, Response, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 
 /// Server sizing and limits.
@@ -85,6 +88,16 @@ pub(crate) struct Shared {
     pub(crate) completions: Mutex<Vec<Completion>>,
     /// Wakes the event loop when completions land or shutdown starts.
     pub(crate) waker: Waker,
+}
+
+impl Shared {
+    /// Acquires the completion-queue mutex at rank 1 — the single
+    /// sanctioned acquisition point. Lowest rank in the workspace:
+    /// both producers (workers) and the consumer (event loop) take it
+    /// briefly with no other ranked lock held.
+    pub(crate) fn lock_completions(&self) -> RankedGuard<'_, Vec<Completion>> {
+        ranked::lock(&self.completions, LockRank::EventCompletions)
+    }
 }
 
 /// A running server. Dropping the handle shuts the server down and joins
@@ -246,10 +259,11 @@ pub(crate) fn admit_error_response(e: AdmitError) -> Response {
     }
 }
 
-/// Answers a control-plane request. These bypass admission — they must
-/// stay answerable under overload — and are served inline on the event
-/// loop (all are cheap in-memory reads; `WalShip` reads the WAL file,
-/// which is small between checkpoints).
+/// Answers an in-memory control-plane request. These bypass admission —
+/// they must stay answerable under overload — and are served inline on
+/// the event loop (all are cheap in-memory reads). `WalShip` is
+/// control-plane too but reads the WAL file, so it runs on a dispatcher
+/// worker instead (see [`crate::dispatch`]).
 pub(crate) fn control_response(req: Request, shared: &Shared) -> Response {
     let svc = shared.service.as_ref();
     match req {
@@ -269,16 +283,6 @@ pub(crate) fn control_response(req: Request, shared: &Shared) -> Response {
         },
         Request::ObsStats => Response::ObsStats {
             snapshot: spb_obs::snapshot(),
-        },
-        // Replication is control-plane too: replicas must keep catching
-        // up precisely when the primary is shedding query traffic.
-        Request::WalShip { from_lsn } => match svc.wal_segment(from_lsn) {
-            Ok((wal_len, frames)) => Response::WalShip { wal_len, frames },
-            Err(ServiceError::Malformed(m)) => error_response(ErrorCode::Malformed, m),
-            Err(ServiceError::DeadlineExceeded) => {
-                error_response(ErrorCode::DeadlineExceeded, "deadline expired")
-            }
-            Err(ServiceError::Internal(m)) => error_response(ErrorCode::Internal, m),
         },
         other => {
             // Work and Shutdown requests are routed before this point;

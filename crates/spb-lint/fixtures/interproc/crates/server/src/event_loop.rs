@@ -1,0 +1,7 @@
+//! Interproc bad fixture: the event loop calls a helper that blocks
+//! one hop away; no literal blocking token appears in this file, so
+//! only the call graph connects the dots.
+
+pub fn pump_replication(lsn: u64) -> u64 {
+    ship_segment(lsn)
+}

@@ -1,0 +1,12 @@
+//! Interproc bad fixture: the blocking site lives one hop below the
+//! helper the event loop reaches for.
+
+pub fn ship_segment(lsn: u64) -> u64 {
+    read_wal(lsn)
+}
+
+fn read_wal(lsn: u64) -> u64 {
+    let mut buf = [0u8; 8];
+    wal_file().read_exact(&mut buf).ok();
+    u64::from_le_bytes(buf) + lsn
+}

@@ -1,0 +1,13 @@
+//! Interproc bad fixture: panic capability two hops below the API.
+
+pub fn decode_header(buf: &[u8]) -> u64 {
+    header_word(buf)
+}
+
+fn header_word(buf: &[u8]) -> u64 {
+    first_byte(buf) as u64
+}
+
+fn first_byte(buf: &[u8]) -> u8 {
+    buf.first().copied().unwrap()
+}

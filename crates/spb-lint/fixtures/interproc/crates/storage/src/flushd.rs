@@ -1,0 +1,26 @@
+//! Interproc bad fixture: a rank-30 → rank-20 descent across the call
+//! graph (`flush_all` holds the pending-set lock while `evict` takes a
+//! shard latch), plus the rank cycle it closes against `refill`'s
+//! legal 20 → 30 edge.
+
+pub struct Flushd;
+
+impl Flushd {
+    pub fn flush_all(&self) {
+        let _pending = self.lock_pending();
+        self.evict();
+    }
+
+    pub fn refill(&self) {
+        let _inner = self.lock_inner();
+        self.journal();
+    }
+
+    fn evict(&self) {
+        let _inner = self.lock_inner();
+    }
+
+    fn journal(&self) {
+        let _pending = self.lock_pending();
+    }
+}

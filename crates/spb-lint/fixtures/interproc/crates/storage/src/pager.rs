@@ -1,0 +1,7 @@
+//! Interproc bad fixture: this file poses as the pager no-panic zone.
+//! Nothing here panics locally — the defect is the call below, which
+//! reaches a `.unwrap()` two hops away in `codec.rs`.
+
+pub fn load_header(buf: &[u8]) -> u64 {
+    decode_header(buf)
+}

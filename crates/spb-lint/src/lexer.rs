@@ -65,10 +65,25 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
+std::thread_local! {
+    /// Count of `lex` invocations on this thread. `run()` is
+    /// single-threaded, so the single-pass invariant test can assert
+    /// the delta over one run equals the number of files scanned
+    /// (thread-local rather than a global atomic so parallel test
+    /// binaries cannot interfere with each other).
+    static LEX_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of times [`lex`] has run on the calling thread.
+pub fn lex_count() -> u64 {
+    LEX_CALLS.with(|c| c.get())
+}
+
 /// Tokenizes `src`. Unterminated literals are tolerated (the rest of
 /// the file is swallowed into the literal) — the linter must not panic
 /// on malformed fixtures.
 pub fn lex(src: &str) -> LexFile {
+    LEX_CALLS.with(|c| c.set(c.get() + 1));
     let chars: Vec<char> = src.chars().collect();
     let mut out = LexFile::default();
     let mut i = 0usize;

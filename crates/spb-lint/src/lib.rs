@@ -20,7 +20,14 @@
 //! | `raw-instant` | deny | no bare `Instant::now()` on hot paths; time through `spb_obs::clock` |
 //! | `no-block-in-event-loop` | deny | no blocking I/O (`read_exact`/`write_all`/`accept`) on the event-loop thread |
 //! | `nan-unsafe` | deny | no `partial_cmp` float comparisons in the accel zone; use `total_cmp` |
+//! | `panic-reach` | deny | no-panic zones must not *call into* panic-capable helpers, transitively |
+//! | `lock-graph` | deny | global held-rank→acquired-rank edge graph is acyclic and ascending |
+//! | `block-reach` | deny | nothing reachable from the event-loop dispatch path may block |
 //! | `bad-allow` | deny | malformed suppression markers |
+//!
+//! The last three are *interprocedural*: they run over a whole-workspace
+//! call graph ([`ast`] → [`callgraph`] → [`reach`]) and print witness
+//! call chains as evidence.
 //!
 //! # Suppression markers
 //!
@@ -33,7 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod reach;
 pub mod rules;
 
 use std::fmt;
@@ -65,11 +75,38 @@ pub enum Rule {
     /// NaN-unsafe float comparison (`partial_cmp`) in the accel zone,
     /// where model parameters come from arithmetic that can degenerate.
     NanUnsafe,
+    /// A no-panic-zone function calls (transitively, across crates) a
+    /// helper that can panic.
+    PanicReach,
+    /// The global held-rank→acquired-rank lock graph has a descending
+    /// or cyclic edge.
+    LockGraph,
+    /// A blocking call is reachable (transitively) from the event-loop
+    /// dispatch path.
+    BlockReach,
     /// Malformed suppression marker.
     BadAllow,
 }
 
 impl Rule {
+    /// Every registered rule — the meta-test walks this to enforce
+    /// that each one has a live bad fixture. Keep in sync with the
+    /// enum (the `slug`/`from_slug` round-trip test guards drift).
+    pub const ALL: &'static [Rule] = &[
+        Rule::NoPanic,
+        Rule::NoUnsafe,
+        Rule::LockOrder,
+        Rule::CatchAll,
+        Rule::DeadVariant,
+        Rule::RawInstant,
+        Rule::NoBlockInEventLoop,
+        Rule::NanUnsafe,
+        Rule::PanicReach,
+        Rule::LockGraph,
+        Rule::BlockReach,
+        Rule::BadAllow,
+    ];
+
     /// Stable diagnostic slug, also used in suppression markers.
     pub fn slug(self) -> &'static str {
         match self {
@@ -81,6 +118,9 @@ impl Rule {
             Rule::RawInstant => "raw-instant",
             Rule::NoBlockInEventLoop => "no-block-in-event-loop",
             Rule::NanUnsafe => "nan-unsafe",
+            Rule::PanicReach => "panic-reach",
+            Rule::LockGraph => "lock-graph",
+            Rule::BlockReach => "block-reach",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -97,6 +137,9 @@ impl Rule {
             "raw-instant" => Some(Rule::RawInstant),
             "no-block-in-event-loop" => Some(Rule::NoBlockInEventLoop),
             "nan-unsafe" => Some(Rule::NanUnsafe),
+            "panic-reach" => Some(Rule::PanicReach),
+            "lock-graph" => Some(Rule::LockGraph),
+            "block-reach" => Some(Rule::BlockReach),
             "bad-allow" => Some(Rule::BadAllow),
             other => {
                 let _ = other;
@@ -254,10 +297,100 @@ pub fn run(cfg: &Config) -> Report {
     rules::crate_roots(&datas, &mut report.violations);
     rules::dead_variants(&datas, &mut report.violations);
 
+    // Interprocedural pass: one AST per file (from the already-lexed
+    // token buffer — no re-lex), one workspace call graph, three rules.
+    let asts: Vec<ast::FileAst> = datas.iter().map(ast::parse).collect();
+    let graph = callgraph::build(&datas, &asts);
+    rules::panic_reach(&datas, &graph, &mut report.violations);
+    rules::block_reach(&datas, &graph, &mut report.violations);
+    rules::lock_graph(&datas, &graph, &mut report.violations);
+
     report
         .violations
         .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     report
+}
+
+/// Files changed relative to `HEAD` (staged + unstaged + untracked),
+/// as repo-relative paths — the scope for `--changed-only`. Returns
+/// `None` when `git` is unavailable or `root` is not a work tree; the
+/// caller should then fall back to reporting everything.
+pub fn changed_files(root: &Path) -> Option<std::collections::HashSet<String>> {
+    let run_git = |args: &[&str]| -> Option<Vec<String>> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty())
+                .collect(),
+        )
+    };
+    let mut set = std::collections::HashSet::new();
+    set.extend(run_git(&["diff", "--name-only", "HEAD"])?);
+    set.extend(run_git(&["ls-files", "--others", "--exclude-standard"])?);
+    Some(set)
+}
+
+/// Minimal JSON string escaping (the only JSON writer this crate needs;
+/// the environment is offline, so no serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// Machine-readable report for `--format json`: a stable object CI
+    /// can archive and diff against a committed baseline.
+    pub fn to_json(&self, deny_all: bool) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        let errors = self.denied(deny_all).count();
+        s.push_str(&format!("  \"errors\": {},\n", errors));
+        s.push_str(&format!(
+            "  \"warnings\": {},\n",
+            self.violations.len() - errors
+        ));
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let sev = if v.rule.denied(deny_all) {
+                "error"
+            } else {
+                "warning"
+            };
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&v.file),
+                v.line,
+                v.rule.slug(),
+                sev,
+                json_escape(&v.message),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
 }
 
 /// Lexes one file, strips test items, and parses its markers (pushing
@@ -515,6 +648,44 @@ mod tests {
         );
         assert_eq!(bad.len(), 1);
         assert!(bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn rule_all_round_trips_through_slugs() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_slug(r.slug()), Some(*r), "{}", r.slug());
+        }
+        // ALL is exhaustive as far as slugs go: a duplicate would shadow.
+        let slugs: std::collections::HashSet<_> = Rule::ALL.iter().map(|r| r.slug()).collect();
+        assert_eq!(slugs.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let report = Report {
+            violations: vec![
+                Violation {
+                    file: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    rule: Rule::NoPanic,
+                    message: "has a \"quote\"".into(),
+                },
+                Violation {
+                    file: "crates/x/src/b.rs".into(),
+                    line: 9,
+                    rule: Rule::DeadVariant,
+                    message: "warn-level".into(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        let json = report.to_json(false);
+        assert!(json.contains("\"files_scanned\": 2"), "{json}");
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\"warnings\": 1"), "{json}");
+        assert!(json.contains("has a \\\"quote\\\""), "{json}");
+        assert!(json.contains("\"rule\": \"no-panic\""), "{json}");
+        assert!(json.contains("\"severity\": \"warning\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Reachability over the workspace call graph: which functions can
+//! transitively reach a *capability source* (a panic site, a blocking
+//! call, a ranked lock acquisition), and the shortest witness chain
+//! proving it.
+//!
+//! The engine is a multi-source reverse BFS. Sources are functions
+//! with a *local* capability (e.g. a literal `.unwrap(` in the body);
+//! the BFS then walks call edges backwards, so `capable[f]` means
+//! "f has the capability locally, or some call path from f reaches a
+//! function that does". Because it is a BFS, the recorded predecessor
+//! chain is a shortest path — witness output stays readable even in a
+//! dense graph.
+
+use crate::callgraph::{CallGraph, EdgeKind};
+
+/// Why a function is capable.
+#[derive(Clone, Debug)]
+pub enum Reason {
+    /// The capability is local: `line` + a description of the site
+    /// (e.g. "`.unwrap()`" or "`file.read_exact()`").
+    Local {
+        /// 1-based line of the site.
+        line: u32,
+        /// Human description of the site.
+        what: String,
+    },
+    /// Capability flows in through a call to `callee` at `line`.
+    Call {
+        /// Graph index of the capable callee.
+        callee: usize,
+        /// 1-based line of the call site.
+        line: u32,
+    },
+}
+
+/// Result of a reachability pass.
+pub struct Reach {
+    /// `Some(reason)` iff the fn is capable.
+    pub reason: Vec<Option<Reason>>,
+}
+
+impl Reach {
+    /// Whether `f` can reach a source.
+    pub fn capable(&self, f: usize) -> bool {
+        self.reason[f].is_some()
+    }
+
+    /// The witness chain from `f` down to the local site, as
+    /// `(label, file, line)` hops: the first entry is `f`'s call site,
+    /// the last is the local capability. Empty if `f` is not capable.
+    pub fn chain(&self, g: &CallGraph, f: usize) -> Vec<ChainHop> {
+        let mut hops = Vec::new();
+        let mut cur = f;
+        // The graph is finite and each Call reason was recorded during
+        // a BFS (so following it strictly decreases BFS depth), but
+        // cap the walk anyway so a logic bug cannot loop forever.
+        for _ in 0..self.reason.len() + 1 {
+            match &self.reason[cur] {
+                Some(Reason::Local { line, what }) => {
+                    hops.push(ChainHop {
+                        label: g.label(cur),
+                        file: g.fns[cur].file.clone(),
+                        line: *line,
+                        what: Some(what.clone()),
+                    });
+                    break;
+                }
+                Some(Reason::Call { callee, line }) => {
+                    hops.push(ChainHop {
+                        label: g.label(cur),
+                        file: g.fns[cur].file.clone(),
+                        line: *line,
+                        what: None,
+                    });
+                    cur = *callee;
+                }
+                None => break,
+            }
+        }
+        hops
+    }
+
+    /// Renders the chain as ` via A (file:line) -> B (file:line) -> …
+    /// -> local site`. The first hop (the flagged function itself) is
+    /// skipped when `skip_first` — its site is already the diagnostic's
+    /// `file:line`.
+    pub fn render_chain(&self, g: &CallGraph, f: usize, skip_first: bool) -> String {
+        let hops = self.chain(g, f);
+        let mut parts = Vec::new();
+        for (i, h) in hops.iter().enumerate() {
+            if i == 0 && skip_first {
+                continue;
+            }
+            match &h.what {
+                Some(w) => parts.push(format!("{} ({}:{}: {})", h.label, h.file, h.line, w)),
+                None => parts.push(format!("{} ({}:{})", h.label, h.file, h.line)),
+            }
+        }
+        parts.join(" -> ")
+    }
+}
+
+/// One hop of a witness chain.
+#[derive(Clone, Debug)]
+pub struct ChainHop {
+    /// `Type::name` label of the hop's function.
+    pub label: String,
+    /// Repo-relative defining file.
+    pub file: String,
+    /// 1-based line (call site, or the local site for the last hop).
+    pub line: u32,
+    /// `Some(description)` on the terminal hop (the local site).
+    pub what: Option<String>,
+}
+
+/// Computes reachability from `sources` (fn index, local line, site
+/// description), following edges whose kind passes `follow`.
+pub fn compute(
+    g: &CallGraph,
+    sources: &[(usize, u32, String)],
+    follow: impl Fn(EdgeKind) -> bool,
+) -> Reach {
+    let n = g.fns.len();
+    let mut reason: Vec<Option<Reason>> = vec![None; n];
+    // Reverse adjacency: for each callee, who calls it and where.
+    let mut rev: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for (caller, edges) in g.edges.iter().enumerate() {
+        for e in edges {
+            if follow(e.kind) {
+                rev[e.to].push((caller, e.line));
+            }
+        }
+    }
+    let mut queue = std::collections::VecDeque::new();
+    for (f, line, what) in sources {
+        if reason[*f].is_none() {
+            reason[*f] = Some(Reason::Local {
+                line: *line,
+                what: what.clone(),
+            });
+            queue.push_back(*f);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &(caller, line) in &rev[cur] {
+            if reason[caller].is_none() {
+                reason[caller] = Some(Reason::Call { callee: cur, line });
+                queue.push_back(caller);
+            }
+        }
+    }
+    Reach { reason }
+}
+
+/// Per-function transitive set accumulation (used by lock-graph for
+/// "ranks this fn may acquire, directly or through calls"): a worklist
+/// fixpoint that unions each caller's set with its callees' sets.
+/// `local` seeds each fn; edges are followed caller→callee when
+/// `follow` passes. Sets are small (ranks are u8), kept as sorted vecs.
+pub fn transitive_union(
+    g: &CallGraph,
+    local: &[Vec<u8>],
+    follow: impl Fn(EdgeKind) -> bool,
+) -> Vec<Vec<u8>> {
+    let n = g.fns.len();
+    let mut acc: Vec<Vec<u8>> = local.to_vec();
+    for s in &mut acc {
+        s.sort_unstable();
+        s.dedup();
+    }
+    // Reverse edges: when a callee's set grows, its callers are dirty.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (caller, edges) in g.edges.iter().enumerate() {
+        for e in edges {
+            if follow(e.kind) {
+                rev[e.to].push(caller);
+            }
+        }
+    }
+    let mut dirty: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut in_queue = vec![true; n];
+    while let Some(f) = dirty.pop_front() {
+        in_queue[f] = false;
+        // f's set = local[f] ∪ union of callees' sets.
+        let mut merged = acc[f].clone();
+        for e in &g.edges[f] {
+            if follow(e.kind) {
+                merged.extend_from_slice(&acc[e.to]);
+            }
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        if merged != acc[f] {
+            acc[f] = merged;
+            for &caller in &rev[f] {
+                if !in_queue[caller] {
+                    in_queue[caller] = true;
+                    dirty.push_back(caller);
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use crate::ast::FileAst;
+    use crate::callgraph::build;
+    use crate::FileData;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let mut out = Vec::new();
+        let datas: Vec<FileData> = files
+            .iter()
+            .map(|(rel, src)| analyze(rel.to_string(), src, &mut out))
+            .collect();
+        let asts: Vec<FileAst> = datas.iter().map(crate::ast::parse).collect();
+        build(&datas, &asts)
+    }
+
+    fn idx(g: &CallGraph, label: &str) -> usize {
+        (0..g.fns.len())
+            .find(|&i| g.label(i) == label)
+            .unwrap_or_else(|| panic!("no fn {label}"))
+    }
+
+    #[test]
+    fn three_hop_chain_is_reconstructed() {
+        let g = graph(&[(
+            "crates/a/src/m.rs",
+            "fn top() { mid(); }\nfn mid() { bot(); }\nfn bot() {}\n",
+        )]);
+        let bot = idx(&g, "bot");
+        let r = compute(&g, &[(bot, 3, "`.unwrap()`".into())], |_| true);
+        let top = idx(&g, "top");
+        assert!(r.capable(top));
+        let chain = r.chain(&g, top);
+        let labels: Vec<_> = chain.iter().map(|h| h.label.as_str()).collect();
+        assert_eq!(labels, ["top", "mid", "bot"]);
+        assert_eq!(chain[2].what.as_deref(), Some("`.unwrap()`"));
+        let rendered = r.render_chain(&g, top, false);
+        assert!(
+            rendered.contains("top (crates/a/src/m.rs:1)")
+                && rendered.contains("-> bot (crates/a/src/m.rs:3: `.unwrap()`)"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn bfs_prefers_the_shortest_witness() {
+        // top -> bot directly AND top -> mid -> bot: the chain from top
+        // must be the 2-hop one.
+        let g = graph(&[(
+            "crates/a/src/m.rs",
+            "fn top() { mid(); bot(); }\nfn mid() { bot(); }\nfn bot() {}\n",
+        )]);
+        let bot = idx(&g, "bot");
+        let r = compute(&g, &[(bot, 3, "x".into())], |_| true);
+        let chain = r.chain(&g, idx(&g, "top"));
+        assert_eq!(chain.len(), 2, "{chain:?}");
+    }
+
+    #[test]
+    fn edge_kind_filter_cuts_dyn_paths() {
+        let g = graph(&[(
+            "crates/a/src/m.rs",
+            "trait S { fn go(&self); }\nimpl S for T { fn go(&self) { boom(); } }\nfn drive(s: &dyn S) { s.go(); }\nfn boom() {}\n",
+        )]);
+        let boom = idx(&g, "boom");
+        let all = compute(&g, &[(boom, 4, "x".into())], |_| true);
+        assert!(all.capable(idx(&g, "drive")));
+        let static_only = compute(&g, &[(boom, 4, "x".into())], |k| k == EdgeKind::Static);
+        assert!(!static_only.capable(idx(&g, "drive")));
+        assert!(static_only.capable(idx(&g, "T::go")));
+    }
+
+    #[test]
+    fn transitive_union_reaches_fixpoint_through_cycles() {
+        // a -> b -> c -> a (cycle), c locally has rank 20, a has 10.
+        let g = graph(&[(
+            "crates/a/src/m.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { a(); }\n",
+        )]);
+        let n = g.fns.len();
+        let mut local = vec![Vec::new(); n];
+        local[idx(&g, "a")] = vec![10];
+        local[idx(&g, "c")] = vec![20];
+        let acc = transitive_union(&g, &local, |_| true);
+        for f in ["a", "b", "c"] {
+            assert_eq!(acc[idx(&g, f)], vec![10, 20], "{f}");
+        }
+    }
+}

@@ -237,7 +237,10 @@ fn unsafe_attr(toks: &[Tok]) -> Option<(&str, u32)> {
 /// acquisition helpers; see the raw-pattern half below for the ban on
 /// bypassing them.
 pub const RANKED_HELPERS: &[(&str, u8, bool)] = &[
+    ("lock_completions", 1, false),
+    ("lock_queue", 2, false),
     ("lock_conns", 3, false),
+    ("lock_counters", 4, false),
     ("state_shared", 5, true),
     ("state_exclusive", 5, false),
     ("latch_shared", 10, true),
@@ -307,6 +310,24 @@ const RAW_PATTERNS: &[RawPattern] = &[
         prefix: true,
         seq: &[".", "state", ".", "write", "("],
         fix: "use Replica::state_exclusive()",
+    },
+    RawPattern {
+        file: "crates/server/src/",
+        prefix: true,
+        seq: &[".", "completions", ".", "lock", "("],
+        fix: "use Shared::lock_completions()",
+    },
+    RawPattern {
+        file: "crates/server/src/dispatch.rs",
+        prefix: false,
+        seq: &[".", "q", ".", "lock", "("],
+        fix: "use DispatchQueue::lock_queue()",
+    },
+    RawPattern {
+        file: "crates/server/src/admission.rs",
+        prefix: false,
+        seq: &[".", "counters", ".", "lock", "("],
+        fix: "use AdmissionInner::lock_counters()",
     },
 ];
 
@@ -726,6 +747,620 @@ fn extract_members(toks: &[Tok], target: &Target) -> Option<(Members, LineSpan)>
         k += 1;
     }
     Some((members, span))
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules (R9–R11): these run over the whole-workspace
+// call graph (`ast` → `callgraph` → `reach`) instead of single files,
+// and print a witness call chain as evidence with every finding.
+// ---------------------------------------------------------------------------
+
+use crate::callgraph::{CallGraph, EdgeKind};
+use crate::reach;
+
+/// Groups graph fn indices by their defining file (parallel to `datas`).
+fn fns_by_file(g: &CallGraph, nfiles: usize) -> Vec<Vec<usize>> {
+    let mut per = vec![Vec::new(); nfiles];
+    for f in 0..g.fns.len() {
+        per[g.file_of[f]].push(f);
+    }
+    per
+}
+
+/// Body token ranges of fns nested inside `f` (same file). Scans of
+/// `f`'s body skip these so a nested fn's sites/holds are attributed
+/// to the nested fn, which is its own graph node.
+fn nested_ranges(g: &CallGraph, f: usize, same_file: &[usize]) -> Vec<(usize, usize)> {
+    let body = g.fns[f].item.body;
+    same_file
+        .iter()
+        .filter(|&&o| o != f)
+        .map(|&o| g.fns[o].item.body)
+        .filter(|&(s, e)| s > body.0 && e <= body.1 && s < e)
+        .collect()
+}
+
+/// Macros whose reach makes a helper panic-capable for `panic-reach`.
+/// Narrower than the token rule's list: the `assert!` family is
+/// excluded — libraries legitimately assert internal invariants
+/// (`Page::check_bounds`), and propagating every transitive assert
+/// would force allow-marker noise without catching the input-dependent
+/// panics the rule exists for. Direct asserts *inside* a zone are still
+/// caught by the token-level `no-panic` rule.
+const REACH_PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// R9 — `panic-reach`: a no-panic-zone function must not call (even
+/// transitively, across crates) a helper that can panic. Capability is
+/// `.unwrap()` / `.expect()` / a panicking macro, propagated backwards
+/// over **static** call edges only — trait-object dispatch is excluded
+/// because the `IndexService` surface would otherwise connect the
+/// decode zones to the whole query engine and drown the rule in
+/// allow-markers (documented approximation; the service layer has its
+/// own error discipline). The finding sits on the zone-side call site
+/// and carries the full chain down to the panic site.
+pub fn panic_reach(datas: &[FileData], g: &CallGraph, out: &mut Vec<Violation>) {
+    let per_file = fns_by_file(g, datas.len());
+    let mut sources = Vec::new();
+    for f in 0..g.fns.len() {
+        let d = &datas[g.file_of[f]];
+        let body = g.fns[f].item.body;
+        if body.0 >= body.1 {
+            continue;
+        }
+        let nested = nested_ranges(g, f, &per_file[g.file_of[f]]);
+        let toks = &d.code;
+        let mut k = body.0;
+        while k < body.1.min(toks.len()) {
+            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
+                k = e;
+                continue;
+            }
+            let t = &toks[k];
+            if t.kind == TokKind::Ident {
+                let suppressed =
+                    d.allowed(Rule::NoPanic, t.line) || d.allowed(Rule::PanicReach, t.line);
+                let prev_dot = k > 0 && toks[k - 1].text == ".";
+                let next = toks.get(k + 1).map(|n| n.text.as_str());
+                if !suppressed {
+                    if prev_dot
+                        && next == Some("(")
+                        && matches!(t.text.as_str(), "unwrap" | "expect")
+                    {
+                        sources.push((f, t.line, format!("`.{}()`", t.text)));
+                    } else if next == Some("!")
+                        && REACH_PANIC_MACROS.contains(&t.text.as_str())
+                        && matches!(
+                            toks.get(k + 2).map(|n| n.text.as_str()),
+                            Some("(") | Some("[") | Some("{")
+                        )
+                    {
+                        sources.push((f, t.line, format!("`{}!`", t.text)));
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    let r = reach::compute(g, &sources, |k| k == EdgeKind::Static);
+    for f in 0..g.fns.len() {
+        if !NO_PANIC_ZONES.contains(&g.fns[f].file.as_str()) {
+            continue;
+        }
+        let d = &datas[g.file_of[f]];
+        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        for e in &g.edges[f] {
+            if e.kind != EdgeKind::Static {
+                continue;
+            }
+            // Zone-internal callees are skipped: their own out-of-zone
+            // call sites (or their literal panic sites, via `no-panic`)
+            // produce the report, closer to the cause.
+            if NO_PANIC_ZONES.contains(&g.fns[e.to].file.as_str()) {
+                continue;
+            }
+            if !r.capable(e.to) || !seen.insert((e.line, e.to)) {
+                continue;
+            }
+            push(
+                d,
+                out,
+                Rule::PanicReach,
+                e.line,
+                format!(
+                    "call from a no-panic zone to `{}` can panic: {}",
+                    g.label(e.to),
+                    r.render_chain(g, e.to, false)
+                ),
+            );
+        }
+    }
+}
+
+/// Method calls that park the calling thread with no `WouldBlock`
+/// escape. `.lock()` and the ranked lock helpers are deliberately
+/// absent — lock waits are governed by `lock-graph` (bounded by rank
+/// discipline), and flagging every mutex would make the rule
+/// unusable. `.flush()`/`.join()`/`.metadata()` are likewise excluded
+/// as too ambiguous against std collection/string methods.
+const BLOCKING_METHODS: &[&str] = &[
+    "read_exact",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "wait",
+    "wait_timeout",
+    "wait_timeout_while",
+    "accept",
+    "recv",
+    "recv_timeout",
+    "open",
+];
+
+/// Qualified-path calls that block: filesystem entry points and thread
+/// parking.
+fn blocking_path(qualifier: &str, name: &str) -> bool {
+    match qualifier {
+        "fs" => true,
+        "File" => matches!(name, "open" | "create"),
+        "OpenOptions" => name == "open",
+        "thread" => matches!(name, "sleep" | "park"),
+        other => {
+            let _ = other;
+            false
+        }
+    }
+}
+
+/// R10 — `block-reach`: nothing reachable from the event-loop dispatch
+/// path may block. This generalizes the token-level
+/// `no-block-in-event-loop` (which only sees literal call sites inside
+/// `event_loop.rs`): blocking capability — sync file/socket I/O,
+/// condvar waits, channel receives, thread sleeps — is propagated
+/// backwards over **all** call edges including trait dispatch, and any
+/// event-loop function calling an out-of-module capable helper is
+/// flagged with the chain down to the blocking site.
+pub fn block_reach(datas: &[FileData], g: &CallGraph, out: &mut Vec<Violation>) {
+    let per_file = fns_by_file(g, datas.len());
+    let mut sources = Vec::new();
+    for f in 0..g.fns.len() {
+        let d = &datas[g.file_of[f]];
+        let body = g.fns[f].item.body;
+        if body.0 >= body.1 {
+            continue;
+        }
+        let nested = nested_ranges(g, f, &per_file[g.file_of[f]]);
+        let toks = &d.code;
+        let mut k = body.0;
+        while k < body.1.min(toks.len()) {
+            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
+                k = e;
+                continue;
+            }
+            let t = &toks[k];
+            if t.kind == TokKind::Ident && toks.get(k + 1).is_some_and(|n| n.text == "(") {
+                let suppressed = d.allowed(Rule::NoBlockInEventLoop, t.line)
+                    || d.allowed(Rule::BlockReach, t.line);
+                if !suppressed {
+                    let prev_dot = k > 0 && toks[k - 1].text == ".";
+                    if prev_dot && BLOCKING_METHODS.contains(&t.text.as_str()) {
+                        sources.push((f, t.line, format!("`.{}()`", t.text)));
+                    } else if k >= 3
+                        && toks[k - 1].text == ":"
+                        && toks[k - 2].text == ":"
+                        && toks[k - 3].kind == TokKind::Ident
+                        && blocking_path(&toks[k - 3].text, &t.text)
+                    {
+                        sources.push((f, t.line, format!("`{}::{}()`", toks[k - 3].text, t.text)));
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    let r = reach::compute(g, &sources, |_| true);
+    for f in 0..g.fns.len() {
+        if !EVENT_LOOP_FILES.contains(&g.fns[f].file.as_str()) {
+            continue;
+        }
+        let d = &datas[g.file_of[f]];
+        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        for e in &g.edges[f] {
+            if EVENT_LOOP_FILES.contains(&g.fns[e.to].file.as_str()) {
+                continue;
+            }
+            if !r.capable(e.to) || !seen.insert((e.line, e.to)) {
+                continue;
+            }
+            push(
+                d,
+                out,
+                Rule::BlockReach,
+                e.line,
+                format!(
+                    "call from the event-loop thread to `{}` can block: {}",
+                    g.label(e.to),
+                    r.render_chain(g, e.to, false)
+                ),
+            );
+        }
+    }
+}
+
+/// One observed held-rank → acquired-rank pair. Ranks are encoded as
+/// `rank * 2 + shared` so equal-rank shared/shared (legal: the join
+/// holds two tree latches shared) is distinguishable from equal-rank
+/// exclusive (a self-deadlock).
+struct RankEdge {
+    held: u8,
+    held_name: &'static str,
+    acq: u8,
+    file: String,
+    line: u32,
+    /// Human description of where the pair was observed.
+    desc: String,
+    /// Callee fn for the witness chain; `None` for within-fn pairs
+    /// (those are `lock-order`'s to flag — they only feed the cycle
+    /// digraph here).
+    callee: Option<usize>,
+}
+
+fn elem_rank(e: u8) -> u8 {
+    e / 2
+}
+
+fn elem_shared(e: u8) -> bool {
+    e % 2 == 1
+}
+
+/// R11 — `lock-graph`: the global held-rank → acquired-rank edge
+/// graph, built from every ranked-helper acquisition across all
+/// crates. A function's *acquirable set* is the ranks it may take
+/// directly or through any call chain (worklist fixpoint over the call
+/// graph, trait dispatch included). At every call site made while
+/// holding a ranked lock, each (held, acquirable) pair becomes a
+/// global edge; descending or equal-rank-not-shared/shared edges are
+/// violations carrying the chain from the callee down to the
+/// acquisition, and the rank digraph is checked for cycles with a
+/// witness path per cycle. This replaces trusting the per-file
+/// `lock-order` scan to compose across crates.
+pub fn lock_graph(datas: &[FileData], g: &CallGraph, out: &mut Vec<Violation>) {
+    let per_file = fns_by_file(g, datas.len());
+    let n = g.fns.len();
+    let mut local: Vec<Vec<u8>> = vec![Vec::new(); n];
+    // (elem, line, helper name) per fn — reach sources for witnesses.
+    let mut local_sites: Vec<(usize, u8, u32, &'static str)> = Vec::new();
+    let mut rank_edges: Vec<RankEdge> = Vec::new();
+    for f in 0..n {
+        let d = &datas[g.file_of[f]];
+        let body = g.fns[f].item.body;
+        if body.0 >= body.1 {
+            continue;
+        }
+        let nested = nested_ranges(g, f, &per_file[g.file_of[f]]);
+        let toks = &d.code;
+        let mut by_tok: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (ei, e) in g.edges[f].iter().enumerate() {
+            by_tok.entry(e.tok).or_default().push(ei);
+        }
+        struct Hold {
+            name: &'static str,
+            rank: u8,
+            shared: bool,
+            depth: usize,
+            /// Bound to a `let`: lives until the enclosing block closes.
+            /// Otherwise the guard is a temporary dropped at the end of
+            /// its statement (`self.state_shared().applied_lsn;`).
+            durable: bool,
+        }
+        let mut holds: Vec<Hold> = Vec::new();
+        let mut depth = 0usize;
+        let mut k = body.0;
+        while k < body.1.min(toks.len()) {
+            if let Some(&(_, e)) = nested.iter().find(|&&(s, _)| s == k) {
+                k = e;
+                continue;
+            }
+            let t = &toks[k];
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    holds.retain(|h| h.depth <= depth);
+                }
+                ";" => holds.retain(|h| h.durable || h.depth != depth),
+                _ => {
+                    // Call edges anchored at this token: snapshot holds
+                    // (the callee's acquirable set is joined in below,
+                    // after the fixpoint).
+                    if !holds.is_empty() {
+                        if let Some(eis) = by_tok.get(&k) {
+                            for &ei in eis {
+                                let e = &g.edges[f][ei];
+                                for h in &holds {
+                                    rank_edges.push(RankEdge {
+                                        held: h.rank * 2 + u8::from(h.shared),
+                                        held_name: h.name,
+                                        acq: 0, // patched below per acquirable elem
+                                        file: d.rel.clone(),
+                                        line: e.line,
+                                        desc: format!("`{}` calls `{}`", g.label(f), g.label(e.to)),
+                                        callee: Some(e.to),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // Local ranked acquisition (helper call site).
+                    if t.kind == TokKind::Ident
+                        && k > 0
+                        && toks[k - 1].text == "."
+                        && toks.get(k + 1).map(|n| n.text.as_str()) == Some("(")
+                    {
+                        if let Some(&(name, rank, shared)) =
+                            RANKED_HELPERS.iter().find(|(nm, _, _)| *nm == t.text)
+                        {
+                            let elem = rank * 2 + u8::from(shared);
+                            // Within-fn pairs feed the cycle digraph
+                            // only; `lock-order` flags the descent.
+                            for h in &holds {
+                                rank_edges.push(RankEdge {
+                                    held: h.rank * 2 + u8::from(h.shared),
+                                    held_name: h.name,
+                                    acq: elem,
+                                    file: d.rel.clone(),
+                                    line: t.line,
+                                    desc: format!(
+                                        "`{}` then `{}` in `{}`",
+                                        h.name,
+                                        name,
+                                        g.label(f)
+                                    ),
+                                    callee: None,
+                                });
+                            }
+                            local[f].push(elem);
+                            local_sites.push((f, elem, t.line, name));
+                            // Durable iff the statement binds the guard
+                            // itself: `let g = self.helper();` — i.e. a
+                            // `let` precedes the call in this statement
+                            // AND the call's `)` ends the statement. A
+                            // projection (`self.helper().field`) or an
+                            // unbound call drops the guard at its `;`.
+                            let mut cp = k + 1;
+                            let mut bal = 0usize;
+                            while cp < body.1.min(toks.len()) {
+                                match toks[cp].text.as_str() {
+                                    "(" => bal += 1,
+                                    ")" => {
+                                        bal -= 1;
+                                        if bal == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                cp += 1;
+                            }
+                            let ends_stmt = toks.get(cp + 1).map(|n| n.text.as_str()) == Some(";");
+                            let mut has_let = false;
+                            let mut b = k;
+                            while b > body.0 {
+                                b -= 1;
+                                match toks[b].text.as_str() {
+                                    ";" | "{" | "}" => break,
+                                    "let" => {
+                                        has_let = true;
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            holds.push(Hold {
+                                name,
+                                rank,
+                                shared,
+                                depth,
+                                durable: has_let && ends_stmt,
+                            });
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    let acq = reach::transitive_union(g, &local, |_| true);
+    // Expand call-site edges: one concrete edge per acquirable elem.
+    let mut expanded: Vec<RankEdge> = Vec::new();
+    for e in rank_edges {
+        match e.callee {
+            None => expanded.push(e),
+            Some(c) => {
+                for &elem in &acq[c] {
+                    expanded.push(RankEdge {
+                        acq: elem,
+                        ..clone_edge(&e)
+                    });
+                }
+            }
+        }
+    }
+    // Witness chains: one reachability pass per acquired elem in a
+    // violating edge (sources = every local acquisition of that elem).
+    let mut chain_cache: std::collections::HashMap<u8, reach::Reach> =
+        std::collections::HashMap::new();
+    let mut seen: HashSet<(String, u32, u8, u8)> = HashSet::new();
+    for e in &expanded {
+        let (hr, hs) = (elem_rank(e.held), elem_shared(e.held));
+        let (r, rs) = (elem_rank(e.acq), elem_shared(e.acq));
+        let legal = hr < r || (hr == r && hs && rs);
+        if legal {
+            continue;
+        }
+        let Some(c) = e.callee else {
+            continue; // within-fn descents are lock-order findings
+        };
+        if !seen.insert((e.file.clone(), e.line, e.held, e.acq)) {
+            continue;
+        }
+        let reach = chain_cache.entry(e.acq).or_insert_with(|| {
+            let sources: Vec<(usize, u32, String)> = local_sites
+                .iter()
+                .filter(|&&(_, elem, _, _)| elem == e.acq)
+                .map(|&(f, _, line, name)| (f, line, format!("`.{name}()`")))
+                .collect();
+            reach::compute(g, &sources, |_| true)
+        });
+        let Some(d) = datas.iter().find(|d| d.rel == e.file) else {
+            continue;
+        };
+        push(
+            d,
+            out,
+            Rule::LockGraph,
+            e.line,
+            format!(
+                "acquiring rank {} via `{}` while holding `{}` (rank {}): lock ranks must \
+                 strictly ascend across the call graph; {}",
+                r,
+                g.label(c),
+                e.held_name,
+                hr,
+                reach.render_chain(g, c, false)
+            ),
+        );
+    }
+    // Cycle detection over the rank digraph. Legal equal shared/shared
+    // edges are excluded (shared re-acquisition cannot deadlock); every
+    // other observed edge participates.
+    lock_cycles(datas, &expanded, out);
+}
+
+fn clone_edge(e: &RankEdge) -> RankEdge {
+    RankEdge {
+        held: e.held,
+        held_name: e.held_name,
+        acq: e.acq,
+        file: e.file.clone(),
+        line: e.line,
+        desc: e.desc.clone(),
+        callee: e.callee,
+    }
+}
+
+/// DFS cycle detection over the rank digraph; one violation per
+/// distinct cycle, anchored at the witness of its first edge, listing
+/// the provenance of every edge on the cycle.
+fn lock_cycles(datas: &[FileData], edges: &[RankEdge], out: &mut Vec<Violation>) {
+    use std::collections::HashMap;
+    // rank -> rank with first-observed provenance.
+    let mut adj: HashMap<u8, Vec<u8>> = HashMap::new();
+    let mut prov: HashMap<(u8, u8), (String, u32, String)> = HashMap::new();
+    for e in edges {
+        let (hr, hs) = (elem_rank(e.held), elem_shared(e.held));
+        let (r, rs) = (elem_rank(e.acq), elem_shared(e.acq));
+        if hr == r && hs && rs {
+            continue;
+        }
+        let entry = adj.entry(hr).or_default();
+        if !entry.contains(&r) {
+            entry.push(r);
+        }
+        prov.entry((hr, r))
+            .or_insert_with(|| (e.file.clone(), e.line, e.desc.clone()));
+    }
+    let mut nodes: Vec<u8> = adj.keys().copied().collect();
+    nodes.sort_unstable();
+    // Iterative DFS with a gray stack; each distinct cycle (normalized
+    // by rotating its minimum rank first) is reported once.
+    let mut reported: HashSet<Vec<u8>> = HashSet::new();
+    let mut done: HashSet<u8> = HashSet::new();
+    for &start in &nodes {
+        if done.contains(&start) {
+            continue;
+        }
+        let mut stack: Vec<u8> = Vec::new();
+        dfs_cycles(
+            start,
+            &adj,
+            &mut stack,
+            &mut done,
+            &mut reported,
+            &prov,
+            datas,
+            out,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_cycles(
+    node: u8,
+    adj: &std::collections::HashMap<u8, Vec<u8>>,
+    stack: &mut Vec<u8>,
+    done: &mut HashSet<u8>,
+    reported: &mut HashSet<Vec<u8>>,
+    prov: &std::collections::HashMap<(u8, u8), (String, u32, String)>,
+    datas: &[FileData],
+    out: &mut Vec<Violation>,
+) {
+    if let Some(pos) = stack.iter().position(|&s| s == node) {
+        // Cycle: stack[pos..] -> node. Normalize for dedup.
+        let cycle: Vec<u8> = stack[pos..].to_vec();
+        let mut norm = cycle.clone();
+        if let Some(min_pos) = norm
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &r)| r)
+            .map(|(i, _)| i)
+        {
+            norm.rotate_left(min_pos);
+        }
+        if !reported.insert(norm) {
+            return;
+        }
+        let mut path: Vec<String> = cycle.iter().map(|r| format!("rank {r}")).collect();
+        path.push(format!("rank {node}"));
+        let mut witnesses = Vec::new();
+        for w in cycle.windows(2) {
+            if let Some((f, l, d)) = prov.get(&(w[0], w[1])) {
+                witnesses.push(format!("{f}:{l} ({d})"));
+            }
+        }
+        if let Some((f, l, d)) = cycle.last().and_then(|&last| prov.get(&(last, node))) {
+            witnesses.push(format!("{f}:{l} ({d})"));
+        }
+        let Some((file, line, _)) = prov.get(&(cycle[0], *cycle.get(1).unwrap_or(&node))) else {
+            return;
+        };
+        if let Some(d) = datas.iter().find(|d| &d.rel == file) {
+            push(
+                d,
+                out,
+                Rule::LockGraph,
+                *line,
+                format!(
+                    "lock-rank cycle {}: a thread following one edge while another follows \
+                     the reverse deadlocks; witnesses: {}",
+                    path.join(" -> "),
+                    witnesses.join("; ")
+                ),
+            );
+        }
+        return;
+    }
+    if done.contains(&node) {
+        return;
+    }
+    stack.push(node);
+    if let Some(nexts) = adj.get(&node) {
+        for &nx in nexts {
+            dfs_cycles(nx, adj, stack, done, reported, prov, datas, out);
+        }
+    }
+    stack.pop();
+    done.insert(node);
 }
 
 #[cfg(test)]

@@ -161,3 +161,149 @@ fn fixtures_are_denied_under_deny_all_but_dead_variant_warns_by_default() {
     assert!(!Rule::DeadVariant.denied(false));
     assert!(Rule::DeadVariant.denied(true));
 }
+
+#[test]
+fn r9_bad_allow_fixture_reports_both_malformed_markers() {
+    let (_, out) = fixture("r9_bad_allow.rs", "crates/storage/src/misc.rs");
+    assert_eq!(lines_of(&out, Rule::BadAllow), [3, 6]);
+    assert!(out[0].message.contains("unknown rule `no-such-rule`"));
+    assert!(out[1].message.contains("no justification"));
+}
+
+/// The interprocedural fixtures are a miniature workspace tree
+/// (`fixtures/interproc/crates/...`) scanned through the full `run()`
+/// pipeline, so the path-scoped zones (`pager.rs`, `event_loop.rs`)
+/// line up with the real rule configuration.
+fn interproc_report() -> spb_lint::Report {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/interproc");
+    spb_lint::run(&spb_lint::Config {
+        root,
+        deny_all: true,
+    })
+}
+
+#[test]
+fn r10_panic_reach_fixture_reports_the_zone_call_with_the_full_chain() {
+    let report = interproc_report();
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::PanicReach)
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    // The finding sits on the zone-side call site, and the chain walks
+    // two further hops down to the literal `.unwrap()`.
+    assert_eq!(
+        hits[0].to_string(),
+        "crates/storage/src/pager.rs:6: [panic-reach] call from a no-panic zone to \
+         `decode_header` can panic: decode_header (crates/storage/src/codec.rs:4) -> \
+         header_word (crates/storage/src/codec.rs:8) -> first_byte \
+         (crates/storage/src/codec.rs:12: `.unwrap()`)"
+    );
+}
+
+#[test]
+fn r11_block_reach_fixture_reports_the_event_loop_call_with_the_chain() {
+    let report = interproc_report();
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::BlockReach)
+        .collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(
+        hits[0].to_string(),
+        "crates/server/src/event_loop.rs:6: [block-reach] call from the event-loop thread \
+         to `ship_segment` can block: ship_segment (crates/server/src/replicate.rs:5) -> \
+         read_wal (crates/server/src/replicate.rs:10: `.read_exact()`)"
+    );
+}
+
+#[test]
+fn r12_lock_graph_fixture_reports_the_descent_and_the_cycle() {
+    let report = interproc_report();
+    let hits: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == Rule::LockGraph)
+        .collect();
+    assert_eq!(lines_of(&report.violations, Rule::LockGraph), [11, 16]);
+    // The descending edge: rank 30 held in `flush_all`, rank 20 taken
+    // one call away inside `evict`.
+    assert_eq!(
+        hits[0].to_string(),
+        "crates/storage/src/flushd.rs:11: [lock-graph] acquiring rank 20 via `Flushd::evict` \
+         while holding `lock_pending` (rank 30): lock ranks must strictly ascend across the \
+         call graph; Flushd::evict (crates/storage/src/flushd.rs:20: `.lock_inner()`)"
+    );
+    // The cycle the descent closes against `refill`'s legal 20 → 30
+    // edge, with one provenance witness per edge.
+    assert_eq!(
+        hits[1].to_string(),
+        "crates/storage/src/flushd.rs:16: [lock-graph] lock-rank cycle rank 20 -> rank 30 \
+         -> rank 20: a thread following one edge while another follows the reverse \
+         deadlocks; witnesses: crates/storage/src/flushd.rs:16 (`Flushd::refill` calls \
+         `Flushd::journal`); crates/storage/src/flushd.rs:11 (`Flushd::flush_all` calls \
+         `Flushd::evict`)"
+    );
+}
+
+#[test]
+fn interproc_fixture_tree_has_no_unplanned_findings() {
+    let report = interproc_report();
+    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.violations.len(), 4, "{:?}", report.violations);
+}
+
+#[test]
+fn interproc_scan_lexes_each_file_exactly_once() {
+    // All rules — token-level, AST-level, and the call-graph passes —
+    // share one lex per file; a second lex of anything breaks this.
+    let before = spb_lint::lexer::lex_count();
+    let report = interproc_report();
+    let delta = spb_lint::lexer::lex_count() - before;
+    assert_eq!(delta, report.files_scanned as u64);
+}
+
+#[test]
+fn every_registered_rule_fires_on_a_fixture() {
+    use std::collections::HashSet;
+    // A rule with no live bad fixture can go silently blind; adding a
+    // rule to `Rule::ALL` without seeding a fixture must fail here.
+    let per_file: &[(&str, &str)] = &[
+        ("r1_no_panic.rs", "crates/storage/src/wal.rs"),
+        ("r2_unsafe.rs", "crates/storage/src/cache.rs"),
+        ("r3_lock_order.rs", "crates/storage/src/cache.rs"),
+        ("r3_cluster_lock_order.rs", "crates/cluster/src/router.rs"),
+        ("r4_catch_all.rs", "crates/storage/src/wal.rs"),
+        ("r5_dead_variant.rs", "crates/server/src/wire.rs"),
+        ("r6_raw_instant.rs", "crates/server/src/server.rs"),
+        (
+            "r7_block_in_event_loop.rs",
+            "crates/server/src/event_loop.rs",
+        ),
+        ("r8_nan_unsafe.rs", "crates/accel/src/tune.rs"),
+        ("r9_bad_allow.rs", "crates/storage/src/misc.rs"),
+    ];
+    let mut fired: HashSet<Rule> = HashSet::new();
+    for (name, rel) in per_file {
+        let (d, mut out) = fixture(name, rel);
+        rules::no_panic(&d, &mut out);
+        rules::no_unsafe(&d, &mut out);
+        rules::lock_order(&d, &mut out);
+        rules::catch_all(&d, &mut out);
+        rules::raw_instant(&d, &mut out);
+        rules::no_block_in_event_loop(&d, &mut out);
+        rules::nan_unsafe(&d, &mut out);
+        rules::dead_variants(&[d], &mut out);
+        fired.extend(out.iter().map(|v| v.rule));
+    }
+    fired.extend(interproc_report().violations.iter().map(|v| v.rule));
+    for rule in Rule::ALL {
+        assert!(
+            fired.contains(rule),
+            "rule `{}` has no fixture that makes it fire",
+            rule.slug()
+        );
+    }
+}

@@ -130,6 +130,109 @@ fn nan_unsafe_rule_is_live_on_real_tune_rs() {
     assert_eq!(out[0].line as usize, seeded.lines().count());
 }
 
+/// Builds the call graph over a set of already-analyzed files — the
+/// same `analyze → parse → build` pipeline `run()` uses, on a reduced
+/// file set (removing files only removes edges, so a finding here
+/// would also fire in the full workspace scan).
+fn graph_over(datas: &[spb_lint::FileData]) -> spb_lint::callgraph::CallGraph {
+    let asts: Vec<_> = datas.iter().map(spb_lint::ast::parse).collect();
+    spb_lint::callgraph::build(datas, &asts)
+}
+
+#[test]
+fn panic_reach_rule_is_live_on_real_pager_rs() {
+    // Seed the *real* pager.rs with a probe that calls an out-of-zone
+    // helper whose panic is one hop further down: the finding must
+    // land on the zone-side call with the full chain — proving fn
+    // extraction, cross-file call resolution, and capability
+    // propagation all work on real sources.
+    let path = repo_root().join("crates/storage/src/pager.rs");
+    let src = std::fs::read_to_string(path).expect("read pager.rs");
+    let seeded = format!("{src}\nfn probe_entry(x: Option<u8>) {{ probe_helper(x); }}\n");
+    let helper = "pub fn probe_helper(x: Option<u8>) -> u8 { probe_inner(x) }\n\
+                  fn probe_inner(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    let mut out = Vec::new();
+    let datas = vec![
+        analyze("crates/storage/src/pager.rs".to_string(), &seeded, &mut out),
+        analyze("crates/storage/src/probe.rs".to_string(), helper, &mut out),
+    ];
+    let g = graph_over(&datas);
+    rules::panic_reach(&datas, &g, &mut out);
+    let hits: Vec<_> = out.iter().filter(|v| v.rule == Rule::PanicReach).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line as usize, seeded.lines().count());
+    assert!(hits[0].message.contains("`probe_helper` can panic"));
+    assert!(hits[0].message.contains("probe_inner"));
+    assert!(hits[0].message.contains("`.unwrap()`"));
+}
+
+#[test]
+fn block_reach_rule_is_live_on_real_event_loop_rs() {
+    // Same liveness idea for the event-loop reachability rule: the
+    // blocking site sits in another module, connected only by the
+    // call graph.
+    let path = repo_root().join("crates/server/src/event_loop.rs");
+    let src = std::fs::read_to_string(path).expect("read event_loop.rs");
+    let seeded = format!("{src}\nfn probe_pump(lsn: u64) {{ probe_ship(lsn); }}\n");
+    let helper = "pub fn probe_ship(lsn: u64) {\n\
+                      let mut buf = [0u8; 8];\n\
+                      wal_file(lsn).read_exact(&mut buf).ok();\n\
+                  }\n";
+    let mut out = Vec::new();
+    let datas = vec![
+        analyze(
+            "crates/server/src/event_loop.rs".to_string(),
+            &seeded,
+            &mut out,
+        ),
+        analyze("crates/server/src/probe.rs".to_string(), helper, &mut out),
+    ];
+    let g = graph_over(&datas);
+    rules::block_reach(&datas, &g, &mut out);
+    let hits: Vec<_> = out.iter().filter(|v| v.rule == Rule::BlockReach).collect();
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].line as usize, seeded.lines().count());
+    assert!(hits[0].message.contains("`probe_ship` can block"));
+    assert!(hits[0].message.contains("`.read_exact()`"));
+}
+
+#[test]
+fn lock_graph_rule_is_live_on_real_cache_rs() {
+    // Seed the real cache.rs (home of the rank-20 `lock_inner` helper)
+    // with a probe pair that holds a rank-30 guard across a call into
+    // a rank-20 acquisition — the cross-function descent `lock-order`
+    // cannot see.
+    let path = repo_root().join("crates/storage/src/cache.rs");
+    let src = std::fs::read_to_string(path).expect("read cache.rs");
+    let seeded = format!(
+        "{src}\nimpl Shard {{\n\
+             fn probe_descend(&self) {{\n\
+                 let _w = self.lock_file();\n\
+                 self.probe_inner();\n\
+             }}\n\
+             fn probe_inner(&self) {{\n\
+                 let _g = self.lock_inner();\n\
+             }}\n\
+         }}\n"
+    );
+    let mut out = Vec::new();
+    let datas = vec![analyze(
+        "crates/storage/src/cache.rs".to_string(),
+        &seeded,
+        &mut out,
+    )];
+    let g = graph_over(&datas);
+    rules::lock_graph(&datas, &g, &mut out);
+    let hits: Vec<_> = out.iter().filter(|v| v.rule == Rule::LockGraph).collect();
+    assert!(!hits.is_empty(), "no lock-graph finding on seeded cache.rs");
+    assert!(
+        hits.iter().any(|v| v.message.contains("acquiring rank 20")
+            && v.message.contains("`lock_file` (rank 30)")
+            && v.message.contains("Shard::probe_inner")),
+        "{hits:?}"
+    );
+}
+
 #[test]
 fn query_stats_counters_are_all_live() {
     // QueryStats extraction against the real tree.rs must find the

@@ -91,7 +91,11 @@ impl PoolInner {
     fn evict_to_capacity(&mut self) -> u64 {
         let mut evicted = 0;
         while self.map.len() > self.capacity {
-            let (_, victim) = self.order.pop_first().expect("order mirrors map");
+            // `order` mirrors `map`, so a non-empty map always yields a
+            // victim; bail instead of panicking if that ever breaks.
+            let Some((_, victim)) = self.order.pop_first() else {
+                break;
+            };
             self.map.remove(&victim);
             evicted += 1;
         }

@@ -5,7 +5,10 @@
 //!
 //! | Rank | Lock | Declared in |
 //! |---|---|---|
+//! | 1 | Event-loop completion queue | `spb-server` (`Shared`) |
+//! | 2 | Dispatcher work queue | `spb-server` (`DispatchQueue`) |
 //! | 3 | Cluster router connection-pool mutex | `spb-cluster` (`Router`) |
+//! | 4 | Admission-control counters | `spb-server` (`AdmissionInner`) |
 //! | 5 | Replica state lock (serving-tree swap) | `spb-cluster` (`Replica`) |
 //! | 10 | SPB-tree structure latch | `spb-core` (`SpbTree::latch`) |
 //! | 20 | Buffer-pool shard mutex | `spb-storage` (`cache::Shard`) |
@@ -41,9 +44,18 @@ use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub enum LockRank {
+    /// The event loop's completion queue: workers push finished
+    /// responses, the loop drains them (`spb-server`). Lowest rank —
+    /// always taken briefly with no other ranked lock held.
+    EventCompletions = 1,
+    /// The dispatcher's work queue between the event loop and its
+    /// workers (`spb-server`).
+    DispatchQueue = 2,
     /// A cluster router's per-node connection-pool mutex
     /// (`spb-cluster`).
     RouterConn = 3,
+    /// The admission controller's slot/queue counters (`spb-server`).
+    AdmissionCounters = 4,
     /// A read replica's serving-state lock, swapped on WAL apply
     /// (`spb-cluster`).
     ReplicaApply = 5,
@@ -59,6 +71,9 @@ impl LockRank {
     /// Human-readable name used in violation messages.
     pub fn name(self) -> &'static str {
         match self {
+            LockRank::EventCompletions => "event-loop completion queue",
+            LockRank::DispatchQueue => "dispatcher work queue",
+            LockRank::AdmissionCounters => "admission counters",
             LockRank::RouterConn => "router connection pool",
             LockRank::ReplicaApply => "replica state lock",
             LockRank::TreeLatch => "tree latch",

@@ -48,10 +48,7 @@ impl Page {
     /// A zeroed page.
     pub fn new() -> Self {
         Page {
-            data: vec![0u8; PAGE_SIZE]
-                .into_boxed_slice()
-                .try_into()
-                .expect("exact size"),
+            data: Box::new([0u8; PAGE_SIZE]),
         }
     }
 
@@ -127,7 +124,9 @@ impl Page {
     /// Reads a little-endian `u16` at `off`.
     pub fn read_u16(&self, off: usize) -> u16 {
         Self::check_bounds(off, 2);
-        u16::from_le_bytes(self.data[off..off + 2].try_into().expect("2 bytes"))
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.data[off..off + 2]);
+        u16::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u16` at `off`.
@@ -139,7 +138,9 @@ impl Page {
     /// Reads a little-endian `u32` at `off`.
     pub fn read_u32(&self, off: usize) -> u32 {
         Self::check_bounds(off, 4);
-        u32::from_le_bytes(self.data[off..off + 4].try_into().expect("4 bytes"))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[off..off + 4]);
+        u32::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u32` at `off`.
@@ -151,7 +152,9 @@ impl Page {
     /// Reads a little-endian `u64` at `off`.
     pub fn read_u64(&self, off: usize) -> u64 {
         Self::check_bounds(off, 8);
-        u64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[off..off + 8]);
+        u64::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u64` at `off`.
@@ -163,7 +166,9 @@ impl Page {
     /// Reads a little-endian `u128` at `off` (SFC values, MBB corners).
     pub fn read_u128(&self, off: usize) -> u128 {
         Self::check_bounds(off, 16);
-        u128::from_le_bytes(self.data[off..off + 16].try_into().expect("16 bytes"))
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&self.data[off..off + 16]);
+        u128::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u128` at `off`.
@@ -175,7 +180,9 @@ impl Page {
     /// Reads a little-endian `f64` at `off` (covering radii, distances).
     pub fn read_f64(&self, off: usize) -> f64 {
         Self::check_bounds(off, 8);
-        f64::from_le_bytes(self.data[off..off + 8].try_into().expect("8 bytes"))
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[off..off + 8]);
+        f64::from_le_bytes(b)
     }
 
     /// Writes a little-endian `f64` at `off`.
